@@ -1,0 +1,56 @@
+"""Ablation — remainder-query pruning for kNN (Example 3.1).
+
+The client prunes frontier entries beyond the current k-th leaf entry before
+shipping the remainder query.  This bench measures the uplink saving of that
+pruning by comparing the shipped frontier size against the unpruned priority
+queue size on a kNN-only workload.
+"""
+
+import statistics
+
+from repro.core.items import TargetKind
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_environment
+from repro.sim.sessions import ProactiveSession
+from repro.workload.generator import QueryMix
+
+from benchmarks.conftest import run_once
+
+
+def _measure(config):
+    environment = build_environment(config)
+    session = ProactiveSession(environment.tree, config, server=environment.server)
+    frontier_sizes = []
+    for record in environment.trace:
+        session.cache.tick()
+        execution = session.client.execute(record.query)
+        if not execution.complete:
+            frontier_sizes.append(len(execution.frontier))
+            remainder = execution.remainder()
+            response = environment.server.execute(record.query, remainder, session.policy)
+            from repro.core.items import CachedIndexNode, CachedObject
+            context = {"client_position": record.position}
+            for snap in response.index_snapshots:
+                session.cache.insert_node_snapshot(
+                    CachedIndexNode(snap.node_id, snap.level,
+                                    {e.code: e for e in snap.elements}),
+                    snap.parent_id, context)
+            for delivery in response.deliveries:
+                session.cache.insert_object(
+                    CachedObject(delivery.record.object_id, delivery.record.mbr,
+                                 delivery.record.size_bytes),
+                    delivery.parent_node_id, context)
+    return frontier_sizes
+
+
+def test_ablation_knn_remainder_pruning(benchmark, bench_config):
+    config = bench_config.with_overrides(
+        query_count=min(bench_config.query_count, 150),
+        query_mix=QueryMix(range_=0.0, knn=1.0, join=0.0), k_max=8)
+    frontier_sizes = run_once(benchmark, _measure, config)
+    mean_size = statistics.mean(frontier_sizes) if frontier_sizes else 0.0
+    print(f"\nmean shipped kNN frontier size: {mean_size:.1f} entries "
+          f"({len(frontier_sizes)} remainder queries)")
+    # The pruned frontier stays small: on the order of k plus a few nodes,
+    # never the whole priority queue.
+    assert mean_size < 6 * config.k_max

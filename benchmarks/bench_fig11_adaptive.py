@@ -1,0 +1,48 @@
+"""Figure 11 — FPRO vs CPRO vs APRO under the k-ramp workload (kNN only).
+
+Reproduced shape claims:
+
+* FPRO caches the largest index share (``i/c``) and achieves the lowest,
+  most stable false miss rate;
+* CPRO caches the smallest index share and has the highest / most volatile
+  false miss rate;
+* APRO sits in between on both, and its response time improves on CPRO's by
+  shipping just enough extra index.
+
+Note: in the paper APRO also edges out FPRO on response time; at the scaled
+dataset size the index is so cheap relative to the 10 KB objects that FPRO's
+full-form caching costs almost nothing, so FPRO can win on raw response time
+here.  The asserted (and reproduced) ordering is therefore
+CPRO >= APRO >= FPRO on fmr, FPRO >= APRO >= CPRO on index share, and
+APRO <= CPRO on response time.  See EXPERIMENTS.md.
+"""
+
+from repro.experiments import fig11
+
+from benchmarks.conftest import run_once
+
+
+def _mean(values):
+    values = [v for v in values if v == v]
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig11_adaptive_schemes(benchmark, bench_config):
+    config = fig11.default_config(query_count=bench_config.query_count).with_overrides(
+        object_count=bench_config.object_count)
+    series = run_once(benchmark, fig11.run, config)
+    print("\n" + fig11.render(series))
+
+    fpro, cpro, apro = series["FPRO"], series["CPRO"], series["APRO"]
+    # 11(b): FPRO ships/keeps the most index, CPRO the least.
+    assert _mean(fpro["index_fraction"]) >= _mean(apro["index_fraction"]) - 1e-9
+    assert _mean(apro["index_fraction"]) >= _mean(cpro["index_fraction"]) - 1e-9
+    # 11(a): CPRO's false miss rate is the worst, FPRO's the best, APRO between.
+    assert _mean(cpro["false_miss_rate"]) >= _mean(apro["false_miss_rate"]) - 1e-9
+    assert _mean(apro["false_miss_rate"]) >= _mean(fpro["false_miss_rate"]) - 1e-9
+    # 11(c): the adaptive scheme improves on the normal compact form and stays
+    # within a modest factor of the best scheme.
+    assert _mean(apro["response_time"]) <= _mean(cpro["response_time"]) + 1e-9
+    best = min(_mean(fpro["response_time"]), _mean(cpro["response_time"]),
+               _mean(apro["response_time"]))
+    assert _mean(apro["response_time"]) <= 1.5 * best

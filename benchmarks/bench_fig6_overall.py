@@ -1,0 +1,27 @@
+"""Figure 6 — overall comparison of PAG, SEM and APRO (DIR, |C| = 1%).
+
+Reproduced shape claims (checked as assertions):
+
+* PAG's cache hit rate is zero; APRO's is the highest of the three.
+* SEM downloads the most bytes per query.
+* APRO achieves the lowest response time.
+* APRO's downlink stays within a modest factor of PAG's (the paper reports
+  "slightly larger").
+"""
+
+from repro.experiments import fig6
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_overall_comparison(benchmark, bench_config):
+    config = bench_config.with_overrides(mobility_model="DIR", cache_fraction=0.01)
+    summaries = run_once(benchmark, fig6.run, config)
+    print("\n" + fig6.render(summaries))
+
+    pag, sem, apro = summaries["PAG"], summaries["SEM"], summaries["APRO"]
+    assert pag["cache_hit_rate"] == 0.0
+    assert apro["cache_hit_rate"] > sem["cache_hit_rate"]
+    assert sem["downlink_bytes"] >= apro["downlink_bytes"]
+    assert apro["response_time"] <= min(pag["response_time"], sem["response_time"])
+    assert apro["downlink_bytes"] <= 3.0 * pag["downlink_bytes"]

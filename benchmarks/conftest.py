@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a scaled-down
+configuration (see DESIGN.md for the scaling rationale) and prints the same
+rows / series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the rendered tables; without it only the timings are
+reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+
+
+# One shared scale for all figure benchmarks so cross-figure numbers are
+# comparable.  Increase these for a closer-to-paper run, e.g.
+#   BENCH_QUERIES=2000 BENCH_OBJECTS=20000 pytest benchmarks/ --benchmark-only
+import os
+
+BENCH_QUERIES = int(os.environ.get("BENCH_QUERIES", "250"))
+BENCH_OBJECTS = int(os.environ.get("BENCH_OBJECTS", "4000"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SimulationConfig:
+    """The baseline configuration shared by the figure benchmarks."""
+    return SimulationConfig.scaled(query_count=BENCH_QUERIES, object_count=BENCH_OBJECTS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

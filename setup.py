@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works without network access.
+
+All project metadata lives in ``pyproject.toml`` (PEP 621); this file only
+exists so pip can fall back to the legacy editable-install path in offline
+environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

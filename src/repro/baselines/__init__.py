@@ -1,0 +1,15 @@
+"""Baseline caching models the paper compares against.
+
+* :mod:`repro.baselines.page` — page/object caching (PAG): objects are cached
+  and looked up by identifier only; no query semantics are stored.
+* :mod:`repro.baselines.semantic` — semantic caching (SEM): query
+  descriptions plus their results are cached; range queries are trimmed
+  against cached range regions (Ren & Dunham) and kNN queries are answered
+  from cached kNN validity circles (Zheng & Lee).  Join queries fall through
+  to the server.
+"""
+
+from repro.baselines.page import PageCache
+from repro.baselines.semantic import SemanticCache, RangeRegion, KnnRegion
+
+__all__ = ["PageCache", "SemanticCache", "RangeRegion", "KnnRegion"]

@@ -1,0 +1,6 @@
+"""Semantic caching (SEM) for range and kNN queries."""
+
+from repro.baselines.semantic.regions import RangeRegion, KnnRegion, Region
+from repro.baselines.semantic.cache import SemanticCache
+
+__all__ = ["RangeRegion", "KnnRegion", "Region", "SemanticCache"]

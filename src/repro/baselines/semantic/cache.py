@@ -1,0 +1,256 @@
+"""The semantic cache: regions + a reference-counted object pool.
+
+The cache stores semantic *regions* (cached query descriptions with the ids
+of their result objects) and the result objects themselves in a shared,
+reference-counted pool so that an object returned by several cached queries
+occupies space only once.  Replacement operates at region granularity, using
+either FAR (evict the region farthest from the client, Ren & Dunham) or LRU.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.baselines.semantic.regions import KnnRegion, RangeRegion, Region
+from repro.core.items import CachedObject
+from repro.geometry import Point, Rect
+from repro.geometry.distance import circle_contains_circle
+from repro.rtree.entry import ObjectRecord
+from repro.rtree.sizes import SizeModel
+
+
+class SemanticCache:
+    """Byte-budgeted cache of semantic regions and their result objects.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total budget shared by region descriptors and object payloads.
+    size_model:
+        Byte accounting model.
+    replacement:
+        ``"FAR"`` (default, the paper's choice for SEM) or ``"LRU"``.
+    coalesce:
+        When True, a new range region fully containing an older one absorbs
+        it (a simple form of the coalescing decision discussed in the paper);
+        the default keeps regions separate.
+    """
+
+    def __init__(self, capacity_bytes: int, size_model: Optional[SizeModel] = None,
+                 replacement: str = "FAR", coalesce: bool = False) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.size_model = size_model or SizeModel()
+        replacement = replacement.upper()
+        if replacement not in ("FAR", "LRU"):
+            raise ValueError("replacement must be 'FAR' or 'LRU'")
+        self.replacement = replacement
+        self.coalesce = coalesce
+
+        self._region_ids = itertools.count(1)
+        self.range_regions: Dict[int, RangeRegion] = {}
+        self.knn_regions: Dict[int, KnnRegion] = {}
+        self._pool: Dict[int, CachedObject] = {}
+        self._refcounts: Dict[int, int] = {}
+        self.used_bytes = 0
+        self.clock = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def tick(self) -> int:
+        """Advance the query clock."""
+        self.clock += 1
+        return self.clock
+
+    def __len__(self) -> int:
+        return len(self.range_regions) + len(self.knn_regions)
+
+    def regions(self) -> List[Region]:
+        """All cached regions."""
+        return list(self.range_regions.values()) + list(self.knn_regions.values())
+
+    def cached_object_ids(self) -> Set[int]:
+        """Ids of every object currently held in the pool."""
+        return set(self._pool.keys())
+
+    def get_object(self, object_id: int) -> Optional[CachedObject]:
+        """An object from the pool, if cached."""
+        return self._pool.get(object_id)
+
+    def object_bytes(self) -> int:
+        """Bytes occupied by object payloads."""
+        return sum(obj.size_bytes for obj in self._pool.values())
+
+    def descriptor_bytes(self) -> int:
+        """Bytes occupied by the semantic descriptions."""
+        return sum(region.descriptor_bytes(self.size_model) for region in self.regions())
+
+    # ------------------------------------------------------------------ #
+    # probing (query trimming)
+    # ------------------------------------------------------------------ #
+    def probe_range(self, window: Rect) -> Tuple[Dict[int, CachedObject], List[Rect]]:
+        """Trim a range query against the cached range regions.
+
+        Returns the locally available result objects and the remainder
+        rectangles that still need to be asked of the server.  Only *range*
+        regions participate — sharing across query types is exactly what
+        semantic caching cannot do.
+        """
+        overlapping = [region for region in self.range_regions.values()
+                       if region.window.intersects(window)]
+        saved: Dict[int, CachedObject] = {}
+        for region in overlapping:
+            region.last_access = self.clock
+            for object_id in region.object_ids:
+                cached = self._pool.get(object_id)
+                if cached is not None and cached.mbr.intersects(window):
+                    saved[object_id] = cached
+        remainders = Rect.difference_many(window, [r.window for r in overlapping])
+        return saved, remainders
+
+    def probe_knn(self, point: Point, k: int) -> Optional[List[CachedObject]]:
+        """Answer a kNN query from a cached kNN region, if one is valid for it.
+
+        Returns the k nearest cached objects when some cached kNN region's
+        validity circle provably contains them all, otherwise ``None`` (the
+        whole query must go to the server).
+        """
+        for region in self.knn_regions.values():
+            if region.k < k:
+                continue
+            objects = [self._pool[oid] for oid in region.object_ids if oid in self._pool]
+            if len(objects) < k:
+                continue
+            objects.sort(key=lambda obj: obj.mbr.min_dist_to_point(point))
+            kth_distance = max(obj.mbr.max_dist_to_point(point) for obj in objects[:k])
+            if circle_contains_circle(region.center, region.radius, point, kth_distance):
+                region.last_access = self.clock
+                return objects[:k]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert_range_region(self, window: Rect, records: Iterable[ObjectRecord],
+                            client_position: Optional[Point] = None) -> Optional[int]:
+        """Cache a range query's window and results; returns the region id."""
+        records = list(records)
+        region = RangeRegion(region_id=next(self._region_ids), window=window,
+                             object_ids=[r.object_id for r in records],
+                             created_at=self.clock, last_access=self.clock)
+        if self.coalesce:
+            absorbed = [rid for rid, existing in self.range_regions.items()
+                        if window.contains(existing.window)]
+            for rid in absorbed:
+                self._drop_region(rid)
+        return self._insert_region(region, records, client_position)
+
+    def insert_knn_region(self, center: Point, k: int, records: Iterable[ObjectRecord],
+                          client_position: Optional[Point] = None) -> Optional[int]:
+        """Cache a kNN query's results with its validity radius."""
+        records = list(records)
+        if not records:
+            return None
+        radius = max(record.mbr.max_dist_to_point(center) for record in records)
+        region = KnnRegion(region_id=next(self._region_ids), center=center, k=k,
+                           radius=radius, object_ids=[r.object_id for r in records],
+                           created_at=self.clock, last_access=self.clock)
+        return self._insert_region(region, records, client_position)
+
+    def _insert_region(self, region: Region, records: List[ObjectRecord],
+                       client_position: Optional[Point]) -> Optional[int]:
+        # Making room can evict regions whose objects this region was counting
+        # on sharing, which grows the space actually required — recompute and
+        # retry until the requirement is stable (or provably does not fit).
+        for _ in range(5):
+            new_object_bytes = sum(r.size_bytes for r in records
+                                   if r.object_id not in self._pool)
+            needed = region.descriptor_bytes(self.size_model) + new_object_bytes
+            if self.used_bytes + needed <= self.capacity_bytes:
+                break
+            if not self._make_room(needed, client_position):
+                return None
+        new_object_bytes = sum(r.size_bytes for r in records
+                               if r.object_id not in self._pool)
+        needed = region.descriptor_bytes(self.size_model) + new_object_bytes
+        if self.used_bytes + needed > self.capacity_bytes:
+            return None
+        for record in records:
+            if record.object_id not in self._pool:
+                self._pool[record.object_id] = CachedObject(
+                    object_id=record.object_id, mbr=record.mbr, size_bytes=record.size_bytes)
+                self._refcounts[record.object_id] = 0
+                self.used_bytes += record.size_bytes
+            self._refcounts[record.object_id] += 1
+        if isinstance(region, RangeRegion):
+            self.range_regions[region.region_id] = region
+        else:
+            self.knn_regions[region.region_id] = region
+        self.used_bytes += region.descriptor_bytes(self.size_model)
+        return region.region_id
+
+    # ------------------------------------------------------------------ #
+    # replacement
+    # ------------------------------------------------------------------ #
+    def _make_room(self, bytes_needed: int, client_position: Optional[Point]) -> bool:
+        if bytes_needed > self.capacity_bytes:
+            return False
+        while self.used_bytes + bytes_needed > self.capacity_bytes:
+            victim = self._pick_victim(client_position)
+            if victim is None:
+                return False
+            self._drop_region(victim)
+            self.evictions += 1
+        return True
+
+    def _pick_victim(self, client_position: Optional[Point]) -> Optional[int]:
+        regions = self.regions()
+        if not regions:
+            return None
+        if self.replacement == "FAR" and client_position is not None:
+            def distance(region: Region) -> float:
+                center = region.center if isinstance(region, RangeRegion) else region.center
+                return client_position.distance_to(center)
+            victim = max(regions, key=lambda r: (distance(r), -r.last_access))
+        else:
+            victim = min(regions, key=lambda r: r.last_access)
+        return victim.region_id
+
+    def _drop_region(self, region_id: int) -> None:
+        region = self.range_regions.pop(region_id, None)
+        if region is None:
+            region = self.knn_regions.pop(region_id, None)
+        if region is None:
+            return
+        self.used_bytes -= region.descriptor_bytes(self.size_model)
+        for object_id in region.object_ids:
+            count = self._refcounts.get(object_id)
+            if count is None:
+                continue
+            count -= 1
+            if count <= 0:
+                cached = self._pool.pop(object_id, None)
+                self._refcounts.pop(object_id, None)
+                if cached is not None:
+                    self.used_bytes -= cached.size_bytes
+            else:
+                self._refcounts[object_id] = count
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check byte accounting and refcount consistency (tests only)."""
+        expected = self.descriptor_bytes() + self.object_bytes()
+        assert expected == self.used_bytes, "semantic cache byte accounting drifted"
+        counted: Dict[int, int] = {}
+        for region in self.regions():
+            for object_id in region.object_ids:
+                if object_id in self._pool:
+                    counted[object_id] = counted.get(object_id, 0) + 1
+        for object_id, count in counted.items():
+            assert self._refcounts.get(object_id) == count, f"refcount mismatch for {object_id}"

@@ -1,0 +1,58 @@
+"""Cached semantic regions: range windows and kNN validity circles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.geometry import Point, Rect
+from repro.rtree.sizes import SizeModel
+
+
+@dataclass
+class RangeRegion:
+    """A cached range query: its window and the ids of its result objects."""
+
+    region_id: int
+    window: Rect
+    object_ids: List[int] = field(default_factory=list)
+    created_at: int = 0
+    last_access: int = 0
+
+    @property
+    def center(self) -> Point:
+        """Centre of the cached window (used by FAR replacement)."""
+        return self.window.center()
+
+    def descriptor_bytes(self, size_model: SizeModel) -> int:
+        """Cache footprint of the semantic description (excluding the objects)."""
+        return (size_model.query_header_bytes + size_model.rect_bytes()
+                + len(self.object_ids) * size_model.object_id_bytes)
+
+
+@dataclass
+class KnnRegion:
+    """A cached kNN query: centre, k, validity radius and its result objects.
+
+    Following Zheng & Lee, the cached result of a kNN query at ``center`` is
+    valid for a later k'NN query at point ``p`` (k' <= k) exactly when the
+    circle around ``p`` containing its k' nearest cached objects lies entirely
+    inside this region's circle of radius ``radius``.
+    """
+
+    region_id: int
+    center: Point
+    k: int
+    radius: float
+    object_ids: List[int] = field(default_factory=list)
+    created_at: int = 0
+    last_access: int = 0
+
+    def descriptor_bytes(self, size_model: SizeModel) -> int:
+        """Cache footprint of the semantic description (excluding the objects)."""
+        return (size_model.query_header_bytes + size_model.point_bytes()
+                + 2 * size_model.coordinate_bytes
+                + len(self.object_ids) * size_model.object_id_bytes)
+
+
+Region = Union[RangeRegion, KnnRegion]

@@ -1,0 +1,132 @@
+"""Command-line interface for running simulations and paper experiments.
+
+Installed as the ``repro-spatial-cache`` console script (also runnable as
+``python -m repro.cli``).  Three sub-commands are provided:
+
+* ``compare`` — run PAG / SEM / APRO (and optionally FPRO / CPRO) on one
+  trace and print the headline metrics;
+* ``figure`` — regenerate one of the paper's figures (``6``–``11``,
+  ``table61`` or ``overheads``);
+* ``params`` — print the Table 6.1 parameter sheet for a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, overheads, table61
+from repro.experiments.report import format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_comparison
+
+
+_FIGURES = {
+    "6": fig6,
+    "7": fig7,
+    "8": fig8,
+    "9": fig9,
+    "10": fig10,
+    "11": fig11,
+    "table61": table61,
+    "overheads": overheads,
+}
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queries", type=int, default=250,
+                        help="number of queries to simulate (default: 250)")
+    parser.add_argument("--objects", type=int, default=4_000,
+                        help="number of data objects (default: 4000)")
+    parser.add_argument("--dataset", choices=("NE", "RD", "UNIFORM"), default="NE",
+                        help="synthetic dataset family (default: NE)")
+    parser.add_argument("--mobility", choices=("RAN", "DIR"), default="RAN",
+                        help="mobility model (default: RAN)")
+    parser.add_argument("--cache", type=float, default=0.01,
+                        help="cache size as a fraction of the dataset (default: 0.01)")
+    parser.add_argument("--replacement", default="GRD3",
+                        help="replacement policy for proactive caching (default: GRD3)")
+    parser.add_argument("--seed", type=int, default=7, help="dataset seed (default: 7)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full Table 6.1 parameters instead "
+                             "of the scaled defaults (very slow in pure Python)")
+
+
+def config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    """Build a :class:`SimulationConfig` from parsed CLI arguments."""
+    if getattr(args, "paper_scale", False):
+        base = SimulationConfig.paper()
+        return base.with_overrides(mobility_model=args.mobility,
+                                   cache_fraction=args.cache,
+                                   replacement_policy=args.replacement)
+    return SimulationConfig.scaled(query_count=args.queries, object_count=args.objects,
+                                   seed=args.seed).with_overrides(
+        dataset_name=args.dataset,
+        mobility_model=args.mobility,
+        cache_fraction=args.cache,
+        replacement_policy=args.replacement)
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    config = config_from_args(args)
+    models = tuple(model.strip().upper() for model in args.models.split(","))
+    results = run_comparison(config, models=models)
+    metrics = ("uplink_bytes", "downlink_bytes", "cache_hit_rate", "byte_hit_rate",
+               "false_miss_rate", "response_time", "client_cpu_ms")
+    rows = [[metric] + [results[m].summary()[metric] for m in models] for metric in metrics]
+    return format_table(["metric"] + list(models), rows,
+                        title=f"Caching model comparison ({config.query_count} queries, "
+                              f"|C|={config.cache_fraction:.1%}, {config.mobility_model})")
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    module = _FIGURES[args.figure]
+    config = config_from_args(args)
+    if args.figure in ("table61", "overheads"):
+        return module.render(module.run(config))
+    if args.figure == "11":
+        config = fig11.default_config(query_count=config.query_count).with_overrides(
+            object_count=config.object_count)
+        return module.render(module.run(config))
+    return module.render(module.run(config))
+
+
+def _run_params(args: argparse.Namespace) -> str:
+    return table61.render(table61.run(config_from_args(args)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spatial-cache",
+        description="Proactive caching for spatial queries (ICDE 2005) — simulator CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="compare caching models on one trace")
+    compare.add_argument("--models", default="PAG,SEM,APRO",
+                         help="comma-separated models (PAG, SEM, APRO, FPRO, CPRO)")
+    _add_config_arguments(compare)
+    compare.set_defaults(handler=_run_compare)
+
+    figure = subparsers.add_parser("figure", help="regenerate a figure from the paper")
+    figure.add_argument("figure", choices=sorted(_FIGURES),
+                        help="which figure/table to regenerate")
+    _add_config_arguments(figure)
+    figure.set_defaults(handler=_run_figure)
+
+    params = subparsers.add_parser("params", help="print the Table 6.1 parameter sheet")
+    _add_config_arguments(params)
+    params.set_defaults(handler=_run_params)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

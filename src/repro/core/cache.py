@@ -1,0 +1,298 @@
+"""The proactive cache: items, metadata and constrained eviction.
+
+The cache holds two kinds of items — index-node snapshots and data objects —
+organised in the same hierarchy as the R-tree itself: a node snapshot's
+parent item is the snapshot of its R-tree parent, and a cached object's
+parent is the leaf-node snapshot that owns it.  Section 5's constraint
+("if item *i* is removed, all its descendants must be removed") is enforced
+structurally: only *leaf items* (items with no cached children) can be chosen
+as victims, and cascading bookkeeping keeps the leaf set correct.
+
+Per-item metadata matches Section 5.2: size, insertion time (query sequence
+number), hit-query count, parent id and number of cached children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.core.items import (
+    CachedIndexNode,
+    CachedObject,
+    item_key_for_node,
+    item_key_for_object,
+)
+from repro.rtree.sizes import SizeModel
+
+
+Payload = Union[CachedIndexNode, CachedObject]
+
+
+@dataclass
+class CacheItemState:
+    """A cached item plus the metadata needed by the replacement policies."""
+
+    key: str
+    payload: Payload
+    size_bytes: int
+    insert_time: int
+    parent_key: Optional[str]
+    # The query that caused the insertion counts as the first hit, so a fresh
+    # item starts with prob = 1 and decays if it is never used again.
+    hit_queries: int = 1
+    last_access: int = 0
+    cached_children: Set[str] = field(default_factory=set)
+
+    @property
+    def is_leaf_item(self) -> bool:
+        """True when no cached item depends on this one (evictable)."""
+        return not self.cached_children
+
+    @property
+    def is_index_item(self) -> bool:
+        """True for index-node snapshots, False for data objects."""
+        return isinstance(self.payload, CachedIndexNode)
+
+    def access_probability(self, current_time: int) -> float:
+        """``prob(i)`` of Section 5.2: hits per query the item has lived through."""
+        lifetime = max(1, current_time - self.insert_time + 1)
+        return self.hit_queries / lifetime
+
+
+class ProactiveCache:
+    """Byte-budgeted client cache of index snapshots and objects.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total cache budget ``M``.
+    size_model:
+        Byte accounting shared with the rest of the system.
+    replacement_policy:
+        A policy from :mod:`repro.core.replacement`; may be ``None`` for an
+        unbounded cache (useful in unit tests).
+    """
+
+    def __init__(self, capacity_bytes: int, size_model: Optional[SizeModel] = None,
+                 replacement_policy: Optional["ReplacementPolicy"] = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.size_model = size_model or SizeModel()
+        self.replacement_policy = replacement_policy
+        self.items: Dict[str, CacheItemState] = {}
+        self.used_bytes = 0
+        self.clock = 0
+        self.evictions = 0
+        self.rejected_inserts = 0
+
+    # ------------------------------------------------------------------ #
+    # clock / bookkeeping
+    # ------------------------------------------------------------------ #
+    def tick(self) -> int:
+        """Advance the query clock (call once per issued query)."""
+        self.clock += 1
+        return self.clock
+
+    def touch(self, key: str) -> None:
+        """Record that the item contributed to answering the current query."""
+        state = self.items.get(key)
+        if state is None:
+            return
+        state.hit_queries += 1
+        state.last_access = self.clock
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def get_node(self, node_id: int) -> Optional[CachedIndexNode]:
+        """The cached snapshot of node ``node_id`` if present."""
+        state = self.items.get(item_key_for_node(node_id))
+        if state is None:
+            return None
+        return state.payload  # type: ignore[return-value]
+
+    def get_object(self, object_id: int) -> Optional[CachedObject]:
+        """The cached object ``object_id`` if present."""
+        state = self.items.get(item_key_for_object(object_id))
+        if state is None:
+            return None
+        return state.payload  # type: ignore[return-value]
+
+    def has_node(self, node_id: int) -> bool:
+        """True when a snapshot of the node is cached."""
+        return item_key_for_node(node_id) in self.items
+
+    def has_object(self, object_id: int) -> bool:
+        """True when the object is cached."""
+        return item_key_for_object(object_id) in self.items
+
+    def cached_object_ids(self) -> Set[int]:
+        """Ids of all cached objects."""
+        return {state.payload.object_id for state in self.items.values()
+                if not state.is_index_item}
+
+    def cached_node_ids(self) -> Set[int]:
+        """Ids of all cached node snapshots."""
+        return {state.payload.node_id for state in self.items.values()
+                if state.is_index_item}
+
+    def leaf_items(self) -> List[CacheItemState]:
+        """All currently evictable items."""
+        return [state for state in self.items.values() if state.is_leaf_item]
+
+    def index_bytes(self) -> int:
+        """Bytes occupied by index snapshots."""
+        return sum(s.size_bytes for s in self.items.values() if s.is_index_item)
+
+    def object_bytes(self) -> int:
+        """Bytes occupied by data objects."""
+        return sum(s.size_bytes for s in self.items.values() if not s.is_index_item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.items
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert_node_snapshot(self, snapshot: CachedIndexNode,
+                             parent_node_id: Optional[int],
+                             context: Optional[dict] = None) -> bool:
+        """Insert (or merge) an index-node snapshot.
+
+        Returns False when the snapshot had to be rejected, e.g. because its
+        parent is not cached (which would make it unreachable) or because it
+        cannot fit even after eviction.
+        """
+        key = item_key_for_node(snapshot.node_id)
+        parent_key = item_key_for_node(parent_node_id) if parent_node_id is not None else None
+        if parent_key is not None and parent_key not in self.items:
+            self.rejected_inserts += 1
+            return False
+
+        existing = self.items.get(key)
+        if existing is not None:
+            cached_node: CachedIndexNode = existing.payload  # type: ignore[assignment]
+            old_size = existing.size_bytes
+            cached_node.merge(snapshot.elements.values())
+            new_size = cached_node.size_bytes(self.size_model)
+            delta = new_size - old_size
+            if delta > 0 and not self._make_room(delta, context, protect={key}):
+                # Could not grow: keep the merged payload but accept overrun
+                # of at most one node (a few hundred bytes).
+                pass
+            existing.size_bytes = new_size
+            self.used_bytes += delta
+            return True
+
+        size = snapshot.size_bytes(self.size_model)
+        if not self._make_room(size, context, protect={parent_key} if parent_key else set()):
+            self.rejected_inserts += 1
+            return False
+        if parent_key is not None and parent_key not in self.items:
+            # The parent was evicted while making room; the snapshot would be
+            # unreachable, so drop it.
+            self.rejected_inserts += 1
+            return False
+        state = CacheItemState(key=key, payload=snapshot.copy(), size_bytes=size,
+                               insert_time=self.clock, parent_key=parent_key,
+                               last_access=self.clock)
+        self.items[key] = state
+        self.used_bytes += size
+        if parent_key is not None:
+            self.items[parent_key].cached_children.add(key)
+        return True
+
+    def insert_object(self, cached_object: CachedObject, parent_node_id: Optional[int],
+                      context: Optional[dict] = None) -> bool:
+        """Insert a data object under its owning leaf node."""
+        key = item_key_for_object(cached_object.object_id)
+        if key in self.items:
+            self.items[key].last_access = self.clock
+            return True
+        parent_key = item_key_for_node(parent_node_id) if parent_node_id is not None else None
+        if parent_key is not None and parent_key not in self.items:
+            self.rejected_inserts += 1
+            return False
+        size = cached_object.size_bytes
+        protect = {parent_key} if parent_key else set()
+        if not self._make_room(size, context, protect=protect):
+            self.rejected_inserts += 1
+            return False
+        if parent_key is not None and parent_key not in self.items:
+            self.rejected_inserts += 1
+            return False
+        state = CacheItemState(key=key, payload=cached_object, size_bytes=size,
+                               insert_time=self.clock, parent_key=parent_key,
+                               last_access=self.clock)
+        self.items[key] = state
+        self.used_bytes += size
+        if parent_key is not None:
+            self.items[parent_key].cached_children.add(key)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # eviction
+    # ------------------------------------------------------------------ #
+    def evict(self, key: str) -> None:
+        """Remove an item (must be a leaf item) and update the bookkeeping."""
+        state = self.items[key]
+        if state.cached_children:
+            raise ValueError(f"cannot evict {key}: it still has cached children")
+        del self.items[key]
+        self.used_bytes -= state.size_bytes
+        self.evictions += 1
+        if state.parent_key is not None:
+            parent = self.items.get(state.parent_key)
+            if parent is not None:
+                parent.cached_children.discard(key)
+
+    def evict_subtree(self, key: str) -> List[str]:
+        """Remove an item together with all its cached descendants.
+
+        Returns the keys removed, in leaf-to-root order.
+        """
+        removed: List[str] = []
+        state = self.items.get(key)
+        if state is None:
+            return removed
+        for child_key in list(state.cached_children):
+            removed.extend(self.evict_subtree(child_key))
+        self.evict(key)
+        removed.append(key)
+        return removed
+
+    def _make_room(self, bytes_needed: int, context: Optional[dict],
+                   protect: Set[str]) -> bool:
+        """Free space so that ``bytes_needed`` more bytes fit."""
+        if bytes_needed > self.capacity_bytes:
+            return False
+        if self.used_bytes + bytes_needed <= self.capacity_bytes:
+            return True
+        if self.replacement_policy is None:
+            return False
+        freed = self.replacement_policy.make_room(self, bytes_needed, context or {}, protect)
+        return freed and self.used_bytes + bytes_needed <= self.capacity_bytes
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check structural invariants (used by the tests)."""
+        computed = sum(state.size_bytes for state in self.items.values())
+        assert computed == self.used_bytes, "used_bytes out of sync"
+        for key, state in self.items.items():
+            if state.parent_key is not None:
+                assert state.parent_key in self.items, f"{key} is unreachable"
+                assert key in self.items[state.parent_key].cached_children
+            for child_key in state.cached_children:
+                assert child_key in self.items
+                assert self.items[child_key].parent_key == key
+
+
+# Imported late to avoid a circular import in type checking contexts.
+from repro.core.replacement.base import ReplacementPolicy  # noqa: E402  (re-export for typing)

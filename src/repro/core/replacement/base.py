@@ -1,0 +1,54 @@
+"""Replacement-policy interface for the constrained proactive cache."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import CacheItemState, ProactiveCache
+
+
+@dataclass
+class EvictionContext:
+    """Ambient information some policies need when scoring victims.
+
+    ``client_position`` is required by FAR (evict the item farthest from the
+    user); the other policies ignore it.
+    """
+
+    client_position: Optional[Point] = None
+
+
+class ReplacementPolicy(abc.ABC):
+    """A policy decides which *leaf items* to evict to make room.
+
+    Subclasses implement :meth:`score`; a lower score means "evict sooner".
+    ``make_room`` repeatedly evicts the lowest-scoring leaf item until the
+    requested number of bytes fits (or nothing evictable remains).  Evicting
+    a leaf item can turn its parent into a leaf item, so the candidate set is
+    recomputed every round.
+    """
+
+    name = "base"
+
+    @abc.abstractmethod
+    def score(self, state: "CacheItemState", cache: "ProactiveCache",
+              context: dict) -> float:
+        """Eviction priority of a leaf item; lower scores are evicted first."""
+
+    def make_room(self, cache: "ProactiveCache", bytes_needed: int,
+                  context: dict, protect: Set[str]) -> bool:
+        """Evict until ``bytes_needed`` additional bytes fit in the cache."""
+        target = cache.capacity_bytes - bytes_needed
+        while cache.used_bytes > target:
+            candidates = [state for state in cache.leaf_items()
+                          if state.key not in protect]
+            if not candidates:
+                return False
+            victim = min(candidates, key=lambda s: (self.score(s, cache, context), s.key))
+            cache.evict(victim.key)
+        return True

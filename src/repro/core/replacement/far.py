@@ -1,0 +1,38 @@
+"""FAR replacement (Ren & Dunham): evict what is farthest from the user."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.replacement.base import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import CacheItemState, ProactiveCache
+
+
+class FARPolicy(ReplacementPolicy):
+    """Evict the leaf item whose MBR centre is farthest from the client.
+
+    FAR was designed for semantic caching of query regions; adapted to the
+    proactive cache it scores every evictable item (object or index snapshot)
+    by the distance between its MBR centre and the client's current position,
+    evicting the farthest first.
+    """
+
+    name = "FAR"
+
+    def score(self, state: "CacheItemState", cache: "ProactiveCache", context: dict) -> float:
+        position = context.get("client_position")
+        if position is None:
+            return float(state.last_access)
+        payload = state.payload
+        if hasattr(payload, "mbr"):
+            center = payload.mbr.center()
+        else:
+            entries = payload.entries()
+            if not entries:
+                return 0.0
+            from repro.geometry import Rect
+            center = Rect.bounding(e.mbr for e in entries).center()
+        # Farthest first => lower score for larger distance.
+        return -position.distance_to(center)

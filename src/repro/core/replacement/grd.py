@@ -1,0 +1,178 @@
+"""The GRD family of replacement algorithms (paper Section 5).
+
+The cache replacement problem under the "evict an item ⇒ evict its cached
+descendants" constraint is a constrained 0/1 knapsack.  The paper derives:
+
+* **GRD1** — plain greedy on ``benefit/size`` ignoring the constraint
+  (the classical 2-approximation for the unconstrained problem);
+* **GRD2** — greedy on *expected bitwise response-time saving*
+  ``EBRS(i)`` (Equation 3), which respects the constraint;
+* **GRD3** — the efficient equivalent of GRD2 (Definition 5.1): only leaf
+  items are candidates and they are ranked by ``prob(i)`` alone, so no
+  ``EBRS``/``SIZE`` bookkeeping is needed.  Theorem 5.5 shows GRD3 is a
+  2-approximation of the constrained optimum.
+
+GRD3 is the production policy; GRD1/GRD2 are retained for the equivalence
+and approximation tests and for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.core.replacement.base import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import CacheItemState, ProactiveCache
+
+
+class GRD3Policy(ReplacementPolicy):
+    """Definition 5.1: evict leaf items with the lowest access probability."""
+
+    name = "GRD3"
+
+    def score(self, state: "CacheItemState", cache: "ProactiveCache", context: dict) -> float:
+        return state.access_probability(cache.clock)
+
+    def make_room(self, cache: "ProactiveCache", bytes_needed: int,
+                  context: dict, protect: Set[str]) -> bool:
+        # Step (1): an item larger than the space that will remain can never
+        # stay; drop such items (with their descendants) outright.
+        limit = cache.capacity_bytes - bytes_needed
+        oversized = [state.key for state in list(cache.items.values())
+                     if state.size_bytes > limit
+                     and not _subtree_contains(cache, state, protect)]
+        for key in oversized:
+            if key in cache.items:
+                cache.evict_subtree(key)
+
+        removed: List["CacheItemState"] = []
+        while cache.used_bytes > limit:
+            candidates = [state for state in cache.leaf_items() if state.key not in protect]
+            if not candidates:
+                return False
+            victim = min(candidates,
+                         key=lambda s: (s.access_probability(cache.clock), s.key))
+            removed.append(victim)
+            cache.evict(victim.key)
+
+        # Step (6): if the most recently removed item alone is worth more than
+        # everything that remains, keep it instead.  This correction only
+        # matters when a single high-value item dominates the cache; it is
+        # what preserves the 2-approximation bound.  It is applied only when
+        # nothing is protected (the common batch-eviction case) and when the
+        # swap is strictly beneficial.
+        if removed and not protect:
+            last = removed[-1]
+            remaining_benefit = sum(
+                state.access_probability(cache.clock) * state.size_bytes
+                for state in cache.items.values())
+            last_benefit = last.access_probability(cache.clock) * last.size_bytes
+            can_reinsert = (last.parent_key is None or last.parent_key in cache.items)
+            if last_benefit > remaining_benefit and last.size_bytes <= limit and can_reinsert:
+                while True:
+                    evictable = [state for state in cache.leaf_items()
+                                 if state.key != last.parent_key]
+                    if not evictable:
+                        break
+                    for state in evictable:
+                        cache.evict(state.key)
+                if last.parent_key is None or last.parent_key in cache.items:
+                    last.cached_children = set()
+                    cache.items[last.key] = last
+                    cache.used_bytes += last.size_bytes
+                    if last.parent_key is not None:
+                        cache.items[last.parent_key].cached_children.add(last.key)
+        return True
+
+
+class GRD2Policy(ReplacementPolicy):
+    """EBRS-based greedy (kept for the GRD2 ≡ GRD3 equivalence experiments)."""
+
+    name = "GRD2"
+
+    def score(self, state: "CacheItemState", cache: "ProactiveCache", context: dict) -> float:
+        return self.ebrs(state, cache)
+
+    def ebrs(self, state: "CacheItemState", cache: "ProactiveCache") -> float:
+        """Expected bitwise response-time saving of the item (Equation 3)."""
+        benefit, size = self._benefit_and_size(state, cache)
+        return benefit / size if size else 0.0
+
+    def _benefit_and_size(self, state: "CacheItemState", cache: "ProactiveCache"):
+        prob = state.access_probability(cache.clock)
+        benefit = prob * state.size_bytes
+        size = state.size_bytes
+        for child_key in state.cached_children:
+            child = cache.items.get(child_key)
+            if child is None:
+                continue
+            child_benefit, child_size = self._benefit_and_size(child, cache)
+            benefit += child_benefit
+            size += child_size
+        return benefit, size
+
+    def make_room(self, cache: "ProactiveCache", bytes_needed: int,
+                  context: dict, protect: Set[str]) -> bool:
+        limit = cache.capacity_bytes - bytes_needed
+        if bytes_needed > cache.capacity_bytes:
+            return False
+        while cache.used_bytes > limit:
+            candidates = [state for state in cache.items.values()
+                          if state.key not in protect and not self._protects_descendant(state, cache, protect)]
+            if not candidates:
+                return False
+            # Ties between an item and its own ancestors (Lemma 5.4 allows
+            # equality) are broken in favour of the leaf, which keeps GRD2's
+            # victim sequence identical to GRD3's.
+            victim = min(candidates,
+                         key=lambda s: (self.ebrs(s, cache), not s.is_leaf_item, s.key))
+            cache.evict_subtree(victim.key)
+        return True
+
+    def _protects_descendant(self, state: "CacheItemState", cache: "ProactiveCache",
+                             protect: Set[str]) -> bool:
+        return _subtree_contains(cache, state, protect)
+
+
+def _subtree_contains(cache: "ProactiveCache", state: "CacheItemState",
+                      protect: Set[str]) -> bool:
+    """True when ``state`` or any cached descendant is protected from eviction."""
+    if state.key in protect:
+        return True
+    for child_key in state.cached_children:
+        child = cache.items.get(child_key)
+        if child is not None and _subtree_contains(cache, child, protect):
+            return True
+    return False
+
+
+class GRD1Policy(ReplacementPolicy):
+    """Unconstrained benefit/size greedy (baseline for the approximation study).
+
+    It ranks every item by ``prob * size / size = prob`` and evicts the worst,
+    but — unlike GRD2/GRD3 — it does not account for descendants, so when it
+    picks a non-leaf item the descendants are removed as a side effect of the
+    structural constraint (they would be unreachable otherwise).
+    """
+
+    name = "GRD1"
+
+    def score(self, state: "CacheItemState", cache: "ProactiveCache", context: dict) -> float:
+        return state.access_probability(cache.clock)
+
+    def make_room(self, cache: "ProactiveCache", bytes_needed: int,
+                  context: dict, protect: Set[str]) -> bool:
+        limit = cache.capacity_bytes - bytes_needed
+        if bytes_needed > cache.capacity_bytes:
+            return False
+        while cache.used_bytes > limit:
+            candidates = [state for state in cache.items.values()
+                          if not _subtree_contains(cache, state, protect)]
+            if not candidates:
+                return False
+            victim = min(candidates,
+                         key=lambda s: (s.access_probability(cache.clock), s.key))
+            if victim.key in cache.items:
+                cache.evict_subtree(victim.key)
+        return True

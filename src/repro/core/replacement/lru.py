@@ -1,0 +1,28 @@
+"""Recency-based replacement (LRU and MRU) for the constrained cache."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.replacement.base import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import CacheItemState, ProactiveCache
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used leaf item first."""
+
+    name = "LRU"
+
+    def score(self, state: "CacheItemState", cache: "ProactiveCache", context: dict) -> float:
+        return float(state.last_access)
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the most recently used leaf item first (the paper's worst performer)."""
+
+    name = "MRU"
+
+    def score(self, state: "CacheItemState", cache: "ProactiveCache", context: dict) -> float:
+        return float(-state.last_access)

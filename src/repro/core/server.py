@@ -1,0 +1,405 @@
+"""Server-side query processing for proactive caching.
+
+The server owns the full R-tree (and the offline-built binary partition tree
+of every node).  Given a remainder query it *resumes* execution from the
+shipped frontier; given a fresh query (no cached state at the client) it
+starts from the root.  While processing it records which partition-tree
+regions of each accessed node were touched, and from that record it builds
+the supporting index ``Ir`` in the form requested by the
+:class:`~repro.core.supporting_index.SupportingIndexPolicy` (full / compact /
+``d+``-level).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.items import CacheEntry, FrontierTarget, TargetKind
+from repro.core.remainder import FrontierItem, RemainderQuery
+from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
+from repro.geometry import Point, Rect
+from repro.rtree.entry import Entry, ObjectRecord
+from repro.rtree.partition_tree import PartitionTree, SuperEntry, build_partition_trees
+from repro.rtree.sizes import SizeModel
+from repro.rtree.tree import RTree
+from repro.workload.queries import JoinQuery, KNNQuery, Query, RangeQuery
+
+
+@dataclass
+class IndexNodeSnapshot:
+    """One accessed node, in the form the server decided to ship."""
+
+    node_id: int
+    level: int
+    parent_id: Optional[int]
+    elements: List[CacheEntry]
+
+    def size_bytes(self, size_model: SizeModel) -> int:
+        """Wire footprint of the snapshot."""
+        return size_model.pointer_bytes + sum(
+            element.size_bytes(size_model) for element in self.elements)
+
+
+@dataclass
+class ObjectDelivery:
+    """One result object shipped to the client, with its owning leaf node."""
+
+    record: ObjectRecord
+    parent_node_id: Optional[int]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.record.size_bytes
+
+
+@dataclass
+class ServerResponse:
+    """The server's answer to a (remainder) query: ``Rr`` and ``Ir``."""
+
+    deliveries: List[ObjectDelivery] = field(default_factory=list)
+    index_snapshots: List[IndexNodeSnapshot] = field(default_factory=list)
+    accessed_node_count: int = 0
+    examined_elements: int = 0
+    cpu_seconds: float = 0.0
+
+    def result_bytes(self) -> int:
+        """Bytes of the result objects (``|Rr|``)."""
+        return sum(delivery.size_bytes for delivery in self.deliveries)
+
+    def index_bytes(self, size_model: SizeModel) -> int:
+        """Bytes of the supporting index (``|Ir|``)."""
+        return sum(snapshot.size_bytes(size_model) for snapshot in self.index_snapshots)
+
+    def downlink_bytes(self, size_model: SizeModel) -> int:
+        """Total downlink bytes of the response."""
+        return self.result_bytes() + self.index_bytes(size_model)
+
+    def result_object_ids(self) -> Set[int]:
+        """Ids of the delivered result objects."""
+        return {delivery.record.object_id for delivery in self.deliveries}
+
+
+@dataclass
+class _AccessRecord:
+    """Which parts of one node the traversal touched."""
+
+    bases: Set[str] = field(default_factory=set)
+    expanded: Set[str] = field(default_factory=set)
+    full_access: bool = False
+
+
+class ServerQueryProcessor:
+    """Executes (remainder) queries over the full R-tree."""
+
+    def __init__(self, tree: RTree, size_model: Optional[SizeModel] = None,
+                 partition_trees: Optional[Dict[int, PartitionTree]] = None) -> None:
+        self.tree = tree
+        self.size_model = size_model or tree.size_model
+        if partition_trees is None:
+            partition_trees = build_partition_trees(tree.all_nodes())
+        self.partition_trees = partition_trees
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def root_id(self) -> int:
+        """Page id of the R-tree root."""
+        return self.tree.root_id
+
+    @property
+    def root_mbr(self) -> Rect:
+        """MBR of the root node (unit square for an empty tree)."""
+        root = self.tree.root
+        return root.mbr() if root.entries else Rect.unit()
+
+    def execute(self, query: Query, remainder: Optional[RemainderQuery] = None,
+                policy: Optional[SupportingIndexPolicy] = None) -> ServerResponse:
+        """Process ``query`` (resuming from ``remainder`` when given)."""
+        policy = policy or SupportingIndexPolicy.adaptive()
+        start = time.perf_counter()
+        recorder: Dict[int, _AccessRecord] = {}
+        frontier = remainder.frontier if remainder is not None else self._default_frontier(query)
+
+        if isinstance(query, RangeQuery):
+            results, examined = self._process_range(query, frontier, recorder, policy)
+        elif isinstance(query, KNNQuery):
+            k_needed = remainder.k_remaining if remainder and remainder.k_remaining else query.k
+            results, examined = self._process_knn(query, frontier, recorder, policy, k_needed)
+        elif isinstance(query, JoinQuery):
+            results, examined = self._process_join(query, frontier, recorder, policy)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported query type {type(query)!r}")
+
+        response = ServerResponse(
+            deliveries=[ObjectDelivery(self.tree.objects[oid], parent)
+                        for oid, parent in sorted(results.items())],
+            index_snapshots=self._build_snapshots(recorder, policy),
+            accessed_node_count=len(recorder),
+            examined_elements=examined,
+        )
+        response.cpu_seconds = time.perf_counter() - start
+        return response
+
+    # ------------------------------------------------------------------ #
+    # frontier handling
+    # ------------------------------------------------------------------ #
+    def _default_frontier(self, query: Query) -> List[FrontierItem]:
+        root_target = FrontierTarget.for_node(self.root_id, self.root_mbr)
+        if isinstance(query, JoinQuery):
+            return [(root_target, root_target)]
+        return [(root_target,)]
+
+    def _partition_tree(self, node_id: int) -> PartitionTree:
+        pt = self.partition_trees.get(node_id)
+        if pt is None:
+            pt = PartitionTree(self.tree.store.peek(node_id))
+            self.partition_trees[node_id] = pt
+        return pt
+
+    def _record(self, recorder: Dict[int, _AccessRecord], node_id: int) -> _AccessRecord:
+        return recorder.setdefault(node_id, _AccessRecord())
+
+    def _start_node(self, node_id: int, base: str, recorder: Dict[int, _AccessRecord],
+                    policy: SupportingIndexPolicy) -> List[Tuple[int, object]]:
+        """Begin processing (the ``base`` subtree of) a node.
+
+        Returns ``(owner_node_id, element)`` pairs where ``element`` is an
+        :class:`Entry` or :class:`SuperEntry`.
+        """
+        record = self._record(recorder, node_id)
+        record.bases.add(base)
+        node = self.tree.node(node_id)
+        if not policy.uses_partition_trees and base == "":
+            record.full_access = True
+            return [(node_id, entry) for entry in node.entries]
+        pt = self._partition_tree(node_id)
+        if pt.is_leaf_code(base):
+            return [(node_id, pt.entry_at(base))]
+        record.expanded.add(base)
+        return [(node_id, element) for element in pt.children(base)]
+
+    def _expand_super(self, node_id: int, code: str, recorder: Dict[int, _AccessRecord]) \
+            -> List[Tuple[int, object]]:
+        record = self._record(recorder, node_id)
+        record.expanded.add(code)
+        pt = self._partition_tree(node_id)
+        return [(node_id, element) for element in pt.children(code)]
+
+    # ------------------------------------------------------------------ #
+    # range
+    # ------------------------------------------------------------------ #
+    def _process_range(self, query: RangeQuery, frontier: List[FrontierItem],
+                       recorder: Dict[int, _AccessRecord],
+                       policy: SupportingIndexPolicy) -> Tuple[Dict[int, Optional[int]], int]:
+        window = query.window
+        results: Dict[int, Optional[int]] = {}
+        examined = 0
+        stack: List[Tuple[str, object]] = []
+        for item in frontier:
+            target = item[0]
+            if target.kind is TargetKind.OBJECT:
+                record = self.tree.objects.get(target.object_id)
+                if record is not None and record.mbr.intersects(window):
+                    results[target.object_id] = target.parent_node_id
+            elif target.kind is TargetKind.NODE:
+                if target.node_id in self.tree.store:
+                    stack.append(("start", (target.node_id, "")))
+            else:
+                stack.append(("start", (target.node_id, target.code)))
+
+        while stack:
+            tag, payload = stack.pop()
+            examined += 1
+            if tag == "start":
+                node_id, base = payload
+                for owner, element in self._start_node(node_id, base, recorder, policy):
+                    stack.append(("elem", (owner, element)))
+                continue
+            owner, element = payload
+            if isinstance(element, SuperEntry):
+                if element.mbr.intersects(window):
+                    for child_owner, child in self._expand_super(owner, element.code, recorder):
+                        stack.append(("elem", (child_owner, child)))
+                continue
+            if not element.mbr.intersects(window):
+                continue
+            if element.is_leaf_entry:
+                results[element.object_id] = owner
+            else:
+                stack.append(("start", (element.child_id, "")))
+        return results, examined
+
+    # ------------------------------------------------------------------ #
+    # kNN
+    # ------------------------------------------------------------------ #
+    def _process_knn(self, query: KNNQuery, frontier: List[FrontierItem],
+                     recorder: Dict[int, _AccessRecord], policy: SupportingIndexPolicy,
+                     k_needed: int) -> Tuple[Dict[int, Optional[int]], int]:
+        point = query.point
+        results: Dict[int, Optional[int]] = {}
+        examined = 0
+        counter = itertools.count()
+        heap: List[Tuple[float, int, str, object]] = []
+
+        def push(tag: str, payload: object, priority: float) -> None:
+            heapq.heappush(heap, (priority, next(counter), tag, payload))
+
+        for item in frontier:
+            target = item[0]
+            if target.kind is TargetKind.OBJECT:
+                push("object", (target.object_id, target.parent_node_id),
+                     target.mbr.min_dist_to_point(point))
+            elif target.kind is TargetKind.NODE:
+                if target.node_id in self.tree.store:
+                    push("start", (target.node_id, ""), target.mbr.min_dist_to_point(point))
+            else:
+                push("start", (target.node_id, target.code),
+                     target.mbr.min_dist_to_point(point))
+
+        while heap and len(results) < k_needed:
+            priority, _, tag, payload = heapq.heappop(heap)
+            examined += 1
+            if tag == "start":
+                node_id, base = payload
+                for owner, element in self._start_node(node_id, base, recorder, policy):
+                    push("elem", (owner, element), element.mbr.min_dist_to_point(point))
+                continue
+            if tag == "object":
+                object_id, parent = payload
+                if object_id not in results:
+                    results[object_id] = parent
+                continue
+            owner, element = payload
+            if isinstance(element, SuperEntry):
+                for child_owner, child in self._expand_super(owner, element.code, recorder):
+                    push("elem", (child_owner, child), child.mbr.min_dist_to_point(point))
+            elif element.is_leaf_entry:
+                if element.object_id not in results:
+                    results[element.object_id] = owner
+            else:
+                push("start", (element.child_id, ""), element.mbr.min_dist_to_point(point))
+        return results, examined
+
+    # ------------------------------------------------------------------ #
+    # distance self-join
+    # ------------------------------------------------------------------ #
+    def _process_join(self, query: JoinQuery, frontier: List[FrontierItem],
+                      recorder: Dict[int, _AccessRecord],
+                      policy: SupportingIndexPolicy) -> Tuple[Dict[int, Optional[int]], int]:
+        window = query.window
+        threshold = query.threshold
+        results: Dict[int, Optional[int]] = {}
+        examined = 0
+
+        def target_to_side(target: FrontierTarget) -> Tuple:
+            if target.kind is TargetKind.OBJECT:
+                return ("object", target.object_id, target.mbr, target.parent_node_id)
+            if target.kind is TargetKind.NODE:
+                return ("node", target.node_id, "", target.mbr)
+            return ("node", target.node_id, target.code, target.mbr)
+
+        def side_mbr(side: Tuple) -> Rect:
+            return side[3] if side[0] == "node" else side[2]
+
+        def side_key(side: Tuple) -> str:
+            if side[0] == "node":
+                return f"n{side[1]}:{side[2]}"
+            return f"o{side[1]}"
+
+        def qualifies(a: Tuple, b: Tuple) -> bool:
+            mbr_a, mbr_b = side_mbr(a), side_mbr(b)
+            if not mbr_a.intersects(window) or not mbr_b.intersects(window):
+                return False
+            return mbr_a.min_dist_to_rect(mbr_b) <= threshold
+
+        def expand(side: Tuple) -> List[Tuple]:
+            node_id, base = side[1], side[2]
+            sides: List[Tuple] = []
+            for owner, element in self._start_node(node_id, base, recorder, policy):
+                if isinstance(element, SuperEntry):
+                    sides.append(("node", owner, element.code, element.mbr))
+                elif element.is_leaf_entry:
+                    sides.append(("object", element.object_id, element.mbr, owner))
+                else:
+                    sides.append(("node", element.child_id, "", element.mbr))
+            return sides
+
+        stack: List[Tuple[Tuple, Tuple]] = []
+        for item in frontier:
+            if len(item) == 2:
+                stack.append((target_to_side(item[0]), target_to_side(item[1])))
+            else:
+                side = target_to_side(item[0])
+                stack.append((side, side))
+        seen: Set[Tuple[str, str]] = set()
+
+        while stack:
+            side_a, side_b = stack.pop()
+            examined += 1
+            if not qualifies(side_a, side_b):
+                continue
+            pair_key = tuple(sorted((side_key(side_a), side_key(side_b))))
+            if pair_key in seen:
+                continue
+            seen.add(pair_key)
+
+            a_is_object = side_a[0] == "object"
+            b_is_object = side_b[0] == "object"
+            if a_is_object and b_is_object:
+                if side_a[1] == side_b[1]:
+                    continue
+                for side in (side_a, side_b):
+                    if side[1] not in results:
+                        results[side[1]] = side[3]
+                continue
+            if not a_is_object:
+                children, other = expand(side_a), side_b
+            else:
+                children, other = expand(side_b), side_a
+            for child in children:
+                if qualifies(child, other):
+                    stack.append((child, other))
+        return results, examined
+
+    # ------------------------------------------------------------------ #
+    # supporting-index construction
+    # ------------------------------------------------------------------ #
+    def _build_snapshots(self, recorder: Dict[int, _AccessRecord],
+                         policy: SupportingIndexPolicy) -> List[IndexNodeSnapshot]:
+        snapshots: List[IndexNodeSnapshot] = []
+        for node_id, record in recorder.items():
+            node = self.tree.store.peek(node_id)
+            pt = self._partition_tree(node_id)
+            elements: Dict[str, CacheEntry] = {}
+            if record.full_access or policy.form is IndexForm.FULL:
+                bases = record.bases or {""}
+                for base in bases:
+                    for code, entry in self._full_elements(pt, base):
+                        elements[code] = self._to_cache_entry(code, entry)
+            else:
+                depth = policy.effective_depth(pt.height)
+                for base in record.bases or {""}:
+                    for code, element in pt.subtree_form(base, record.expanded, depth):
+                        elements.setdefault(code, self._to_cache_entry(code, element))
+            snapshots.append(IndexNodeSnapshot(node_id=node_id, level=node.level,
+                                               parent_id=node.parent_id,
+                                               elements=list(elements.values())))
+        # Parents first so that the client can attach children when inserting.
+        snapshots.sort(key=lambda snap: -snap.level)
+        return snapshots
+
+    def _full_elements(self, pt: PartitionTree, base: str) -> List[Tuple[str, Entry]]:
+        return [(pt.entry_code(entry), entry) for entry in pt.entries_under(base)]
+
+    @staticmethod
+    def _to_cache_entry(code: str, element) -> CacheEntry:
+        if isinstance(element, SuperEntry):
+            return CacheEntry(mbr=element.mbr, code=code)
+        if element.is_leaf_entry:
+            return CacheEntry(mbr=element.mbr, code=code, object_id=element.object_id)
+        return CacheEntry(mbr=element.mbr, code=code, child_id=element.child_id)

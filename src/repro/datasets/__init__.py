@@ -1,0 +1,29 @@
+"""Synthetic spatial datasets standing in for the paper's NE and RD datasets.
+
+The original experiments use two real datasets from the R-tree portal: NE
+(123,593 postal zones of New York / Philadelphia / Boston) and RD (594,103
+railroad and road segments of North America), both normalized to the unit
+square, with object payload sizes following a Zipf distribution averaging
+10 KB.  Those files are not redistributable here, so this package generates
+synthetic datasets with the same characteristics that matter to caching:
+strong spatial clustering (NE-like) or elongated, connected road-like
+geometry (RD-like), unit-square normalization and Zipf-skewed object sizes.
+"""
+
+from repro.datasets.zipf import ZipfSizeGenerator
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    generate_ne_like,
+    generate_rd_like,
+    generate_uniform,
+    make_dataset,
+)
+
+__all__ = [
+    "ZipfSizeGenerator",
+    "DatasetSpec",
+    "generate_ne_like",
+    "generate_rd_like",
+    "generate_uniform",
+    "make_dataset",
+]

@@ -1,0 +1,41 @@
+"""Small helpers for printing experiment results as text tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def normalise(values: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise a metric across models to [0, 1] (as Figure 6 does)."""
+    maximum = max(values.values()) if values else 0.0
+    if maximum <= 0:
+        return {key: 0.0 for key in values}
+    return {key: value / maximum for key, value in values.items()}
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,29 @@
+"""Client mobility models and the query arrival process.
+
+Two mobility models from the paper are provided: the random waypoint model
+(RAN) and the directed movement model (DIR), plus the Poisson (exponential
+think-time) query arrival process that drives when queries are issued.
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypointModel
+from repro.mobility.directed import DirectedMovementModel
+from repro.mobility.arrival import PoissonThinkTime
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypointModel",
+    "DirectedMovementModel",
+    "PoissonThinkTime",
+    "make_mobility_model",
+]
+
+
+def make_mobility_model(name: str, speed: float, seed: int = 0) -> MobilityModel:
+    """Create a mobility model by the paper's name ("RAN" or "DIR")."""
+    key = name.upper()
+    if key in ("RAN", "RANDOM", "RANDOM_WAYPOINT"):
+        return RandomWaypointModel(speed=speed, seed=seed)
+    if key in ("DIR", "DIRECTED"):
+        return DirectedMovementModel(speed=speed, seed=seed)
+    raise ValueError(f"unknown mobility model {name!r}; expected 'RAN' or 'DIR'")

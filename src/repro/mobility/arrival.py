@@ -1,0 +1,30 @@
+"""The Poisson query arrival process (exponential think time)."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+class PoissonThinkTime:
+    """Exponentially distributed think time between consecutive queries.
+
+    The paper models query issuing as a Poisson process: after a query
+    completes, the client waits an exponentially distributed "thinking time"
+    (mean 50 s by default) before issuing the next one.
+    """
+
+    def __init__(self, mean_seconds: float = 50.0, seed: int = 0) -> None:
+        if mean_seconds <= 0:
+            raise ValueError("mean_seconds must be positive")
+        self.mean_seconds = mean_seconds
+        self.rng = random.Random(seed)
+
+    def sample(self) -> float:
+        """One think-time draw in seconds."""
+        return self.rng.expovariate(1.0 / self.mean_seconds)
+
+    def stream(self) -> Iterator[float]:
+        """An endless stream of think times."""
+        while True:
+            yield self.sample()

@@ -1,0 +1,60 @@
+"""The random waypoint mobility model (RAN)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry import Point
+from repro.mobility.base import MobilityModel
+
+
+class RandomWaypointModel(MobilityModel):
+    """Random waypoint (Broch et al.): move to a random destination, pause, repeat.
+
+    The client picks a uniformly random destination in the unit square and a
+    speed drawn uniformly from ``[0.5, 1.5] * speed``; upon arrival it pauses
+    for a uniformly random period up to ``max_pause_seconds`` and then picks a
+    new destination.
+    """
+
+    def __init__(self, speed: float, seed: int = 0, start: Point = Point(0.5, 0.5),
+                 max_pause_seconds: float = 60.0) -> None:
+        super().__init__(speed=speed, start=start)
+        self.rng = random.Random(seed)
+        self.max_pause_seconds = max_pause_seconds
+        self._pause_remaining = 0.0
+        self._destination = self._pick_destination()
+        self._current_speed = self._pick_speed()
+
+    def _pick_destination(self) -> Point:
+        return Point(self.rng.random(), self.rng.random())
+
+    def _pick_speed(self) -> float:
+        return self.speed * self.rng.uniform(0.5, 1.5)
+
+    def advance(self, elapsed_seconds: float) -> Point:
+        remaining = max(0.0, elapsed_seconds)
+        while remaining > 0:
+            if self._pause_remaining > 0:
+                pause = min(self._pause_remaining, remaining)
+                self._pause_remaining -= pause
+                remaining -= pause
+                continue
+            distance_to_dest = self.position.distance_to(self._destination)
+            travel_time = (distance_to_dest / self._current_speed
+                           if self._current_speed > 0 else float("inf"))
+            if travel_time <= remaining:
+                self.position = self._destination
+                remaining -= travel_time
+                self._pause_remaining = self.rng.uniform(0.0, self.max_pause_seconds)
+                self._destination = self._pick_destination()
+                self._current_speed = self._pick_speed()
+            else:
+                fraction = (remaining * self._current_speed) / distance_to_dest
+                self.position = Point(
+                    self.position.x + (self._destination.x - self.position.x) * fraction,
+                    self.position.y + (self._destination.y - self.position.y) * fraction,
+                )
+                remaining = 0.0
+        return self.position

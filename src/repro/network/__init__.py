@@ -1,0 +1,6 @@
+"""Wireless-channel model and per-query traffic accounting."""
+
+from repro.network.channel import WirelessChannel
+from repro.network.messages import TrafficLog
+
+__all__ = ["WirelessChannel", "TrafficLog"]

@@ -1,0 +1,42 @@
+"""Per-query traffic logging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class TrafficLog:
+    """Chronological record of every message a simulated client exchanged.
+
+    Each entry is ``(query_index, direction, bytes)`` where direction is
+    ``"up"`` or ``"down"``.  Mostly useful for debugging and for the traffic
+    breakdown printed by some benchmarks.
+    """
+
+    entries: List[Tuple[int, str, float]] = field(default_factory=list)
+
+    def log_uplink(self, query_index: int, num_bytes: float) -> None:
+        """Record an uplink message."""
+        self.entries.append((query_index, "up", num_bytes))
+
+    def log_downlink(self, query_index: int, num_bytes: float) -> None:
+        """Record a downlink message."""
+        self.entries.append((query_index, "down", num_bytes))
+
+    def uplink_bytes(self) -> float:
+        """Total uplink bytes logged."""
+        return sum(size for _, direction, size in self.entries if direction == "up")
+
+    def downlink_bytes(self) -> float:
+        """Total downlink bytes logged."""
+        return sum(size for _, direction, size in self.entries if direction == "down")
+
+    def bytes_for_query(self, query_index: int) -> Tuple[float, float]:
+        """``(uplink, downlink)`` bytes for one query."""
+        up = sum(size for idx, direction, size in self.entries
+                 if idx == query_index and direction == "up")
+        down = sum(size for idx, direction, size in self.entries
+                   if idx == query_index and direction == "down")
+        return up, down

@@ -1,0 +1,61 @@
+"""Best-first k-nearest-neighbour search (Hjaltason & Samet)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Set, Tuple
+
+from repro.geometry import Point
+from repro.rtree.tree import RTree
+
+
+def knn_search(tree: RTree, query_point: Point, k: int,
+               visited_nodes: Optional[Set[int]] = None) -> List[Tuple[int, float]]:
+    """Return the ``k`` nearest objects to ``query_point`` as ``(object_id, distance)``.
+
+    The algorithm is the classic best-first search: a priority queue ``H``
+    keyed by MINDIST holds to-be-explored entries; when a leaf entry is
+    popped its object is reported.  ``visited_nodes`` (if given) collects the
+    node pages read during the search, which is the "supporting index" the
+    server ships to a proactive-caching client.
+    """
+    if k <= 0:
+        return []
+    results: List[Tuple[int, float]] = []
+    if not tree.root.entries:
+        return results
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Optional[int], Optional[int]]] = []
+    heapq.heappush(heap, (0.0, next(counter), tree.root_id, None))
+
+    while heap and len(results) < k:
+        distance, _, node_id, object_id = heapq.heappop(heap)
+        if object_id is not None:
+            results.append((object_id, distance))
+            continue
+        node = tree.node(node_id)
+        if visited_nodes is not None:
+            visited_nodes.add(node_id)
+        for entry in node.entries:
+            entry_distance = entry.mbr.min_dist_to_point(query_point)
+            if entry.is_leaf_entry:
+                heapq.heappush(heap, (entry_distance, next(counter), None, entry.object_id))
+            else:
+                heapq.heappush(heap, (entry_distance, next(counter), entry.child_id, None))
+    return results
+
+
+def nearest_neighbor(tree: RTree, query_point: Point) -> Optional[Tuple[int, float]]:
+    """The single nearest neighbour, or ``None`` for an empty tree."""
+    found = knn_search(tree, query_point, 1)
+    return found[0] if found else None
+
+
+def knn_distance(tree: RTree, query_point: Point, k: int) -> float:
+    """Distance to the k-th nearest neighbour (``inf`` if fewer than k objects)."""
+    found = knn_search(tree, query_point, k)
+    if len(found) < k:
+        return float("inf")
+    return found[-1][1]

@@ -1,0 +1,53 @@
+"""Window (range) query over the R-tree."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.geometry import Rect
+from repro.rtree.tree import RTree
+
+
+def range_search(tree: RTree, window: Rect,
+                 visited_nodes: Optional[Set[int]] = None) -> List[int]:
+    """Return the ids of all objects whose MBR intersects ``window``.
+
+    Parameters
+    ----------
+    tree:
+        The R-tree to search.
+    window:
+        The query rectangle.
+    visited_nodes:
+        Optional set collecting the ids of every node page touched by the
+        traversal; the server-side proactive cache uses this to know which
+        index pages "support" the answer.
+    """
+    results: List[int] = []
+    if not tree.root.entries:
+        return results
+    stack = [tree.root_id]
+    while stack:
+        node_id = stack.pop()
+        node = tree.node(node_id)
+        if visited_nodes is not None:
+            visited_nodes.add(node_id)
+        for entry in node.entries:
+            if not entry.mbr.intersects(window):
+                continue
+            if entry.is_leaf_entry:
+                results.append(entry.object_id)
+            else:
+                stack.append(entry.child_id)
+    return results
+
+
+def range_count(tree: RTree, window: Rect) -> int:
+    """Number of objects intersecting ``window`` (convenience wrapper)."""
+    return len(range_search(tree, window))
+
+
+def range_search_filtered(tree: RTree, window: Rect,
+                          predicate: Callable[[int], bool]) -> List[int]:
+    """Range search keeping only object ids accepted by ``predicate``."""
+    return [object_id for object_id in range_search(tree, window) if predicate(object_id)]

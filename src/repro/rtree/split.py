@@ -1,0 +1,142 @@
+"""Node-splitting heuristics.
+
+Two splitters are provided:
+
+* :func:`rstar_split` — the R*-tree split (Beckmann et al. 1990): choose the
+  split axis by minimum margin sum, then the split index by minimum overlap
+  (ties broken by minimum total area).  This is used both by the dynamic
+  insertion path of :class:`~repro.rtree.tree.RTree` and — crucially for the
+  paper — by :class:`~repro.rtree.partition_tree.PartitionTree`, which
+  recursively applies the same heuristic to build the binary partition tree
+  of every node ("The partitioning uses the R-tree node splitting algorithm
+  to assure minimal overlap", Section 4.2).
+* :func:`quadratic_split` — Guttman's quadratic split, kept as a baseline and
+  for tests comparing tree quality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.rtree.entry import Entry
+
+
+def _group_mbr(entries: Sequence[Entry]) -> Rect:
+    return Rect.bounding(entry.mbr for entry in entries)
+
+
+def _margin(entries: Sequence[Entry]) -> float:
+    return _group_mbr(entries).margin() if entries else 0.0
+
+
+def rstar_split(entries: Sequence[Entry], min_fill: int) -> Tuple[List[Entry], List[Entry]]:
+    """Split ``entries`` into two groups with the R* heuristic.
+
+    Parameters
+    ----------
+    entries:
+        The overflowing entry list (length >= 2).
+    min_fill:
+        Minimum number of entries per resulting group; clamped so that a
+        valid split always exists.
+
+    Returns
+    -------
+    (left, right):
+        Two non-empty entry lists whose union is ``entries``.
+    """
+    entries = list(entries)
+    total = len(entries)
+    if total < 2:
+        raise ValueError("cannot split fewer than two entries")
+    min_fill = max(1, min(min_fill, total - 1))
+
+    best_axis = None
+    best_axis_margin = float("inf")
+    axis_sortings = {}
+
+    for axis in ("x", "y"):
+        if axis == "x":
+            by_lower = sorted(entries, key=lambda e: (e.mbr.min_x, e.mbr.max_x))
+            by_upper = sorted(entries, key=lambda e: (e.mbr.max_x, e.mbr.min_x))
+        else:
+            by_lower = sorted(entries, key=lambda e: (e.mbr.min_y, e.mbr.max_y))
+            by_upper = sorted(entries, key=lambda e: (e.mbr.max_y, e.mbr.min_y))
+
+        margin_sum = 0.0
+        for ordering in (by_lower, by_upper):
+            for split_at in range(min_fill, total - min_fill + 1):
+                margin_sum += _margin(ordering[:split_at]) + _margin(ordering[split_at:])
+        axis_sortings[axis] = (by_lower, by_upper)
+        if margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = axis
+
+    by_lower, by_upper = axis_sortings[best_axis]
+    best_split: Tuple[List[Entry], List[Entry]] = ([], [])
+    best_overlap = float("inf")
+    best_area = float("inf")
+    for ordering in (by_lower, by_upper):
+        for split_at in range(min_fill, total - min_fill + 1):
+            left, right = ordering[:split_at], ordering[split_at:]
+            left_mbr, right_mbr = _group_mbr(left), _group_mbr(right)
+            overlap = left_mbr.intersection_area(right_mbr)
+            area = left_mbr.area() + right_mbr.area()
+            if overlap < best_overlap or (overlap == best_overlap and area < best_area):
+                best_overlap = overlap
+                best_area = area
+                best_split = (list(left), list(right))
+    return best_split
+
+
+def quadratic_split(entries: Sequence[Entry], min_fill: int) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's quadratic split (baseline splitter)."""
+    entries = list(entries)
+    total = len(entries)
+    if total < 2:
+        raise ValueError("cannot split fewer than two entries")
+    min_fill = max(1, min(min_fill, total - 1))
+
+    # Pick seeds: the pair wasting the most area.
+    worst_waste = -1.0
+    seed_a, seed_b = 0, 1
+    for i in range(total):
+        for j in range(i + 1, total):
+            waste = (entries[i].mbr.union(entries[j].mbr).area()
+                     - entries[i].mbr.area() - entries[j].mbr.area())
+            if waste > worst_waste:
+                worst_waste = waste
+                seed_a, seed_b = i, j
+
+    left = [entries[seed_a]]
+    right = [entries[seed_b]]
+    remaining = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
+
+    while remaining:
+        # If one group must absorb everything to reach min_fill, do so.
+        if len(left) + len(remaining) == min_fill:
+            left.extend(remaining)
+            break
+        if len(right) + len(remaining) == min_fill:
+            right.extend(remaining)
+            break
+
+        left_mbr, right_mbr = _group_mbr(left), _group_mbr(right)
+        best_index = 0
+        best_diff = -1.0
+        for index, entry in enumerate(remaining):
+            d_left = left_mbr.enlargement(entry.mbr)
+            d_right = right_mbr.enlargement(entry.mbr)
+            diff = abs(d_left - d_right)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = index
+        entry = remaining.pop(best_index)
+        d_left = left_mbr.enlargement(entry.mbr)
+        d_right = right_mbr.enlargement(entry.mbr)
+        if d_left < d_right or (d_left == d_right and len(left) <= len(right)):
+            left.append(entry)
+        else:
+            right.append(entry)
+    return left, right

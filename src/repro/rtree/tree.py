@@ -1,0 +1,362 @@
+"""The paged R*-tree.
+
+The tree owns two stores:
+
+* a :class:`PageStore` mapping node ids to :class:`~repro.rtree.node.Node`
+  pages, and
+* an object table mapping object ids to
+  :class:`~repro.rtree.entry.ObjectRecord` payload descriptors.
+
+Both stores use integer ids exactly as the paper uses "physical addresses":
+the mobile client caches *snapshots* of these pages keyed by id, and a
+remainder query's priority queue carries ids the server can resolve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.rtree.entry import Entry, ObjectRecord
+from repro.rtree.node import Node
+from repro.rtree.sizes import SizeModel
+from repro.rtree.split import rstar_split
+
+
+@dataclass
+class PageStore:
+    """An id-addressed store of R-tree nodes (the "disk")."""
+
+    pages: Dict[int, Node] = field(default_factory=dict)
+    _next_id: Iterator[int] = field(default_factory=lambda: itertools.count(1))
+    reads: int = 0
+    writes: int = 0
+
+    def allocate(self, level: int) -> Node:
+        """Create, register and return an empty node at ``level``."""
+        node = Node(node_id=next(self._next_id), level=level)
+        self.pages[node.node_id] = node
+        self.writes += 1
+        return node
+
+    def get(self, node_id: int) -> Node:
+        """Fetch a node by id; counts as a page read."""
+        self.reads += 1
+        return self.pages[node_id]
+
+    def peek(self, node_id: int) -> Node:
+        """Fetch a node without counting a read (used by maintenance code)."""
+        return self.pages[node_id]
+
+    def free(self, node_id: int) -> None:
+        """Remove a node from the store."""
+        del self.pages[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.pages
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+class RTree:
+    """A dynamic R*-tree over :class:`ObjectRecord` data.
+
+    Parameters
+    ----------
+    size_model:
+        Byte-size model; determines the node capacity (page size / entry
+        size) and is reused by the caching layers.
+    max_entries / min_entries:
+        Optional explicit fanout bounds; by default they are derived from
+        the size model (min = 40 % of max, the R* recommendation).
+    splitter:
+        Entry-split function; defaults to the R* split.
+    forced_reinsert:
+        Whether the first overflow at each level performs the R* forced
+        reinsertion of the 30 % most distant entries before splitting.
+    """
+
+    def __init__(self,
+                 size_model: Optional[SizeModel] = None,
+                 max_entries: Optional[int] = None,
+                 min_entries: Optional[int] = None,
+                 splitter: Callable[[Sequence[Entry], int], Tuple[List[Entry], List[Entry]]] = rstar_split,
+                 forced_reinsert: bool = True) -> None:
+        self.size_model = size_model or SizeModel()
+        self.max_entries = max_entries or self.size_model.node_capacity
+        if self.max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        self.min_entries = min_entries or max(2, int(round(self.max_entries * 0.4)))
+        self.min_entries = min(self.min_entries, self.max_entries // 2) or 1
+        self.splitter = splitter
+        self.forced_reinsert = forced_reinsert
+
+        self.store = PageStore()
+        self.objects: Dict[int, ObjectRecord] = {}
+        root = self.store.allocate(level=0)
+        self.root_id = root.node_id
+        self.height = 1
+        self._reinsert_levels: set = set()
+
+    # ------------------------------------------------------------------ #
+    # public read API
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def root(self) -> Node:
+        """The root node (without counting a page read)."""
+        return self.store.peek(self.root_id)
+
+    def node(self, node_id: int) -> Node:
+        """Fetch a node by page id."""
+        return self.store.get(node_id)
+
+    def object(self, object_id: int) -> ObjectRecord:
+        """Fetch an object record by id."""
+        return self.objects[object_id]
+
+    def root_entry(self) -> Entry:
+        """An entry referencing the root node (the traversal starting point)."""
+        return Entry(mbr=self.root.mbr() if self.root.entries else Rect.unit(),
+                     child_id=self.root_id)
+
+    def all_nodes(self) -> Iterable[Node]:
+        """Iterate over every node page."""
+        return self.store.pages.values()
+
+    def index_bytes(self) -> int:
+        """Total byte size of the index (all nodes, by the size model)."""
+        return sum(self.size_model.node_bytes(node.fanout) for node in self.all_nodes())
+
+    def dataset_bytes(self) -> int:
+        """Total byte size of all data objects."""
+        return sum(record.size_bytes for record in self.objects.values())
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, record: ObjectRecord) -> None:
+        """Insert a data object into the tree."""
+        if record.object_id in self.objects:
+            raise ValueError(f"duplicate object id {record.object_id}")
+        self.objects[record.object_id] = record
+        self._reinsert_levels = set()
+        entry = Entry(mbr=record.mbr, object_id=record.object_id)
+        self._insert_entry(entry, target_level=0)
+
+    def insert_all(self, records: Iterable[ObjectRecord]) -> None:
+        """Insert many objects one by one (dynamic build)."""
+        for record in records:
+            self.insert(record)
+
+    def _insert_entry(self, entry: Entry, target_level: int) -> None:
+        leaf = self._choose_subtree(entry.mbr, target_level)
+        leaf.add(entry)
+        if entry.child_id is not None:
+            self.store.peek(entry.child_id).parent_id = leaf.node_id
+        self._handle_overflow(leaf)
+        self._adjust_upwards(leaf)
+
+    def _choose_subtree(self, mbr: Rect, target_level: int) -> Node:
+        node = self.store.peek(self.root_id)
+        while node.level > target_level:
+            best_entry = self._pick_child(node, mbr)
+            node = self.store.peek(best_entry.child_id)
+        return node
+
+    def _pick_child(self, node: Node, mbr: Rect) -> Entry:
+        """R* ChooseSubtree: minimize overlap enlargement at the leaf level,
+        area enlargement otherwise."""
+        child_level = node.level - 1
+        if child_level == 0:
+            best = None
+            best_key = None
+            for entry in node.entries:
+                enlarged = entry.mbr.union(mbr)
+                overlap_delta = 0.0
+                for other in node.entries:
+                    if other is entry:
+                        continue
+                    overlap_delta += (enlarged.intersection_area(other.mbr)
+                                      - entry.mbr.intersection_area(other.mbr))
+                key = (overlap_delta, entry.mbr.enlargement(mbr), entry.mbr.area())
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = entry
+            return best
+        best = min(node.entries,
+                   key=lambda e: (e.mbr.enlargement(mbr), e.mbr.area()))
+        return best
+
+    def _handle_overflow(self, node: Node) -> None:
+        if node.fanout <= self.max_entries:
+            return
+        is_root = node.node_id == self.root_id
+        if (self.forced_reinsert and not is_root
+                and node.level not in self._reinsert_levels):
+            self._reinsert_levels.add(node.level)
+            self._forced_reinsert(node)
+        else:
+            self._split_node(node)
+
+    def _forced_reinsert(self, node: Node) -> None:
+        """Remove the 30 % entries farthest from the node centre and reinsert."""
+        center = node.mbr().center()
+        count = max(1, int(round(node.fanout * 0.3)))
+        ranked = sorted(node.entries,
+                        key=lambda e: e.mbr.center().distance_to(center),
+                        reverse=True)
+        to_reinsert = ranked[:count]
+        node.entries = [e for e in node.entries if e not in to_reinsert]
+        self._adjust_upwards(node)
+        level = node.level
+        for entry in reversed(to_reinsert):  # close-reinsert order
+            self._insert_entry(entry, target_level=level)
+
+    def _split_node(self, node: Node) -> None:
+        left_entries, right_entries = self.splitter(node.entries, self.min_entries)
+        sibling = self.store.allocate(level=node.level)
+        node.entries = list(left_entries)
+        sibling.entries = list(right_entries)
+        for entry in sibling.entries:
+            if entry.child_id is not None:
+                self.store.peek(entry.child_id).parent_id = sibling.node_id
+
+        if node.node_id == self.root_id:
+            new_root = self.store.allocate(level=node.level + 1)
+            new_root.add(Entry(mbr=node.mbr(), child_id=node.node_id))
+            new_root.add(Entry(mbr=sibling.mbr(), child_id=sibling.node_id))
+            node.parent_id = new_root.node_id
+            sibling.parent_id = new_root.node_id
+            self.root_id = new_root.node_id
+            self.height += 1
+            return
+
+        parent = self.store.peek(node.parent_id)
+        parent.replace_entry_for_child(node.node_id,
+                                       Entry(mbr=node.mbr(), child_id=node.node_id))
+        parent.add(Entry(mbr=sibling.mbr(), child_id=sibling.node_id))
+        sibling.parent_id = parent.node_id
+        self._handle_overflow(parent)
+
+    def _adjust_upwards(self, node: Node) -> None:
+        current = node
+        while current.parent_id is not None and current.node_id in self.store:
+            parent = self.store.peek(current.parent_id)
+            if not current.entries:
+                break
+            try:
+                parent.replace_entry_for_child(
+                    current.node_id, Entry(mbr=current.mbr(), child_id=current.node_id))
+            except KeyError:
+                break
+            current = parent
+
+    # ------------------------------------------------------------------ #
+    # deletion
+    # ------------------------------------------------------------------ #
+    def delete(self, object_id: int) -> bool:
+        """Remove an object; returns True if it was present."""
+        record = self.objects.pop(object_id, None)
+        if record is None:
+            return False
+        leaf = self._find_leaf(self.store.peek(self.root_id), record)
+        if leaf is None:
+            return True
+        leaf.entries = [e for e in leaf.entries if e.object_id != object_id]
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(self, node: Node, record: ObjectRecord) -> Optional[Node]:
+        if node.is_leaf:
+            if any(e.object_id == record.object_id for e in node.entries):
+                return node
+            return None
+        for entry in node.entries:
+            if entry.mbr.intersects(record.mbr):
+                found = self._find_leaf(self.store.peek(entry.child_id), record)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: Node) -> None:
+        orphaned: List[Tuple[int, Entry]] = []
+        current = node
+        while current.node_id != self.root_id:
+            parent = self.store.peek(current.parent_id)
+            if current.fanout < self.min_entries:
+                parent.remove_entry_for_child(current.node_id)
+                for entry in current.entries:
+                    orphaned.append((current.level, entry))
+                self.store.free(current.node_id)
+            else:
+                parent.replace_entry_for_child(
+                    current.node_id, Entry(mbr=current.mbr(), child_id=current.node_id))
+            current = parent
+        # Shrink the root if it has a single child.
+        root = self.store.peek(self.root_id)
+        while not root.is_leaf and root.fanout == 1:
+            only_child = self.store.peek(root.entries[0].child_id)
+            only_child.parent_id = None
+            self.store.free(root.node_id)
+            self.root_id = only_child.node_id
+            self.height -= 1
+            root = only_child
+        self._reinsert_levels = set()
+        for level, entry in orphaned:
+            self._insert_entry(entry, target_level=level)
+
+    # ------------------------------------------------------------------ #
+    # validation helpers (used heavily by the test-suite)
+    # ------------------------------------------------------------------ #
+    def validate(self, check_min_fill: bool = False) -> None:
+        """Raise ``AssertionError`` if any structural invariant is violated.
+
+        ``check_min_fill`` additionally enforces the minimum fanout on every
+        non-root node; it is meaningful for dynamically built trees but not
+        for STR bulk-loaded trees, whose last node per slice may legitimately
+        be under-filled.
+        """
+        root = self.store.peek(self.root_id)
+        assert root.parent_id is None, "root must not have a parent"
+        seen_objects: List[int] = []
+        leaf_levels: List[int] = []
+        self._validate_node(root, expected_parent=None, seen=seen_objects,
+                            leaf_levels=leaf_levels, is_root=True,
+                            check_min_fill=check_min_fill)
+        assert sorted(seen_objects) == sorted(self.objects.keys()), \
+            "leaf entries must cover exactly the object table"
+        assert len(set(leaf_levels)) <= 1, "all leaves must be at the same level"
+
+    def _validate_node(self, node: Node, expected_parent: Optional[int],
+                       seen: List[int], leaf_levels: List[int], is_root: bool,
+                       check_min_fill: bool = False) -> None:
+        assert node.parent_id == expected_parent, \
+            f"node {node.node_id}: bad parent pointer"
+        if not is_root:
+            minimum = self.min_entries if check_min_fill else 1
+            assert minimum <= node.fanout <= self.max_entries, \
+                f"node {node.node_id}: fanout {node.fanout} out of bounds"
+        else:
+            assert node.fanout <= self.max_entries
+        if node.is_leaf:
+            leaf_levels.append(node.level)
+            for entry in node.entries:
+                assert entry.is_leaf_entry
+                seen.append(entry.object_id)
+                record = self.objects[entry.object_id]
+                assert entry.mbr.contains(record.mbr)
+            return
+        for entry in node.entries:
+            assert not entry.is_leaf_entry
+            child = self.store.peek(entry.child_id)
+            assert child.level == node.level - 1
+            assert entry.mbr.contains(child.mbr()), \
+                f"node {node.node_id}: entry MBR does not cover child {child.node_id}"
+            self._validate_node(child, node.node_id, seen, leaf_levels, is_root=False,
+                                check_min_fill=check_min_fill)

@@ -1,0 +1,36 @@
+"""End-to-end simulation of a mobile client issuing spatial queries.
+
+The simulator reproduces the paper's experimental setup: a client moves
+through the unit square under a mobility model, issues a Poisson stream of
+mixed spatial queries about its neighbourhood, and answers them through one
+of the caching models (PAG / SEM / proactive in its FPRO / CPRO / APRO
+variants) over a 384 Kbps wireless channel.  Identical query traces are
+replayed against every model so comparisons are paired.
+"""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import CacheSnapshot, SimulationResult
+from repro.sim.sessions import (
+    ClientSession,
+    PageCachingSession,
+    ProactiveSession,
+    SemanticCachingSession,
+    make_session,
+)
+from repro.sim.runner import SimulationEnvironment, build_environment, generate_trace, run_model, run_models
+
+__all__ = [
+    "SimulationConfig",
+    "CacheSnapshot",
+    "SimulationResult",
+    "ClientSession",
+    "ProactiveSession",
+    "PageCachingSession",
+    "SemanticCachingSession",
+    "make_session",
+    "SimulationEnvironment",
+    "build_environment",
+    "generate_trace",
+    "run_model",
+    "run_models",
+]

@@ -1,0 +1,115 @@
+"""Simulation results: per-query costs, cache-state snapshots and summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cost_model import CostAccumulator, QueryCost
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """State of the client cache right after a query completed."""
+
+    query_index: int
+    used_bytes: int
+    index_bytes: int
+    object_bytes: int
+    item_count: int
+    depth: int
+
+    @property
+    def index_fraction(self) -> float:
+        """The paper's ``i/c``: share of the *used* cache occupied by index."""
+        if self.used_bytes <= 0:
+            return 0.0
+        return self.index_bytes / self.used_bytes
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured while replaying one trace against one caching model."""
+
+    model: str
+    config_summary: Dict[str, str] = field(default_factory=dict)
+    accumulator: CostAccumulator = field(default_factory=CostAccumulator)
+    snapshots: List[CacheSnapshot] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(self, cost: QueryCost, snapshot: CacheSnapshot) -> None:
+        """Record one query's cost and the post-query cache state."""
+        self.accumulator.add(cost)
+        self.snapshots.append(snapshot)
+
+    @property
+    def costs(self) -> List[QueryCost]:
+        """The per-query cost records."""
+        return self.accumulator.costs
+
+    # ------------------------------------------------------------------ #
+    # headline metrics (Figure 6)
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """The paper's headline metrics for this run."""
+        acc = self.accumulator
+        return {
+            "uplink_bytes": acc.mean_uplink_bytes(),
+            "downlink_bytes": acc.mean_downlink_bytes(),
+            "cache_hit_rate": acc.cache_hit_rate(),
+            "byte_hit_rate": acc.byte_hit_rate(),
+            "false_miss_rate": acc.false_miss_rate(),
+            "response_time": acc.mean_response_time(),
+            "client_cpu_ms": acc.mean_client_cpu_seconds() * 1000.0,
+            "server_cpu_ms": acc.mean_server_cpu_seconds() * 1000.0,
+            "server_contact_rate": acc.server_contact_rate(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # windowed time series (Figure 11)
+    # ------------------------------------------------------------------ #
+    def _windows(self, window: int) -> List[List[QueryCost]]:
+        costs = self.costs
+        return [costs[start:start + window] for start in range(0, len(costs), window)]
+
+    def windowed_false_miss_rate(self, window: int) -> List[float]:
+        """fmr per window of ``window`` consecutive queries."""
+        series = []
+        for chunk in self._windows(window):
+            cached = sum(c.cached_result_bytes for c in chunk)
+            false = sum(c.false_miss_bytes for c in chunk)
+            series.append(false / cached if cached else 0.0)
+        return series
+
+    def windowed_response_time(self, window: int) -> List[float]:
+        """Mean response time per window."""
+        series = []
+        for chunk in self._windows(window):
+            series.append(sum(c.response_time for c in chunk) / len(chunk) if chunk else 0.0)
+        return series
+
+    def windowed_index_fraction(self, window: int) -> List[float]:
+        """Mean index/cache share (``i/c``) per window."""
+        series = []
+        snapshots = self.snapshots
+        for start in range(0, len(snapshots), window):
+            chunk = snapshots[start:start + window]
+            if not chunk:
+                series.append(0.0)
+                continue
+            series.append(sum(s.index_fraction for s in chunk) / len(chunk))
+        return series
+
+    def windowed_depth(self, window: int) -> List[float]:
+        """Mean adaptive depth ``d`` per window."""
+        series = []
+        snapshots = self.snapshots
+        for start in range(0, len(snapshots), window):
+            chunk = snapshots[start:start + window]
+            if not chunk:
+                series.append(0.0)
+                continue
+            series.append(sum(s.depth for s in chunk) / len(chunk))
+        return series

@@ -1,0 +1,113 @@
+"""Building the simulated environment and replaying traces against models."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.datasets import make_dataset
+from repro.mobility import PoissonThinkTime, make_mobility_model
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.partition_tree import build_partition_trees
+from repro.rtree.sizes import SizeModel
+from repro.rtree.tree import RTree
+from repro.core.server import ServerQueryProcessor
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationResult
+from repro.sim.sessions import ClientSession, make_session
+from repro.workload.generator import QueryGenerator
+from repro.workload.schedule import KnnRampSchedule
+from repro.workload.trace import QueryTrace, TraceRecord
+
+
+@dataclass
+class SimulationEnvironment:
+    """Everything shared between the caching models of one experiment."""
+
+    config: SimulationConfig
+    tree: RTree
+    server: ServerQueryProcessor
+    trace: QueryTrace
+
+    @property
+    def size_model(self) -> SizeModel:
+        return self.tree.size_model
+
+
+def build_tree(config: SimulationConfig) -> RTree:
+    """Generate the dataset of ``config`` and bulk-load it into an R*-tree."""
+    records = make_dataset(config.dataset_name, config.object_count,
+                           seed=config.dataset_seed,
+                           mean_object_bytes=config.mean_object_bytes,
+                           zipf_theta=config.zipf_theta)
+    size_model = SizeModel(page_bytes=config.page_bytes)
+    return bulk_load_str(records, size_model=size_model)
+
+
+def generate_trace(config: SimulationConfig,
+                   knn_schedule: Optional[KnnRampSchedule] = None) -> QueryTrace:
+    """Generate the (mobility, think time, query) trace of one client."""
+    mobility = make_mobility_model(config.mobility_model, speed=config.speed,
+                                   seed=config.mobility_seed)
+    arrival = PoissonThinkTime(mean_seconds=config.think_time_mean,
+                               seed=config.mobility_seed + 1)
+    generator = QueryGenerator(window_area=config.window_area, k_max=config.k_max,
+                               join_distance=config.join_distance,
+                               join_window_area=config.effective_join_window_area(),
+                               mix=config.query_mix, seed=config.workload_seed)
+    trace = QueryTrace()
+    for index in range(config.query_count):
+        think = arrival.sample()
+        position = mobility.advance(think)
+        k_override = knn_schedule.k_at(index) if knn_schedule is not None else None
+        query = generator.next_query(position, k_override=k_override)
+        trace.append(TraceRecord(index=index, position=position,
+                                 think_time=think, query=query))
+    return trace
+
+
+def build_environment(config: SimulationConfig,
+                      knn_schedule: Optional[KnnRampSchedule] = None) -> SimulationEnvironment:
+    """Build the dataset, the R-tree, the server and a query trace."""
+    tree = build_tree(config)
+    partition_trees = build_partition_trees(tree.all_nodes())
+    server = ServerQueryProcessor(tree, size_model=tree.size_model,
+                                  partition_trees=partition_trees)
+    trace = generate_trace(config, knn_schedule=knn_schedule)
+    return SimulationEnvironment(config=config, tree=tree, server=server, trace=trace)
+
+
+def run_session(session: ClientSession, trace: QueryTrace,
+                config: SimulationConfig) -> SimulationResult:
+    """Replay ``trace`` against ``session`` and collect the metrics."""
+    result = SimulationResult(model=session.name, config_summary=config.as_table())
+    for record in trace:
+        cost = session.process(record)
+        snapshot = session.cache_snapshot(record.index)
+        result.record(cost, snapshot)
+    return result
+
+
+def run_model(environment: SimulationEnvironment, model: str,
+              replacement_policy: Optional[str] = None) -> SimulationResult:
+    """Run one caching model against the environment's trace."""
+    session = make_session(model, environment.tree, environment.config,
+                           server=environment.server,
+                           replacement_policy=replacement_policy)
+    return run_session(session, environment.trace, environment.config)
+
+
+def run_models(environment: SimulationEnvironment, models: Iterable[str],
+               replacement_policy: Optional[str] = None) -> Dict[str, SimulationResult]:
+    """Run several caching models against the same trace (paired comparison)."""
+    return {model: run_model(environment, model, replacement_policy=replacement_policy)
+            for model in models}
+
+
+def run_comparison(config: SimulationConfig, models: Iterable[str] = ("PAG", "SEM", "APRO"),
+                   knn_schedule: Optional[KnnRampSchedule] = None,
+                   replacement_policy: Optional[str] = None) -> Dict[str, SimulationResult]:
+    """Convenience wrapper: build an environment and run several models on it."""
+    environment = build_environment(config, knn_schedule=knn_schedule)
+    return run_models(environment, models, replacement_policy=replacement_policy)

@@ -1,0 +1,383 @@
+"""Client sessions: one per caching model, all driven by the same trace.
+
+A session owns the client-side cache of its caching model, talks to the
+(simulated) server and produces one :class:`~repro.core.cost_model.QueryCost`
+per query.  All sessions share the same definition of the ground-truth result
+set ``R`` so that hit rates and response times are directly comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.page import PageCache
+from repro.baselines.semantic import SemanticCache
+from repro.core.adaptive import AdaptiveDepthController
+from repro.core.cache import ProactiveCache
+from repro.core.client import ClientQueryProcessor
+from repro.core.cost_model import QueryCost, ResponseTimeModel
+from repro.core.items import CachedObject
+from repro.core.replacement import make_policy
+from repro.core.server import ServerQueryProcessor
+from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
+from repro.geometry import Point, Rect
+from repro.rtree.entry import ObjectRecord
+from repro.rtree.knn import knn_search
+from repro.rtree.range_search import range_search
+from repro.rtree.sizes import SizeModel
+from repro.rtree.tree import RTree
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import CacheSnapshot
+from repro.workload.queries import JoinQuery, KNNQuery, Query, RangeQuery
+from repro.workload.trace import TraceRecord
+
+
+# --------------------------------------------------------------------------- #
+# ground truth helpers
+# --------------------------------------------------------------------------- #
+def true_range_results(tree: RTree, query: RangeQuery) -> List[int]:
+    """Ids of the true result objects of a range query."""
+    return range_search(tree, query.window)
+
+
+def true_knn_results(tree: RTree, query: KNNQuery) -> List[int]:
+    """Ids of the true result objects of a kNN query."""
+    return [object_id for object_id, _ in knn_search(tree, query.point, query.k)]
+
+
+def true_join_results(tree: RTree, query: JoinQuery) -> List[int]:
+    """Ids of the distinct objects participating in a qualifying join pair."""
+    candidate_ids = range_search(tree, query.window)
+    candidates = [tree.objects[object_id] for object_id in candidate_ids]
+    participating: Set[int] = set()
+    for i, left in enumerate(candidates):
+        for right in candidates[i + 1:]:
+            if left.mbr.min_dist_to_rect(right.mbr) <= query.threshold:
+                participating.add(left.object_id)
+                participating.add(right.object_id)
+    return sorted(participating)
+
+
+def true_results(tree: RTree, query: Query) -> List[int]:
+    """Ground-truth result object ids for any supported query."""
+    if isinstance(query, RangeQuery):
+        return true_range_results(tree, query)
+    if isinstance(query, KNNQuery):
+        return true_knn_results(tree, query)
+    if isinstance(query, JoinQuery):
+        return true_join_results(tree, query)
+    raise TypeError(f"unsupported query type {type(query)!r}")
+
+
+# --------------------------------------------------------------------------- #
+# session interface
+# --------------------------------------------------------------------------- #
+class ClientSession(abc.ABC):
+    """One mobile client running one caching model."""
+
+    def __init__(self, name: str, tree: RTree, config: SimulationConfig,
+                 size_model: Optional[SizeModel] = None) -> None:
+        self.name = name
+        self.tree = tree
+        self.config = config
+        self.size_model = size_model or tree.size_model
+        self.timing = ResponseTimeModel(bandwidth_bps=config.bandwidth_bps,
+                                        fixed_rtt_seconds=config.fixed_rtt_seconds)
+
+    @abc.abstractmethod
+    def process(self, record: TraceRecord) -> QueryCost:
+        """Answer one traced query and account for its cost."""
+
+    @abc.abstractmethod
+    def cache_snapshot(self, query_index: int) -> CacheSnapshot:
+        """The cache state after the most recent query."""
+
+    # Convenience shared by the subclasses. ------------------------------- #
+    def _object_bytes(self, object_ids: Set[int]) -> int:
+        return sum(self.tree.objects[object_id].size_bytes for object_id in object_ids
+                   if object_id in self.tree.objects)
+
+
+# --------------------------------------------------------------------------- #
+# proactive caching (FPRO / CPRO / APRO)
+# --------------------------------------------------------------------------- #
+class ProactiveSession(ClientSession):
+    """Proactive caching with a configurable supporting-index form."""
+
+    def __init__(self, tree: RTree, config: SimulationConfig,
+                 server: Optional[ServerQueryProcessor] = None,
+                 index_form: Optional[str] = None,
+                 replacement_policy: Optional[str] = None,
+                 name: Optional[str] = None) -> None:
+        form = (index_form or config.index_form).lower()
+        default_names = {"full": "FPRO", "compact": "CPRO", "adaptive": "APRO"}
+        super().__init__(name or default_names.get(form, "APRO"), tree, config)
+        self.server = server or ServerQueryProcessor(tree, size_model=self.size_model)
+        if form == "full":
+            self.policy = SupportingIndexPolicy.full()
+        elif form == "compact":
+            self.policy = SupportingIndexPolicy.compact()
+        elif form == "adaptive":
+            self.policy = SupportingIndexPolicy.adaptive(initial_depth=config.initial_depth)
+        else:
+            raise ValueError(f"unknown index form {form!r}")
+        self.controller = AdaptiveDepthController(policy=self.policy,
+                                                  sensitivity=config.sensitivity,
+                                                  report_period=config.adapt_report_period)
+        policy_name = replacement_policy or config.replacement_policy
+        self.cache = ProactiveCache(capacity_bytes=config.cache_bytes(),
+                                    size_model=self.size_model,
+                                    replacement_policy=make_policy(policy_name))
+        self.client = ClientQueryProcessor(self.cache, root_id=self.server.root_id,
+                                           root_mbr=self.server.root_mbr)
+
+    def process(self, record: TraceRecord) -> QueryCost:
+        query = record.query
+        self.cache.tick()
+        cached_before = self.cache.cached_object_ids()
+
+        execution = self.client.execute(query)
+        saved_ids = set(execution.saved_objects)
+        saved_bytes = sum(obj.size_bytes for obj in execution.saved_objects.values())
+
+        cost = QueryCost(query_index=record.index, query_type=query.query_type.value,
+                         saved_bytes=saved_bytes, client_cpu_seconds=execution.cpu_seconds)
+
+        delivered_ids: Set[int] = set()
+        if execution.complete:
+            result_ids = saved_ids
+        else:
+            remainder = execution.remainder()
+            uplink = remainder.size_bytes(self.size_model)
+            response = self.server.execute(query, remainder, self.policy)
+            delivered_ids = response.result_object_ids()
+            downloaded_bytes = response.result_bytes()
+            index_bytes = response.index_bytes(self.size_model)
+
+            cost.contacted_server = True
+            cost.uplink_bytes = uplink
+            cost.downloaded_result_bytes = downloaded_bytes
+            cost.index_downlink_bytes = index_bytes
+            cost.downlink_bytes = downloaded_bytes + index_bytes
+            cost.server_cpu_seconds = response.cpu_seconds
+
+            insert_start = time.perf_counter()
+            context = {"client_position": record.position}
+            for snapshot in response.index_snapshots:
+                from repro.core.items import CachedIndexNode
+                node = CachedIndexNode(node_id=snapshot.node_id, level=snapshot.level,
+                                       elements={e.code: e for e in snapshot.elements})
+                self.cache.insert_node_snapshot(node, snapshot.parent_id, context)
+            for delivery in response.deliveries:
+                cached_object = CachedObject(object_id=delivery.record.object_id,
+                                             mbr=delivery.record.mbr,
+                                             size_bytes=delivery.record.size_bytes)
+                self.cache.insert_object(cached_object, delivery.parent_node_id, context)
+            cost.client_cpu_seconds += time.perf_counter() - insert_start
+            result_ids = saved_ids | delivered_ids
+
+        result_bytes = self._object_bytes(result_ids)
+        cached_result_bytes = self._object_bytes(result_ids & cached_before)
+        cost.result_bytes = result_bytes
+        cost.cached_result_bytes = cached_result_bytes
+        cost.response_time = self.timing.response_time(
+            uplink_bytes=cost.uplink_bytes,
+            downloaded_result_bytes=cost.downloaded_result_bytes,
+            confirmed_cached_bytes=0.0,
+            total_result_bytes=result_bytes)
+        self.controller.record_query(cached_result_bytes, saved_bytes)
+        return cost
+
+    def cache_snapshot(self, query_index: int) -> CacheSnapshot:
+        return CacheSnapshot(query_index=query_index,
+                             used_bytes=self.cache.used_bytes,
+                             index_bytes=self.cache.index_bytes(),
+                             object_bytes=self.cache.object_bytes(),
+                             item_count=len(self.cache),
+                             depth=self.policy.depth if self.policy.form is IndexForm.ADAPTIVE
+                             else self.policy.effective_depth(10**6))
+
+
+# --------------------------------------------------------------------------- #
+# page caching (PAG)
+# --------------------------------------------------------------------------- #
+class PageCachingSession(ClientSession):
+    """Page/object caching with LRU replacement and an id-list uplink protocol."""
+
+    def __init__(self, tree: RTree, config: SimulationConfig,
+                 name: str = "PAG") -> None:
+        super().__init__(name, tree, config)
+        self.cache = PageCache(capacity_bytes=config.cache_bytes())
+
+    def process(self, record: TraceRecord) -> QueryCost:
+        query = record.query
+        start = time.perf_counter()
+        cached_before = self.cache.object_ids()
+
+        server_start = time.perf_counter()
+        result_ids = set(true_results(self.tree, query))
+        server_cpu = time.perf_counter() - server_start
+
+        # Uplink: the query plus the identifiers of every cached object.
+        uplink = query.descriptor_bytes(self.size_model)
+        uplink += self.size_model.id_list_bytes(len(cached_before))
+
+        cached_hits = result_ids & cached_before
+        missing = result_ids - cached_before
+        downloaded_bytes = self._object_bytes(missing)
+        confirmed_bytes = self._object_bytes(cached_hits)
+
+        for object_id in missing:
+            self.cache.insert(self.tree.objects[object_id])
+        for object_id in cached_hits:
+            self.cache.touch(object_id)
+
+        result_bytes = self._object_bytes(result_ids)
+        cost = QueryCost(query_index=record.index, query_type=query.query_type.value,
+                         uplink_bytes=uplink, downlink_bytes=downloaded_bytes,
+                         downloaded_result_bytes=downloaded_bytes,
+                         confirmed_cached_bytes=confirmed_bytes,
+                         result_bytes=result_bytes,
+                         cached_result_bytes=confirmed_bytes,
+                         saved_bytes=0.0, contacted_server=True,
+                         server_cpu_seconds=server_cpu)
+        cost.response_time = self.timing.response_time(
+            uplink_bytes=uplink, downloaded_result_bytes=downloaded_bytes,
+            confirmed_cached_bytes=confirmed_bytes, total_result_bytes=result_bytes)
+        cost.client_cpu_seconds = time.perf_counter() - start - server_cpu
+        return cost
+
+    def cache_snapshot(self, query_index: int) -> CacheSnapshot:
+        return CacheSnapshot(query_index=query_index, used_bytes=self.cache.used_bytes,
+                             index_bytes=0, object_bytes=self.cache.used_bytes,
+                             item_count=len(self.cache), depth=0)
+
+
+# --------------------------------------------------------------------------- #
+# semantic caching (SEM)
+# --------------------------------------------------------------------------- #
+class SemanticCachingSession(ClientSession):
+    """Semantic caching for range and kNN queries; joins bypass the cache."""
+
+    def __init__(self, tree: RTree, config: SimulationConfig,
+                 replacement: str = "FAR", name: str = "SEM") -> None:
+        super().__init__(name, tree, config)
+        self.cache = SemanticCache(capacity_bytes=config.cache_bytes(),
+                                   size_model=self.size_model, replacement=replacement)
+
+    def process(self, record: TraceRecord) -> QueryCost:
+        query = record.query
+        self.cache.tick()
+        start = time.perf_counter()
+        cached_before = self.cache.cached_object_ids()
+
+        if isinstance(query, RangeQuery):
+            cost, server_cpu = self._process_range(record, query)
+        elif isinstance(query, KNNQuery):
+            cost, server_cpu = self._process_knn(record, query)
+        else:
+            cost, server_cpu = self._process_join(record, query)
+
+        result_ids = set(true_results(self.tree, query))
+        cost.result_bytes = self._object_bytes(result_ids)
+        cost.cached_result_bytes = self._object_bytes(result_ids & cached_before)
+        cost.response_time = self.timing.response_time(
+            uplink_bytes=cost.uplink_bytes,
+            downloaded_result_bytes=cost.downloaded_result_bytes,
+            confirmed_cached_bytes=cost.confirmed_cached_bytes,
+            total_result_bytes=cost.result_bytes)
+        cost.client_cpu_seconds = time.perf_counter() - start - server_cpu
+        cost.server_cpu_seconds = server_cpu
+        return cost
+
+    # -- range ----------------------------------------------------------- #
+    def _process_range(self, record: TraceRecord, query: RangeQuery) -> Tuple[QueryCost, float]:
+        cost = QueryCost(query_index=record.index, query_type=query.query_type.value)
+        saved, remainders = self.cache.probe_range(query.window)
+        cost.saved_bytes = sum(obj.size_bytes for obj in saved.values())
+        server_cpu = 0.0
+        fetched_records: List[ObjectRecord] = []
+        if remainders:
+            cost.contacted_server = True
+            cost.uplink_bytes = (query.descriptor_bytes(self.size_model)
+                                 + len(remainders) * self.size_model.rect_bytes())
+            server_start = time.perf_counter()
+            fetched_ids: Set[int] = set()
+            for remainder in remainders:
+                fetched_ids.update(range_search(self.tree, remainder))
+            server_cpu = time.perf_counter() - server_start
+            fetched_records = [self.tree.objects[object_id] for object_id in sorted(fetched_ids)]
+            downloaded = sum(r.size_bytes for r in fetched_records)
+            cost.downloaded_result_bytes = downloaded
+            cost.downlink_bytes = downloaded
+        all_records = ([self.tree.objects[oid] for oid in saved] + fetched_records)
+        # Deduplicate while preserving the full window as the cached region.
+        unique: Dict[int, ObjectRecord] = {r.object_id: r for r in all_records}
+        self.cache.insert_range_region(query.window, unique.values(),
+                                       client_position=record.position)
+        return cost, server_cpu
+
+    # -- kNN -------------------------------------------------------------- #
+    def _process_knn(self, record: TraceRecord, query: KNNQuery) -> Tuple[QueryCost, float]:
+        cost = QueryCost(query_index=record.index, query_type=query.query_type.value)
+        local = self.cache.probe_knn(query.point, query.k)
+        if local is not None:
+            cost.saved_bytes = sum(obj.size_bytes for obj in local)
+            return cost, 0.0
+        cost.contacted_server = True
+        cost.uplink_bytes = query.descriptor_bytes(self.size_model)
+        server_start = time.perf_counter()
+        result_ids = true_knn_results(self.tree, query)
+        server_cpu = time.perf_counter() - server_start
+        records = [self.tree.objects[object_id] for object_id in result_ids]
+        downloaded = sum(r.size_bytes for r in records)
+        cost.downloaded_result_bytes = downloaded
+        cost.downlink_bytes = downloaded
+        self.cache.insert_knn_region(query.point, query.k, records,
+                                     client_position=record.position)
+        return cost, server_cpu
+
+    # -- join -------------------------------------------------------------- #
+    def _process_join(self, record: TraceRecord, query: JoinQuery) -> Tuple[QueryCost, float]:
+        cost = QueryCost(query_index=record.index, query_type=query.query_type.value)
+        cost.contacted_server = True
+        cost.uplink_bytes = query.descriptor_bytes(self.size_model)
+        server_start = time.perf_counter()
+        result_ids = true_join_results(self.tree, query)
+        server_cpu = time.perf_counter() - server_start
+        downloaded = self._object_bytes(set(result_ids))
+        cost.downloaded_result_bytes = downloaded
+        cost.downlink_bytes = downloaded
+        # Semantic caching has no region type for joins; results are not cached.
+        return cost, server_cpu
+
+    def cache_snapshot(self, query_index: int) -> CacheSnapshot:
+        return CacheSnapshot(query_index=query_index, used_bytes=self.cache.used_bytes,
+                             index_bytes=self.cache.descriptor_bytes(),
+                             object_bytes=self.cache.object_bytes(),
+                             item_count=len(self.cache), depth=0)
+
+
+# --------------------------------------------------------------------------- #
+# factory
+# --------------------------------------------------------------------------- #
+def make_session(model: str, tree: RTree, config: SimulationConfig,
+                 server: Optional[ServerQueryProcessor] = None,
+                 replacement_policy: Optional[str] = None) -> ClientSession:
+    """Create a session by the paper's model name.
+
+    Supported names: ``PAG``, ``SEM``, ``APRO``, ``FPRO``, ``CPRO``.
+    """
+    key = model.upper()
+    if key == "PAG":
+        return PageCachingSession(tree, config)
+    if key == "SEM":
+        return SemanticCachingSession(tree, config)
+    if key in ("APRO", "FPRO", "CPRO"):
+        form = {"APRO": "adaptive", "FPRO": "full", "CPRO": "compact"}[key]
+        return ProactiveSession(tree, config, server=server, index_form=form,
+                                replacement_policy=replacement_policy, name=key)
+    raise ValueError(f"unknown caching model {model!r}; "
+                     "expected one of PAG, SEM, APRO, FPRO, CPRO")

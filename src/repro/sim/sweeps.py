@@ -1,0 +1,50 @@
+"""Parameter sweeps used by the figure-regenerating experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import build_environment, run_model, run_models
+
+
+def cache_size_sweep(config: SimulationConfig, fractions: Sequence[float],
+                     models: Iterable[str]) -> Dict[float, Dict[str, SimulationResult]]:
+    """Run every model at several cache sizes (Figures 8 and 9).
+
+    The dataset and trace are rebuilt once per cache size with the same seeds
+    so every model within a cache size sees an identical workload.
+    """
+    results: Dict[float, Dict[str, SimulationResult]] = {}
+    for fraction in fractions:
+        sized = config.with_overrides(cache_fraction=fraction)
+        environment = build_environment(sized)
+        results[fraction] = run_models(environment, models)
+    return results
+
+
+def mobility_sweep(config: SimulationConfig, mobility_models: Sequence[str],
+                   models: Iterable[str]) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every caching model under several mobility models (Figure 7)."""
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for mobility in mobility_models:
+        moved = config.with_overrides(mobility_model=mobility)
+        environment = build_environment(moved)
+        results[mobility] = run_models(environment, models)
+    return results
+
+
+def replacement_sweep(config: SimulationConfig, policies: Sequence[str],
+                      mobility_models: Sequence[str] = ("RAN", "DIR"),
+                      model: str = "APRO") -> Dict[str, Dict[str, SimulationResult]]:
+    """Run the proactive model under several replacement policies (Figure 10)."""
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for mobility in mobility_models:
+        moved = config.with_overrides(mobility_model=mobility)
+        environment = build_environment(moved)
+        per_policy: Dict[str, SimulationResult] = {}
+        for policy in policies:
+            per_policy[policy] = run_model(environment, model, replacement_policy=policy)
+        results[mobility] = per_policy
+    return results

@@ -1,0 +1,30 @@
+"""Query types and workload generation.
+
+The workload mirrors the paper's simulation: a mobile client issues a random
+mix of range, kNN and distance self-join queries anchored at its current
+position, with exponentially distributed think time between queries.
+"""
+
+from repro.workload.queries import (
+    Query,
+    QueryType,
+    RangeQuery,
+    KNNQuery,
+    JoinQuery,
+)
+from repro.workload.generator import QueryGenerator, QueryMix
+from repro.workload.schedule import KnnRampSchedule
+from repro.workload.trace import QueryTrace, TraceRecord
+
+__all__ = [
+    "Query",
+    "QueryType",
+    "RangeQuery",
+    "KNNQuery",
+    "JoinQuery",
+    "QueryGenerator",
+    "QueryMix",
+    "KnnRampSchedule",
+    "QueryTrace",
+    "TraceRecord",
+]

@@ -1,0 +1,38 @@
+"""Query-parameter schedules (the k-ramp of the Figure 11 experiment)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KnnRampSchedule:
+    """The adaptive-caching experiment's k schedule.
+
+    "The average k decreases gradually from 10 to 1 for the first 5,000
+    queries, and then increases gradually up to 10 for the second 5,000
+    queries."  The schedule is expressed relative to ``total_queries`` so the
+    scaled-down runs keep the same shape.
+    """
+
+    total_queries: int
+    k_high: int = 10
+    k_low: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_queries <= 1:
+            raise ValueError("total_queries must be at least 2")
+        if self.k_low > self.k_high:
+            raise ValueError("k_low must not exceed k_high")
+
+    def k_at(self, query_index: int) -> int:
+        """The k value for the ``query_index``-th query (0-based)."""
+        half = self.total_queries / 2.0
+        index = min(max(query_index, 0), self.total_queries - 1)
+        if index < half:
+            fraction = index / half
+            value = self.k_high - fraction * (self.k_high - self.k_low)
+        else:
+            fraction = (index - half) / half
+            value = self.k_low + fraction * (self.k_high - self.k_low)
+        return max(self.k_low, min(self.k_high, int(round(value))))

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import generate_ne_like, generate_uniform
+from repro.geometry import Point, Rect
+from repro.rtree import RTree, SizeModel, bulk_load_str
+from repro.rtree.entry import ObjectRecord
+
+
+def make_records(count: int, seed: int = 0, spread: float = 1.0,
+                 size_bytes: int = 1000) -> list:
+    """Uniform random point-like records with deterministic ids and sizes."""
+    rng = random.Random(seed)
+    records = []
+    for object_id in range(count):
+        x, y = rng.random() * spread, rng.random() * spread
+        mbr = Rect(x, y, min(1.0, x + 0.002), min(1.0, y + 0.002))
+        records.append(ObjectRecord(object_id=object_id, mbr=mbr, size_bytes=size_bytes))
+    return records
+
+
+@pytest.fixture(scope="session")
+def small_records():
+    """120 deterministic records for index-level tests."""
+    return make_records(120, seed=5)
+
+
+@pytest.fixture(scope="session")
+def clustered_records():
+    """A small NE-like clustered dataset."""
+    return generate_ne_like(400, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_records):
+    """A bulk-loaded tree with small fanout (several levels)."""
+    return bulk_load_str(small_records, size_model=SizeModel(page_bytes=256))
+
+
+@pytest.fixture(scope="session")
+def clustered_tree(clustered_records):
+    """A bulk-loaded tree over the clustered dataset."""
+    return bulk_load_str(clustered_records, size_model=SizeModel(page_bytes=512))
+
+
+@pytest.fixture()
+def dynamic_tree(small_records):
+    """A dynamically built (insert-by-insert) tree; rebuilt per test."""
+    tree = RTree(size_model=SizeModel(page_bytes=256))
+    tree.insert_all(small_records)
+    return tree

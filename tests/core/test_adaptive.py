@@ -1,0 +1,95 @@
+"""Tests for the adaptive depth controller (Section 4.3)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveDepthController
+from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
+
+
+def make_controller(depth=2, sensitivity=0.2, period=5, form=IndexForm.ADAPTIVE):
+    policy = SupportingIndexPolicy(form=form, depth=depth)
+    return AdaptiveDepthController(policy=policy, sensitivity=sensitivity,
+                                   report_period=period, max_depth=8)
+
+
+def test_window_fmr_computation():
+    controller = make_controller()
+    controller.record_query(cached_result_bytes=1_000, saved_result_bytes=600)
+    controller.record_query(cached_result_bytes=500, saved_result_bytes=500)
+    assert controller.window_fmr() == pytest.approx(400 / 1_500)
+
+
+def test_first_report_only_records_baseline():
+    controller = make_controller(depth=3)
+    controller.record_query(1_000, 100)  # high fmr
+    fmr = controller.report()
+    assert controller.last_reported_fmr == pytest.approx(fmr)
+    assert controller.depth == 3  # no change on the first report
+
+
+def test_depth_increases_when_fmr_rises():
+    controller = make_controller(depth=2)
+    controller.record_query(1_000, 900)   # fmr = 0.1
+    controller.report()
+    controller.record_query(1_000, 500)   # fmr = 0.5 (>20% higher)
+    controller.report()
+    assert controller.depth == 3
+
+
+def test_depth_decreases_when_fmr_drops():
+    controller = make_controller(depth=2)
+    controller.record_query(1_000, 500)   # fmr = 0.5
+    controller.report()
+    controller.record_query(1_000, 950)   # fmr = 0.05
+    controller.report()
+    assert controller.depth == 1
+
+
+def test_depth_stable_within_sensitivity_band():
+    controller = make_controller(depth=4, sensitivity=0.5)
+    controller.record_query(1_000, 600)   # fmr = 0.4
+    controller.report()
+    controller.record_query(1_000, 580)   # fmr = 0.42, within 50% band
+    controller.report()
+    assert controller.depth == 4
+
+
+def test_depth_clamped_to_bounds():
+    controller = make_controller(depth=0)
+    controller.record_query(1_000, 1_000)  # fmr = 0
+    controller.report()
+    controller.record_query(1_000, 1_000)
+    controller.report()
+    assert controller.depth == 0
+    high = make_controller(depth=8)
+    high.record_query(1_000, 900)
+    high.report()
+    high.record_query(1_000, 100)
+    high.report()
+    assert high.depth == 8  # clamped at max_depth
+
+
+def test_automatic_report_every_period():
+    controller = make_controller(period=3)
+    for _ in range(3):
+        controller.record_query(100, 100)
+    assert len(controller.history) == 1
+    for _ in range(2):
+        controller.record_query(100, 100)
+    assert len(controller.history) == 1
+
+
+def test_non_adaptive_policy_depth_never_changes():
+    controller = make_controller(depth=5, form=IndexForm.FULL)
+    controller.record_query(1_000, 100)
+    controller.report()
+    controller.record_query(1_000, 0)
+    controller.report()
+    assert controller.policy.depth == 5
+
+
+def test_history_records_every_report():
+    controller = make_controller(period=2)
+    for index in range(6):
+        controller.record_query(100, 50)
+    assert len(controller.history) == 3

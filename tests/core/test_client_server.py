@@ -1,0 +1,267 @@
+"""Unit tests for the client-side processor and the server-side resume.
+
+The scenarios mirror the paper's running examples: a range query that warms
+the cache, followed by other query types that reuse the cached objects and
+index (Examples 1.1–1.3), plus the kNN missing-entry behaviour of
+Example 3.1.
+"""
+
+import pytest
+
+from repro.core.cache import ProactiveCache
+from repro.core.client import ClientQueryProcessor
+from repro.core.items import CachedIndexNode, CachedObject, TargetKind
+from repro.core.server import ServerQueryProcessor
+from repro.core.supporting_index import SupportingIndexPolicy
+from repro.geometry import Point, Rect
+from repro.rtree import SizeModel, bulk_load_str
+from repro.rtree.range_search import range_search
+from repro.rtree.knn import knn_search
+from repro.workload.queries import JoinQuery, KNNQuery, RangeQuery
+
+from tests.conftest import make_records
+
+
+MODEL = SizeModel(page_bytes=256)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return make_records(150, seed=21)
+
+
+@pytest.fixture(scope="module")
+def tree(records):
+    return bulk_load_str(records, size_model=MODEL)
+
+
+@pytest.fixture(scope="module")
+def server(tree):
+    return ServerQueryProcessor(tree, size_model=MODEL)
+
+
+def fresh_client(server, capacity=10_000_000):
+    cache = ProactiveCache(capacity_bytes=capacity, size_model=MODEL)
+    client = ClientQueryProcessor(cache, root_id=server.root_id, root_mbr=server.root_mbr)
+    return cache, client
+
+
+def apply_response(cache, response):
+    for snapshot in response.index_snapshots:
+        cache.insert_node_snapshot(
+            CachedIndexNode(snapshot.node_id, snapshot.level,
+                            {e.code: e for e in snapshot.elements}),
+            snapshot.parent_id)
+    for delivery in response.deliveries:
+        cache.insert_object(CachedObject(delivery.record.object_id, delivery.record.mbr,
+                                         delivery.record.size_bytes),
+                            delivery.parent_node_id)
+
+
+def run_query(cache, client, server, query, policy=None):
+    policy = policy or SupportingIndexPolicy.adaptive()
+    cache.tick()
+    execution = client.execute(query)
+    if execution.complete:
+        return set(execution.saved_objects), execution, None
+    remainder = execution.remainder()
+    response = server.execute(query, remainder, policy)
+    apply_response(cache, response)
+    return set(execution.saved_objects) | response.result_object_ids(), execution, response
+
+
+# --------------------------------------------------------------------------- #
+# cold-cache behaviour
+# --------------------------------------------------------------------------- #
+def test_cold_cache_range_goes_to_server_with_root_frontier(server):
+    cache, client = fresh_client(server)
+    query = RangeQuery(window=Rect(0.2, 0.2, 0.4, 0.4))
+    execution = client.execute(query)
+    assert not execution.complete
+    assert execution.saved_objects == {}
+    assert len(execution.frontier) == 1
+    target = execution.frontier[0][0]
+    assert target.kind is TargetKind.NODE
+    assert target.node_id == server.root_id
+
+
+def test_cold_cache_results_match_ground_truth(server, tree):
+    cache, client = fresh_client(server)
+    query = RangeQuery(window=Rect(0.2, 0.2, 0.5, 0.5))
+    results, _, response = run_query(cache, client, server, query)
+    assert results == set(range_search(tree, query.window))
+    assert response is not None
+    assert response.result_bytes() > 0
+    assert response.index_bytes(MODEL) > 0
+
+
+def test_response_index_snapshots_are_parent_ordered(server, tree):
+    cache, client = fresh_client(server)
+    query = RangeQuery(window=Rect(0.1, 0.1, 0.6, 0.6))
+    _, _, response = run_query(cache, client, server, query)
+    seen = set()
+    for snapshot in response.index_snapshots:
+        if snapshot.parent_id is not None:
+            assert snapshot.parent_id in seen
+        seen.add(snapshot.node_id)
+
+
+# --------------------------------------------------------------------------- #
+# warm-cache reuse (Examples 1.1–1.3)
+# --------------------------------------------------------------------------- #
+def test_warm_range_query_is_answered_locally(server, tree):
+    cache, client = fresh_client(server)
+    warm = RangeQuery(window=Rect(0.2, 0.2, 0.6, 0.6))
+    run_query(cache, client, server, warm)
+    repeat = RangeQuery(window=Rect(0.3, 0.3, 0.5, 0.5))
+    results, execution, _ = run_query(cache, client, server, repeat)
+    assert execution.complete
+    assert results == set(range_search(tree, repeat.window))
+
+
+def test_overlapping_range_query_ships_only_missing_parts(server, tree):
+    cache, client = fresh_client(server)
+    warm = RangeQuery(window=Rect(0.2, 0.2, 0.5, 0.5))
+    run_query(cache, client, server, warm)
+    wider = RangeQuery(window=Rect(0.15, 0.15, 0.55, 0.55))
+    results, execution, response = run_query(cache, client, server, wider)
+    assert results == set(range_search(tree, wider.window))
+    if response is not None:
+        # Cached result objects are not re-downloaded.
+        delivered = response.result_object_ids()
+        assert delivered.isdisjoint(set(execution.saved_objects))
+
+
+def test_knn_after_range_reuses_cached_objects(server, tree):
+    """Example 1.2/1.3: a kNN query can reuse objects cached by a range query."""
+    cache, client = fresh_client(server)
+    warm = RangeQuery(window=Rect(0.3, 0.3, 0.7, 0.7))
+    run_query(cache, client, server, warm)
+    knn = KNNQuery(point=Point(0.5, 0.5), k=3)
+    results, execution, _ = run_query(cache, client, server, knn)
+    expected = {oid for oid, _ in knn_search(tree, knn.point, knn.k)}
+    distances = sorted(tree.objects[o].mbr.min_dist_to_point(knn.point) for o in results)
+    expected_distances = sorted(tree.objects[o].mbr.min_dist_to_point(knn.point)
+                                for o in expected)
+    assert distances == pytest.approx(expected_distances)
+    assert execution.saved_objects, "cached range results should be reusable for kNN"
+
+
+def test_join_after_range_reuses_cached_objects(server, tree):
+    cache, client = fresh_client(server)
+    warm = RangeQuery(window=Rect(0.2, 0.2, 0.8, 0.8))
+    run_query(cache, client, server, warm)
+    join = JoinQuery(window=Rect(0.3, 0.3, 0.7, 0.7), threshold=0.08)
+    results, execution, _ = run_query(cache, client, server, join)
+    from repro.sim.sessions import true_join_results
+    assert results == set(true_join_results(tree, join))
+    assert execution.saved_objects, "cached range results should be reusable for joins"
+
+
+def test_fully_cached_knn_avoids_server(server, tree):
+    cache, client = fresh_client(server)
+    warm = RangeQuery(window=Rect(0.0, 0.0, 1.0, 1.0))
+    run_query(cache, client, server, warm)
+    knn = KNNQuery(point=Point(0.42, 0.58), k=5)
+    results, execution, _ = run_query(cache, client, server, knn)
+    assert execution.complete
+    expected_distances = sorted(d for _, d in knn_search(tree, knn.point, knn.k))
+    got_distances = sorted(tree.objects[o].mbr.min_dist_to_point(knn.point) for o in results)
+    assert got_distances == pytest.approx(expected_distances)
+
+
+# --------------------------------------------------------------------------- #
+# kNN missing-entry semantics (Example 3.1)
+# --------------------------------------------------------------------------- #
+def test_knn_frontier_is_pruned(server):
+    cache, client = fresh_client(server)
+    # Warm with a window so some index is cached but most of the space is not.
+    run_query(cache, client, server, RangeQuery(window=Rect(0.4, 0.4, 0.6, 0.6)))
+    knn = KNNQuery(point=Point(0.05, 0.95), k=2)
+    cache.tick()
+    execution = client.execute(knn)
+    if execution.complete:
+        pytest.skip("cache unexpectedly covered the query region")
+    assert execution.k_remaining is not None
+    assert execution.k_remaining <= knn.k
+    # The pruned frontier never ships more than a handful of entries per
+    # requested neighbour.
+    assert len(execution.frontier) <= 10 * knn.k
+
+
+def test_knn_remainder_accounts_for_saved_results(server, tree):
+    cache, client = fresh_client(server)
+    run_query(cache, client, server, RangeQuery(window=Rect(0.45, 0.45, 0.55, 0.55)))
+    knn = KNNQuery(point=Point(0.5, 0.5), k=4)
+    results, execution, response = run_query(cache, client, server, knn)
+    expected_distances = sorted(d for _, d in knn_search(tree, knn.point, knn.k))
+    got_distances = sorted(tree.objects[o].mbr.min_dist_to_point(knn.point) for o in results)
+    assert got_distances == pytest.approx(expected_distances)
+    if response is not None and execution.saved_objects:
+        assert execution.k_remaining == knn.k - len(execution.saved_objects)
+
+
+# --------------------------------------------------------------------------- #
+# supporting-index policies
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("policy_name", ["full", "compact", "adaptive"])
+def test_all_policies_produce_correct_results(server, tree, policy_name):
+    policy = {"full": SupportingIndexPolicy.full(),
+              "compact": SupportingIndexPolicy.compact(),
+              "adaptive": SupportingIndexPolicy.adaptive(2)}[policy_name]
+    cache, client = fresh_client(server)
+    queries = [RangeQuery(window=Rect(0.2, 0.2, 0.5, 0.5)),
+               KNNQuery(point=Point(0.4, 0.4), k=4),
+               JoinQuery(window=Rect(0.3, 0.3, 0.6, 0.6), threshold=0.05),
+               RangeQuery(window=Rect(0.25, 0.25, 0.45, 0.45))]
+    from repro.sim.sessions import true_results
+    for query in queries:
+        results, _, _ = run_query(cache, client, server, query, policy=policy)
+        truth = set(true_results(tree, query))
+        if isinstance(query, KNNQuery):
+            got = sorted(tree.objects[o].mbr.min_dist_to_point(query.point) for o in results)
+            want = sorted(tree.objects[o].mbr.min_dist_to_point(query.point) for o in truth)
+            assert got == pytest.approx(want)
+        else:
+            assert results == truth
+
+
+def test_full_form_snapshots_have_no_super_entries(server):
+    cache, client = fresh_client(server)
+    query = RangeQuery(window=Rect(0.3, 0.3, 0.6, 0.6))
+    cache.tick()
+    execution = client.execute(query)
+    response = server.execute(query, execution.remainder(), SupportingIndexPolicy.full())
+    for snapshot in response.index_snapshots:
+        assert all(not element.is_super for element in snapshot.elements)
+
+
+def test_compact_form_snapshots_are_never_larger_than_full(server):
+    cache_a, client_a = fresh_client(server)
+    cache_b, client_b = fresh_client(server)
+    query = RangeQuery(window=Rect(0.3, 0.3, 0.6, 0.6))
+    cache_a.tick(), cache_b.tick()
+    remainder_a = client_a.execute(query).remainder()
+    remainder_b = client_b.execute(query).remainder()
+    full = server.execute(query, remainder_a, SupportingIndexPolicy.full())
+    compact = server.execute(query, remainder_b, SupportingIndexPolicy.compact())
+    assert compact.index_bytes(MODEL) <= full.index_bytes(MODEL)
+
+
+def test_adaptive_depth_interpolates_index_size(server):
+    query = RangeQuery(window=Rect(0.3, 0.3, 0.6, 0.6))
+    sizes = []
+    for depth in (0, 2, 50):
+        cache, client = fresh_client(server)
+        cache.tick()
+        remainder = client.execute(query).remainder()
+        policy = SupportingIndexPolicy.adaptive(depth)
+        response = server.execute(query, remainder, policy)
+        sizes.append(response.index_bytes(MODEL))
+    assert sizes[0] <= sizes[1] <= sizes[2]
+
+
+def test_server_full_query_without_remainder(server, tree):
+    query = RangeQuery(window=Rect(0.1, 0.1, 0.3, 0.3))
+    response = server.execute(query, remainder=None)
+    assert response.result_object_ids() == set(range_search(tree, query.window))

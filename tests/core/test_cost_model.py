@@ -1,0 +1,105 @@
+"""Tests for the Section 4.1 cost model."""
+
+import pytest
+
+from repro.core.cost_model import CostAccumulator, QueryCost, ResponseTimeModel
+
+
+def test_seconds_per_byte_matches_bandwidth():
+    model = ResponseTimeModel(bandwidth_bps=384_000.0)
+    assert model.seconds_per_byte == pytest.approx(8.0 / 384_000.0)
+
+
+def test_uplink_delay_includes_fixed_rtt():
+    model = ResponseTimeModel(bandwidth_bps=384_000.0, fixed_rtt_seconds=0.05)
+    assert model.uplink_delay(0) == 0.0
+    assert model.uplink_delay(480) == pytest.approx(0.05 + 480 * 8 / 384_000.0)
+
+
+def test_response_time_equation_one():
+    """With no confirmed-late bytes the formula reduces to the paper's Eq. 1."""
+    model = ResponseTimeModel(bandwidth_bps=384_000.0)
+    td = model.seconds_per_byte
+    uplink, rr, r = 100.0, 10_000.0, 20_000.0
+    expected = rr * (uplink * td + 0.5 * rr * td) / r
+    assert model.response_time(uplink, rr, 0.0, r) == pytest.approx(expected)
+
+
+def test_response_time_fully_cached_query_is_zero():
+    model = ResponseTimeModel()
+    assert model.response_time(0.0, 0.0, 0.0, 10_000.0) == 0.0
+
+
+def test_response_time_no_results_with_contact_is_uplink_delay():
+    model = ResponseTimeModel()
+    assert model.response_time(500.0, 0.0, 0.0, 0.0) == pytest.approx(model.uplink_delay(500.0))
+
+
+def test_response_time_confirmed_bytes_wait_for_response():
+    model = ResponseTimeModel()
+    td = model.seconds_per_byte
+    value = model.response_time(uplink_bytes=100, downloaded_result_bytes=1_000,
+                                confirmed_cached_bytes=1_000, total_result_bytes=2_000)
+    t_qr = 100 * td
+    expected = (1_000 * (t_qr + 0.5 * 1_000 * td) + 1_000 * (t_qr + 1_000 * td)) / 2_000
+    assert value == pytest.approx(expected)
+
+
+def test_more_saved_bytes_means_lower_response_time():
+    model = ResponseTimeModel()
+    total = 50_000.0
+    slower = model.response_time(200, total, 0.0, total)
+    faster = model.response_time(200, total * 0.25, 0.0, total)
+    assert faster < slower
+
+
+def test_query_cost_false_miss_bytes():
+    cost = QueryCost(query_index=0, query_type="range", cached_result_bytes=1_000,
+                     saved_bytes=400)
+    assert cost.false_miss_bytes == 600
+    cost2 = QueryCost(query_index=0, query_type="range", cached_result_bytes=100,
+                      saved_bytes=400)
+    assert cost2.false_miss_bytes == 0.0
+
+
+def test_accumulator_rates_and_means():
+    acc = CostAccumulator()
+    acc.add(QueryCost(query_index=0, query_type="range", uplink_bytes=100,
+                      downlink_bytes=1_000, result_bytes=2_000, saved_bytes=1_000,
+                      cached_result_bytes=1_500, response_time=0.5,
+                      client_cpu_seconds=0.001, contacted_server=True,
+                      server_cpu_seconds=0.002))
+    acc.add(QueryCost(query_index=1, query_type="knn", uplink_bytes=0,
+                      downlink_bytes=0, result_bytes=2_000, saved_bytes=2_000,
+                      cached_result_bytes=2_000, response_time=0.0,
+                      client_cpu_seconds=0.003, contacted_server=False))
+    assert len(acc) == 2
+    assert acc.mean_uplink_bytes() == 50
+    assert acc.mean_downlink_bytes() == 500
+    assert acc.cache_hit_rate() == pytest.approx(3_000 / 4_000)
+    assert acc.byte_hit_rate() == pytest.approx(3_500 / 4_000)
+    assert acc.false_miss_rate() == pytest.approx(500 / 3_500)
+    assert acc.mean_response_time() == pytest.approx(0.25)
+    assert acc.mean_client_cpu_seconds() == pytest.approx(0.002)
+    assert acc.mean_server_cpu_seconds() == pytest.approx(0.002)
+    assert acc.server_contact_rate() == pytest.approx(0.5)
+
+
+def test_accumulator_empty_is_all_zero():
+    acc = CostAccumulator()
+    assert acc.cache_hit_rate() == 0.0
+    assert acc.byte_hit_rate() == 0.0
+    assert acc.false_miss_rate() == 0.0
+    assert acc.mean_response_time() == 0.0
+    assert acc.server_contact_rate() == 0.0
+
+
+def test_hitc_equals_hitb_times_one_minus_fmr():
+    """Equation 2 of the paper holds for the aggregated byte-level metrics."""
+    acc = CostAccumulator()
+    acc.add(QueryCost(query_index=0, query_type="range", result_bytes=4_000,
+                      saved_bytes=1_000, cached_result_bytes=2_000))
+    acc.add(QueryCost(query_index=1, query_type="knn", result_bytes=1_000,
+                      saved_bytes=500, cached_result_bytes=500))
+    assert acc.cache_hit_rate() == pytest.approx(
+        acc.byte_hit_rate() * (1.0 - acc.false_miss_rate()))

@@ -1,0 +1,78 @@
+"""Tests for the remainder query and the supporting-index policy objects."""
+
+import pytest
+
+from repro.core.items import FrontierTarget
+from repro.core.remainder import RemainderQuery
+from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
+from repro.geometry import Point, Rect
+from repro.rtree.sizes import SizeModel
+from repro.workload.queries import JoinQuery, KNNQuery, RangeQuery
+
+
+MODEL = SizeModel()
+
+
+def _target(node_id=1):
+    return FrontierTarget.for_node(node_id, Rect(0, 0, 0.5, 0.5))
+
+
+def test_empty_remainder():
+    remainder = RemainderQuery(query=RangeQuery(window=Rect(0, 0, 0.1, 0.1)))
+    assert remainder.is_empty
+    assert remainder.target_count() == 0
+
+
+def test_remainder_size_scales_with_frontier():
+    query = RangeQuery(window=Rect(0, 0, 0.1, 0.1))
+    small = RemainderQuery(query=query, frontier=[(_target(),)])
+    large = RemainderQuery(query=query, frontier=[(_target(i),) for i in range(5)])
+    assert large.size_bytes(MODEL) - small.size_bytes(MODEL) == 4 * MODEL.frontier_entry_bytes()
+
+
+def test_remainder_pairs_count_double():
+    query = JoinQuery(window=Rect(0, 0, 0.1, 0.1), threshold=0.01)
+    remainder = RemainderQuery(query=query, frontier=[(_target(1), _target(2))])
+    assert remainder.target_count() == 2
+
+
+def test_remainder_knn_and_fmr_fields_add_bytes():
+    query = KNNQuery(point=Point(0.5, 0.5), k=3)
+    base = RemainderQuery(query=query, frontier=[(_target(),)])
+    with_k = RemainderQuery(query=query, frontier=[(_target(),)], k_remaining=2)
+    with_fmr = RemainderQuery(query=query, frontier=[(_target(),)], k_remaining=2,
+                              reported_fmr=0.2)
+    assert with_k.size_bytes(MODEL) > base.size_bytes(MODEL)
+    assert with_fmr.size_bytes(MODEL) > with_k.size_bytes(MODEL)
+    assert not with_k.is_empty
+
+
+def test_query_descriptor_sizes():
+    assert RangeQuery(window=Rect(0, 0, 0.1, 0.1)).descriptor_bytes(MODEL) > 0
+    assert KNNQuery(point=Point(0, 0), k=1).descriptor_bytes(MODEL) > 0
+    assert JoinQuery(window=Rect(0, 0, 0.1, 0.1), threshold=0.1).descriptor_bytes(MODEL) > 0
+
+
+def test_policy_effective_depth():
+    assert SupportingIndexPolicy.full().effective_depth(7) == 7
+    assert SupportingIndexPolicy.compact().effective_depth(7) == 0
+    assert SupportingIndexPolicy.adaptive(3).effective_depth(7) == 3
+    assert SupportingIndexPolicy.adaptive(30).effective_depth(7) == 7
+
+
+def test_policy_partition_tree_usage():
+    assert not SupportingIndexPolicy.full().uses_partition_trees
+    assert SupportingIndexPolicy.compact().uses_partition_trees
+    assert SupportingIndexPolicy.adaptive().uses_partition_trees
+
+
+def test_policy_rejects_negative_depth():
+    with pytest.raises(ValueError):
+        SupportingIndexPolicy(form=IndexForm.ADAPTIVE, depth=-1)
+
+
+def test_invalid_query_parameters_rejected():
+    with pytest.raises(ValueError):
+        KNNQuery(point=Point(0, 0), k=0)
+    with pytest.raises(ValueError):
+        JoinQuery(window=Rect(0, 0, 0.1, 0.1), threshold=-1.0)

@@ -1,0 +1,167 @@
+"""Tests for the replacement policies (LRU, MRU, FAR, GRD family)."""
+
+import pytest
+
+from repro.core.cache import ProactiveCache
+from repro.core.items import CacheEntry, CachedIndexNode, CachedObject, item_key_for_node, item_key_for_object
+from repro.core.replacement import (
+    FARPolicy,
+    GRD1Policy,
+    GRD2Policy,
+    GRD3Policy,
+    LRUPolicy,
+    MRUPolicy,
+    make_policy,
+)
+from repro.geometry import Point, Rect
+from repro.rtree.sizes import SizeModel
+
+
+MODEL = SizeModel()
+
+
+def _leaf_snapshot(node_id):
+    element = CacheEntry(mbr=Rect(0, 0, 0.05, 0.05), code="", object_id=node_id * 10)
+    return CachedIndexNode(node_id=node_id, level=0, elements={"": element})
+
+
+def _object(object_id, x=0.0, size=400):
+    return CachedObject(object_id=object_id, mbr=Rect(x, 0, x + 0.01, 0.01), size_bytes=size)
+
+
+def build_cache(policy, capacity=3_000):
+    cache = ProactiveCache(capacity_bytes=capacity, size_model=MODEL,
+                           replacement_policy=policy)
+    cache.insert_node_snapshot(_leaf_snapshot(1), parent_node_id=None)
+    return cache
+
+
+def test_make_policy_registry():
+    for name in ("LRU", "MRU", "FAR", "GRD1", "GRD2", "GRD3"):
+        assert make_policy(name).name == name
+    assert make_policy("grd3").name == "GRD3"
+    with pytest.raises(ValueError):
+        make_policy("CLOCK")
+
+
+def test_lru_evicts_oldest_access():
+    cache = build_cache(LRUPolicy())
+    for object_id in (1, 2, 3):
+        cache.tick()
+        cache.insert_object(_object(object_id, size=900), parent_node_id=1)
+    cache.tick()
+    cache.touch(item_key_for_object(1))  # make object 1 recently used
+    cache.tick()
+    cache.insert_object(_object(4, size=900), parent_node_id=1)
+    assert cache.has_object(1)
+    assert not cache.has_object(2)
+
+
+def test_mru_evicts_most_recent_access():
+    cache = build_cache(MRUPolicy())
+    for object_id in (1, 2, 3):
+        cache.tick()
+        cache.insert_object(_object(object_id, size=900), parent_node_id=1)
+    cache.tick()
+    cache.insert_object(_object(4, size=900), parent_node_id=1)
+    # The most recently inserted/used item (object 3) is the victim.
+    assert not cache.has_object(3)
+    assert cache.has_object(1)
+
+
+def test_far_evicts_farthest_from_client():
+    cache = build_cache(FARPolicy())
+    cache.tick()
+    cache.insert_object(_object(1, x=0.9, size=900), parent_node_id=1)
+    cache.tick()
+    cache.insert_object(_object(2, x=0.05, size=900), parent_node_id=1)
+    cache.tick()
+    cache.insert_object(_object(3, x=0.4, size=900), parent_node_id=1)
+    context = {"client_position": Point(0.0, 0.0)}
+    cache.insert_object(_object(4, x=0.01, size=900), parent_node_id=1, context=context)
+    assert not cache.has_object(1)  # farthest from (0, 0)
+    assert cache.has_object(2)
+
+
+def test_far_without_position_falls_back_to_recency():
+    cache = build_cache(FARPolicy())
+    for object_id in (1, 2, 3):
+        cache.tick()
+        cache.insert_object(_object(object_id, size=900), parent_node_id=1)
+    cache.tick()
+    cache.insert_object(_object(4, size=900), parent_node_id=1)
+    assert not cache.has_object(1)
+
+
+def test_grd3_evicts_lowest_probability_leaf():
+    cache = build_cache(GRD3Policy())
+    for object_id in (1, 2, 3):
+        cache.tick()
+        cache.insert_object(_object(object_id, size=900), parent_node_id=1)
+    # Give objects 2 and 3 extra hits over several queries so object 1's
+    # probability decays below theirs.
+    for _ in range(6):
+        cache.tick()
+        cache.touch(item_key_for_object(2))
+        cache.touch(item_key_for_object(3))
+    cache.insert_object(_object(4, size=900), parent_node_id=1)
+    assert not cache.has_object(1)
+    assert cache.has_object(2)
+    assert cache.has_object(3)
+
+
+def test_grd3_never_evicts_internal_items_directly():
+    cache = ProactiveCache(capacity_bytes=5_000, size_model=MODEL,
+                           replacement_policy=GRD3Policy())
+    cache.insert_node_snapshot(_leaf_snapshot(1), parent_node_id=None)
+    cache.insert_object(_object(1, size=2_000), parent_node_id=1)
+    cache.tick()
+    cache.insert_object(_object(2, size=2_000), parent_node_id=1)
+    cache.tick()
+    # Inserting a third large object forces evictions, but the parent node
+    # (which has cached children) must survive as long as a child remains.
+    cache.insert_object(_object(3, size=2_000), parent_node_id=1)
+    assert cache.has_node(1)
+    cache.validate()
+
+
+def test_grd_policies_share_score_semantics():
+    cache = build_cache(GRD3Policy())
+    cache.tick()
+    cache.insert_object(_object(1), parent_node_id=1)
+    state = cache.items[item_key_for_object(1)]
+    for policy in (GRD1Policy(), GRD3Policy()):
+        assert policy.score(state, cache, {}) == pytest.approx(
+            state.access_probability(cache.clock))
+    # For a leaf item, GRD2's EBRS equals prob (Corollary 5.1).
+    assert GRD2Policy().score(state, cache, {}) == pytest.approx(
+        state.access_probability(cache.clock))
+
+
+def test_grd2_ebrs_recursive_definition():
+    cache = ProactiveCache(capacity_bytes=100_000, size_model=MODEL,
+                           replacement_policy=GRD2Policy())
+    cache.insert_node_snapshot(_leaf_snapshot(1), parent_node_id=None)
+    cache.insert_object(_object(1, size=1_000), parent_node_id=1)
+    cache.insert_object(_object(2, size=3_000), parent_node_id=1)
+    for _ in range(3):
+        cache.tick()
+        # Accessing a cached object always traverses its parent node, so the
+        # parent accumulates at least as many hits (Lemma 5.3's premise).
+        cache.touch(item_key_for_node(1))
+        cache.touch(item_key_for_object(2))
+    policy = GRD2Policy()
+    parent_state = cache.items[item_key_for_node(1)]
+    ebrs = policy.ebrs(parent_state, cache)
+    children = [cache.items[item_key_for_object(1)], cache.items[item_key_for_object(2)]]
+    probs = [child.access_probability(cache.clock) for child in children]
+    # Lemma 5.4: min child EBRS <= EBRS(parent) <= prob(parent).
+    assert min(probs) - 1e-9 <= ebrs <= parent_state.access_probability(cache.clock) + 1e-9
+
+
+def test_policies_fail_gracefully_when_nothing_evictable():
+    cache = ProactiveCache(capacity_bytes=1_000, size_model=MODEL,
+                           replacement_policy=GRD3Policy())
+    cache.insert_node_snapshot(_leaf_snapshot(1), parent_node_id=None)
+    # An object bigger than the whole cache can never be admitted.
+    assert not cache.insert_object(_object(1, size=5_000), parent_node_id=1)

@@ -1,0 +1,117 @@
+"""GRD2 ≡ GRD3 victim equivalence and approximation-style properties (Section 5).
+
+The paper proves (Lemma 5.4 / Theorem 5.5) that the EBRS-based greedy GRD2
+always picks leaf items with the lowest access probability — i.e. exactly the
+victims GRD3 picks — and that GRD3 is a 2-approximation of the constrained
+knapsack optimum.  These tests exercise both claims on randomized cache
+states.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.cache import ProactiveCache
+from repro.core.items import CacheEntry, CachedIndexNode, CachedObject
+from repro.core.replacement import GRD2Policy, GRD3Policy
+from repro.geometry import Rect
+from repro.rtree.sizes import SizeModel
+
+
+MODEL = SizeModel()
+
+
+def build_random_cache(seed, policy, capacity=40_000):
+    """A two-level cache (root -> leaves -> objects) with random hit counts."""
+    rng = random.Random(seed)
+    cache = ProactiveCache(capacity_bytes=capacity, size_model=MODEL,
+                           replacement_policy=policy)
+    root = CachedIndexNode(node_id=1, level=1, elements={
+        "0": CacheEntry(mbr=Rect(0, 0, 0.5, 1), code="0", child_id=2),
+        "1": CacheEntry(mbr=Rect(0.5, 0, 1, 1), code="1", child_id=3),
+    })
+    cache.insert_node_snapshot(root, parent_node_id=None)
+    for leaf_id in (2, 3):
+        leaf = CachedIndexNode(node_id=leaf_id, level=0, elements={
+            "": CacheEntry(mbr=Rect(0, 0, 0.5, 0.5), code="", object_id=leaf_id * 100),
+        })
+        cache.insert_node_snapshot(leaf, parent_node_id=1)
+    object_id = itertools.count(1000)
+    for _ in range(12):
+        cache.tick()
+        oid = next(object_id)
+        parent = rng.choice((2, 3))
+        cache.insert_object(CachedObject(object_id=oid, mbr=Rect(0, 0, 0.01, 0.01),
+                                         size_bytes=rng.randint(500, 2500)),
+                            parent_node_id=parent)
+    # Random extra hits.
+    keys = [key for key in cache.items if key.startswith("obj:")]
+    for _ in range(30):
+        cache.tick()
+        cache.touch(rng.choice(keys))
+    return cache
+
+
+def _lowest_prob_leaf(cache):
+    leaves = cache.leaf_items()
+    return min(leaves, key=lambda s: (s.access_probability(cache.clock), s.key)).key
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_grd2_and_grd3_pick_the_same_victims(seed):
+    """Evicting the same amount with GRD2 and GRD3 removes the same items."""
+    cache2 = build_random_cache(seed, GRD2Policy())
+    cache3 = build_random_cache(seed, GRD3Policy())
+    assert set(cache2.items) == set(cache3.items)
+
+    bytes_needed = 5_000
+    free2 = cache2.capacity_bytes - cache2.used_bytes
+    GRD2Policy().make_room(cache2, free2 + bytes_needed, {}, set())
+    free3 = cache3.capacity_bytes - cache3.used_bytes
+    GRD3Policy().make_room(cache3, free3 + bytes_needed, {}, set())
+    assert set(cache2.items) == set(cache3.items)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_grd2_always_selects_a_lowest_probability_leaf(seed):
+    """Lemma 5.4: the minimum-EBRS item is a leaf with minimal prob."""
+    cache = build_random_cache(seed, GRD2Policy())
+    policy = GRD2Policy()
+    best = min(cache.items.values(), key=lambda s: (policy.ebrs(s, cache), s.key))
+    leaves = cache.leaf_items()
+    min_leaf_prob = min(s.access_probability(cache.clock) for s in leaves)
+    assert best.is_leaf_item
+    assert best.access_probability(cache.clock) == pytest.approx(min_leaf_prob)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_grd3_retained_benefit_is_2_approximation_of_bruteforce(seed):
+    """Theorem 5.5 checked against a brute-force optimum on the leaf items."""
+    cache = build_random_cache(seed, GRD3Policy())
+    # Consider evicting among the *object* items only (all are leaves), which
+    # makes the constrained and unconstrained problems coincide and allows a
+    # brute-force optimum over subsets.
+    objects = [s for s in cache.leaf_items() if s.key.startswith("obj:")]
+    total_size = sum(s.size_bytes for s in objects)
+    budget = total_size // 2  # keep at most half the object bytes
+
+    def benefit(states):
+        return sum(s.access_probability(cache.clock) * s.size_bytes for s in states)
+
+    best_kept = 0.0
+    for mask in range(1 << len(objects)):
+        kept = [s for i, s in enumerate(objects) if mask >> i & 1]
+        if sum(s.size_bytes for s in kept) <= budget:
+            best_kept = max(best_kept, benefit(kept))
+
+    # GRD3 keeps the highest-prob leaves greedily.
+    ranked = sorted(objects, key=lambda s: -s.access_probability(cache.clock))
+    kept, used = [], 0
+    for state in ranked:
+        if used + state.size_bytes <= budget:
+            kept.append(state)
+            used += state.size_bytes
+    greedy_benefit = benefit(kept)
+    if best_kept > 0:
+        assert greedy_benefit >= 0.5 * best_kept - 1e-9

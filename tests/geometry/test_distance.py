@@ -1,0 +1,62 @@
+"""Tests for repro.geometry.distance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    circle_contains_circle,
+    circle_contains_rect,
+    euclidean,
+    min_dist_point_rect,
+    min_dist_rect_rect,
+    min_max_dist_point_rect,
+)
+from repro.geometry.distance import rect_intersects_circle
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+def test_euclidean_matches_point_method():
+    assert euclidean(Point(0, 0), Point(1, 1)) == pytest.approx(2 ** 0.5)
+
+
+def test_min_dist_point_rect_inside_is_zero():
+    assert min_dist_point_rect(Point(0.5, 0.5), Rect(0, 0, 1, 1)) == 0.0
+
+
+def test_min_max_dist_at_least_min_dist():
+    point = Point(0.0, 0.0)
+    rect = Rect(0.3, 0.4, 0.5, 0.8)
+    assert min_max_dist_point_rect(point, rect) >= min_dist_point_rect(point, rect)
+
+
+def test_min_dist_rect_rect_overlapping_zero():
+    assert min_dist_rect_rect(Rect(0, 0, 0.5, 0.5), Rect(0.4, 0.4, 1, 1)) == 0.0
+
+
+def test_circle_contains_circle_basic():
+    assert circle_contains_circle(Point(0.5, 0.5), 0.5, Point(0.5, 0.5), 0.2)
+    assert circle_contains_circle(Point(0.5, 0.5), 0.5, Point(0.7, 0.5), 0.3)
+    assert not circle_contains_circle(Point(0.5, 0.5), 0.5, Point(0.9, 0.5), 0.2)
+
+
+def test_circle_contains_rect():
+    assert circle_contains_rect(Point(0.5, 0.5), 0.8, Rect(0.3, 0.3, 0.7, 0.7))
+    assert not circle_contains_rect(Point(0.5, 0.5), 0.2, Rect(0.0, 0.0, 1.0, 1.0))
+
+
+def test_rect_intersects_circle():
+    assert rect_intersects_circle(Rect(0, 0, 0.1, 0.1), Point(0.2, 0.05), 0.15)
+    assert not rect_intersects_circle(Rect(0, 0, 0.1, 0.1), Point(0.5, 0.5), 0.1)
+
+
+@given(coords, coords, coords, coords, coords, coords)
+def test_min_max_dist_upper_bounds_nearest_corner(px, py, x1, y1, x2, y2):
+    point = Point(px, py)
+    rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    # MINMAXDIST is an upper bound on the distance to the nearest object
+    # guaranteed to be in the rect, hence at most the farthest corner.
+    assert min_max_dist_point_rect(point, rect) <= rect.max_dist_to_point(point) + 1e-9
+    assert min_dist_point_rect(point, rect) <= min_max_dist_point_rect(point, rect) + 1e-9

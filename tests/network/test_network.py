@@ -1,0 +1,49 @@
+"""Tests for the wireless channel model and traffic logging."""
+
+import pytest
+
+from repro.network import TrafficLog, WirelessChannel
+
+
+def test_channel_delay_matches_bandwidth():
+    channel = WirelessChannel(bandwidth_bps=384_000.0)
+    # 48 KB/s effective throughput: 48,000 bytes take one second.
+    assert channel.send_downlink(48_000) == pytest.approx(1.0)
+    assert channel.send_uplink(0) == 0.0
+
+
+def test_channel_accumulates_bytes():
+    channel = WirelessChannel()
+    channel.send_uplink(100)
+    channel.send_uplink(50)
+    channel.send_downlink(2_000)
+    assert channel.uplink_bytes_total == 150
+    assert channel.downlink_bytes_total == 2_000
+    channel.reset()
+    assert channel.uplink_bytes_total == 0
+    assert channel.downlink_bytes_total == 0
+
+
+def test_channel_rejects_negative_bytes():
+    channel = WirelessChannel()
+    with pytest.raises(ValueError):
+        channel.send_uplink(-1)
+    with pytest.raises(ValueError):
+        channel.send_downlink(-1)
+
+
+def test_channel_fixed_rtt_applied_to_uplink():
+    channel = WirelessChannel(bandwidth_bps=384_000.0, fixed_rtt_seconds=0.1)
+    assert channel.send_uplink(4_800) == pytest.approx(0.1 + 0.1)
+
+
+def test_traffic_log_totals_and_per_query_breakdown():
+    log = TrafficLog()
+    log.log_uplink(0, 100)
+    log.log_downlink(0, 5_000)
+    log.log_uplink(1, 300)
+    assert log.uplink_bytes() == 400
+    assert log.downlink_bytes() == 5_000
+    assert log.bytes_for_query(0) == (100, 5_000)
+    assert log.bytes_for_query(1) == (300, 0)
+    assert log.bytes_for_query(9) == (0, 0)

@@ -1,0 +1,79 @@
+"""Tests for best-first kNN search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point
+from repro.rtree.knn import knn_distance, knn_search, nearest_neighbor
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+def brute_force_knn(records, point, k):
+    ranked = sorted(records, key=lambda r: r.mbr.min_dist_to_point(point))
+    return [r.object_id for r in ranked[:k]]
+
+
+def brute_force_distances(records, point, k):
+    return sorted(r.mbr.min_dist_to_point(point) for r in records)[:k]
+
+
+def test_knn_zero_k_returns_empty(small_tree):
+    assert knn_search(small_tree, Point(0.5, 0.5), 0) == []
+
+
+def test_knn_returns_k_results_sorted_by_distance(small_tree):
+    results = knn_search(small_tree, Point(0.5, 0.5), 7)
+    assert len(results) == 7
+    distances = [distance for _, distance in results]
+    assert distances == sorted(distances)
+
+
+def test_knn_matches_bruteforce_distances(small_tree, small_records):
+    point = Point(0.31, 0.77)
+    results = knn_search(small_tree, point, 5)
+    expected = brute_force_distances(small_records, point, 5)
+    assert [d for _, d in results] == pytest.approx(expected)
+
+
+def test_knn_k_larger_than_dataset(small_tree, small_records):
+    results = knn_search(small_tree, Point(0.5, 0.5), len(small_records) + 10)
+    assert len(results) == len(small_records)
+
+
+def test_nearest_neighbor(small_tree, small_records):
+    point = Point(0.11, 0.42)
+    found = nearest_neighbor(small_tree, point)
+    assert found is not None
+    expected = brute_force_knn(small_records, point, 1)[0]
+    expected_distance = brute_force_distances(small_records, point, 1)[0]
+    assert found[1] == pytest.approx(expected_distance)
+
+
+def test_knn_distance_helper(small_tree, small_records):
+    point = Point(0.9, 0.1)
+    assert knn_distance(small_tree, point, 3) == pytest.approx(
+        brute_force_distances(small_records, point, 3)[-1])
+    assert knn_distance(small_tree, point, len(small_records) + 1) == float("inf")
+
+
+def test_knn_collects_visited_nodes(small_tree):
+    visited = set()
+    knn_search(small_tree, Point(0.2, 0.2), 3, visited_nodes=visited)
+    assert small_tree.root_id in visited
+
+
+def test_knn_empty_tree():
+    from repro.rtree import RTree, SizeModel
+    tree = RTree(size_model=SizeModel(page_bytes=256))
+    assert knn_search(tree, Point(0.5, 0.5), 3) == []
+    assert nearest_neighbor(tree, Point(0.5, 0.5)) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(coords, coords, st.integers(min_value=1, max_value=12))
+def test_knn_property_matches_bruteforce(clustered_tree, clustered_records, x, y, k):
+    point = Point(x, y)
+    results = knn_search(clustered_tree, point, k)
+    expected = brute_force_distances(clustered_records, point, k)
+    assert [d for _, d in results] == pytest.approx(expected)

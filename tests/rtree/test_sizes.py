@@ -1,0 +1,42 @@
+"""Tests for the byte-size model."""
+
+import pytest
+
+from repro.rtree.sizes import SizeModel
+
+
+def test_entry_bytes_composition():
+    model = SizeModel(coordinate_bytes=8, pointer_bytes=4)
+    assert model.entry_bytes == 4 * 8 + 4
+
+
+def test_node_capacity_from_page_size():
+    model = SizeModel(page_bytes=4096)
+    assert model.node_capacity == 4096 // model.entry_bytes
+    assert model.node_capacity >= 2
+
+
+def test_node_capacity_never_below_two():
+    model = SizeModel(page_bytes=8)
+    assert model.node_capacity == 2
+
+
+def test_node_bytes_scales_with_entries():
+    model = SizeModel()
+    assert model.node_bytes(10) - model.node_bytes(9) == model.entry_bytes
+
+
+def test_super_entry_is_larger_than_entry():
+    model = SizeModel()
+    assert model.super_entry_bytes() == model.entry_bytes + model.pointer_bytes
+
+
+def test_query_descriptor_and_id_list_bytes():
+    model = SizeModel()
+    assert model.query_descriptor_bytes(0) == model.query_header_bytes + model.rect_bytes()
+    assert model.id_list_bytes(10) == 10 * model.object_id_bytes
+    assert model.point_bytes() == 2 * model.coordinate_bytes
+
+
+def test_frontier_entry_bytes_positive():
+    assert SizeModel().frontier_entry_bytes() > 0

@@ -1,0 +1,68 @@
+"""Tests for the simulation configuration."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.workload.generator import QueryMix
+
+
+def test_paper_defaults_match_table61():
+    config = SimulationConfig.paper()
+    assert config.object_count == 123_593
+    assert config.window_area == 1e-6
+    assert config.join_distance == 5e-5
+    assert config.k_max == 5
+    assert config.think_time_mean == 50.0
+    assert config.speed == 0.0001
+    assert config.bandwidth_bps == 384_000.0
+    assert config.cache_fraction == 0.01
+    assert config.sensitivity == 0.2
+    assert config.mean_object_bytes == 10_240
+    assert config.zipf_theta == 0.8
+    assert config.page_bytes == 4_096
+
+
+def test_cache_bytes_derived_from_fraction():
+    config = SimulationConfig.scaled(object_count=1_000).with_overrides(cache_fraction=0.01)
+    assert config.dataset_bytes() == 1_000 * config.mean_object_bytes
+    assert config.cache_bytes() == int(0.01 * config.dataset_bytes())
+
+
+def test_explicit_cache_bytes_override():
+    config = SimulationConfig.scaled().with_overrides(explicit_cache_bytes=12_345)
+    assert config.cache_bytes() == 12_345
+
+
+def test_with_overrides_returns_new_config():
+    base = SimulationConfig.scaled()
+    changed = base.with_overrides(mobility_model="DIR", cache_fraction=0.05)
+    assert changed.mobility_model == "DIR"
+    assert base.mobility_model == "RAN"
+    assert changed.cache_fraction == 0.05
+
+
+def test_join_window_area_defaults_to_four_times_range_window():
+    config = SimulationConfig.scaled()
+    assert config.effective_join_window_area() == pytest.approx(4 * config.window_area)
+    explicit = config.with_overrides(join_window_area=1e-3)
+    assert explicit.effective_join_window_area() == 1e-3
+
+
+def test_as_table_mentions_core_parameters():
+    table = SimulationConfig.scaled().as_table()
+    for key in ("spd", "think time", "Area_wnd", "Dist_join", "K_max", "bandwidth",
+                "|C|", "|o|", "theta", "s"):
+        assert key in table
+
+
+def test_tiny_and_scaled_factories():
+    tiny = SimulationConfig.tiny()
+    scaled = SimulationConfig.scaled()
+    assert tiny.query_count < scaled.query_count
+    assert tiny.object_count < scaled.object_count
+
+
+def test_query_mix_is_frozen_into_config():
+    config = SimulationConfig.scaled().with_overrides(
+        query_mix=QueryMix(range_=0.0, knn=1.0, join=0.0))
+    assert config.query_mix.knn == 1.0

@@ -1,0 +1,33 @@
+"""Tests for the parameter sweeps used by the figure experiments."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.sweeps import cache_size_sweep, mobility_sweep, replacement_sweep
+
+
+CONFIG = SimulationConfig.tiny(query_count=20, object_count=300)
+
+
+def test_cache_size_sweep_structure():
+    results = cache_size_sweep(CONFIG, fractions=(0.005, 0.02), models=("PAG", "APRO"))
+    assert set(results) == {0.005, 0.02}
+    for per_model in results.values():
+        assert set(per_model) == {"PAG", "APRO"}
+        for result in per_model.values():
+            assert len(result.costs) == CONFIG.query_count
+
+
+def test_mobility_sweep_structure():
+    results = mobility_sweep(CONFIG, mobility_models=("RAN", "DIR"), models=("APRO",))
+    assert set(results) == {"RAN", "DIR"}
+    assert set(results["RAN"]) == {"APRO"}
+
+
+def test_replacement_sweep_structure():
+    results = replacement_sweep(CONFIG, policies=("LRU", "GRD3"),
+                                mobility_models=("RAN",), model="APRO")
+    assert set(results) == {"RAN"}
+    assert set(results["RAN"]) == {"LRU", "GRD3"}
+    for result in results["RAN"].values():
+        assert result.model == "APRO"

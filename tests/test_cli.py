@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_config_from_args_scaled():
+    parser = build_parser()
+    args = parser.parse_args(["compare", "--queries", "12", "--objects", "300",
+                              "--mobility", "DIR", "--cache", "0.02",
+                              "--replacement", "LRU", "--dataset", "RD"])
+    config = config_from_args(args)
+    assert config.query_count == 12
+    assert config.object_count == 300
+    assert config.mobility_model == "DIR"
+    assert config.cache_fraction == 0.02
+    assert config.replacement_policy == "LRU"
+    assert config.dataset_name == "RD"
+
+
+def test_config_from_args_paper_scale():
+    parser = build_parser()
+    args = parser.parse_args(["params", "--paper-scale"])
+    config = config_from_args(args)
+    assert config.object_count == 123_593
+
+
+def test_params_command_prints_table(capsys):
+    assert main(["params", "--queries", "10", "--objects", "200"]) == 0
+    output = capsys.readouterr().out
+    assert "Area_wnd" in output
+    assert "paper (Table 6.1)" in output
+
+
+def test_compare_command_runs_tiny_simulation(capsys):
+    assert main(["compare", "--queries", "8", "--objects", "200",
+                 "--models", "PAG,APRO"]) == 0
+    output = capsys.readouterr().out
+    assert "cache_hit_rate" in output
+    assert "PAG" in output and "APRO" in output
+
+
+def test_figure_table61_command(capsys):
+    assert main(["figure", "table61", "--queries", "5", "--objects", "150"]) == 0
+    assert "Table 6.1" in capsys.readouterr().out
+
+
+def test_figure_6_command_tiny(capsys):
+    assert main(["figure", "6", "--queries", "8", "--objects", "200"]) == 0
+    assert "Figure 6" in capsys.readouterr().out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "42"])
