@@ -1,0 +1,41 @@
+"""Fleet-scale simulation benchmark: many clients, one shared server.
+
+Times a heterogeneous three-group fleet (pedestrians / vehicles / hotspot
+users) replayed event-driven against a single shared server, and checks the
+structural claims the fleet subsystem makes:
+
+* every client's queries are all answered (clients x queries events total);
+* groups really are heterogeneous (the fast small-cache vehicles hit the
+  server more often than the slow large-cache hotspot users);
+* the shared server sees the sum of all per-client traffic.
+"""
+
+import os
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import default_fleet, run_fleet
+
+from benchmarks.conftest import run_once
+
+
+FLEET_CLIENTS = int(os.environ.get("BENCH_FLEET_CLIENTS", "24"))
+FLEET_QUERIES = int(os.environ.get("BENCH_FLEET_QUERIES", "40"))
+
+
+def test_fleet_simulation(benchmark, bench_config):
+    base = bench_config.with_overrides(query_count=FLEET_QUERIES)
+    fleet = default_fleet(FLEET_CLIENTS, base=base)
+    result = run_once(benchmark, run_fleet, fleet)
+
+    assert len(result.clients) == FLEET_CLIENTS
+    load = result.server_load()
+    assert load.total_queries == FLEET_CLIENTS * FLEET_QUERIES
+    assert load.duration_seconds > 0
+    assert load.queries_per_second > 0
+
+    groups = result.group_summary()
+    assert set(groups) == {"pedestrians", "vehicles", "hotspot"}
+    assert groups["vehicles"]["server_contact_rate"] >= \
+        groups["hotspot"]["server_contact_rate"]
+    assert sum(int(summary["queries"]) for summary in groups.values()) == \
+        load.total_queries

@@ -2,9 +2,10 @@
 
 Every benchmark regenerates one table or figure of the paper on a scaled-down
 configuration (see DESIGN.md for the scaling rationale) and prints the same
-rows / series the paper reports.  Run with::
+rows / series the paper reports.  The files are named ``bench_*`` so the
+tier-1 test run never collects them; run them explicitly with::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/ -o python_files='bench_*' --benchmark-only -s
 
 The ``-s`` flag shows the rendered tables; without it only the timings are
 reported.

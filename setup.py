@@ -1,10 +1,26 @@
-"""Setup shim so that ``pip install -e .`` works without network access.
+"""Packaging for the proactive spatial-caching reproduction.
 
-All project metadata lives in ``pyproject.toml`` (PEP 621); this file only
-exists so pip can fall back to the legacy editable-install path in offline
-environments where the ``wheel`` package is unavailable.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so that
+``pip install -e .`` works through the legacy editable-install path in
+offline environments where the ``wheel``/``build`` packages are
+unavailable.  Installing exposes the ``repro`` console script (and the
+legacy ``repro-spatial-cache`` alias).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-spatial-cache",
+    version="0.2.0",
+    description=("Proactive caching for spatial queries in mobile environments "
+                 "(ICDE 2005 reproduction + fleet-scale simulator)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            "repro-spatial-cache = repro.cli:main",
+        ],
+    },
+)

@@ -1,10 +1,13 @@
 """Command-line interface for running simulations and paper experiments.
 
-Installed as the ``repro-spatial-cache`` console script (also runnable as
-``python -m repro.cli``).  Three sub-commands are provided:
+Installed as the ``repro`` console script (also runnable as
+``python -m repro.cli``; the legacy ``repro-spatial-cache`` alias is kept).
+Four sub-commands are provided:
 
 * ``compare`` — run PAG / SEM / APRO (and optionally FPRO / CPRO) on one
   trace and print the headline metrics;
+* ``fleet`` — simulate many heterogeneous clients against one shared server
+  and print per-group and server-load metrics;
 * ``figure`` — regenerate one of the paper's figures (``6``–``11``,
   ``table61`` or ``overheads``);
 * ``params`` — print the Table 6.1 parameter sheet for a configuration.
@@ -16,8 +19,9 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, overheads, table61
-from repro.experiments.report import format_table
+from repro.experiments.report import format_fleet_report, format_table
 from repro.sim.config import SimulationConfig
+from repro.sim.fleet import ClientGroupSpec, FleetConfig, default_fleet, run_fleet
 from repro.sim.runner import run_comparison
 
 
@@ -79,6 +83,65 @@ def _run_compare(args: argparse.Namespace) -> str:
                               f"|C|={config.cache_fraction:.1%}, {config.mobility_model})")
 
 
+_GROUP_MODELS = ("PAG", "SEM", "APRO", "FPRO", "CPRO")
+_GROUP_MOBILITY = ("RAN", "DIR")
+
+
+def parse_group_spec(text: str) -> ClientGroupSpec:
+    """Parse one ``--group`` value.
+
+    Format: ``name:count[:mobility[:model[:cache_fraction[:speed_factor]]]]``,
+    e.g. ``vehicles:20:DIR:APRO:0.005:8``.  Model and mobility names are
+    validated here so a typo fails at parse time, not mid-run (possibly
+    inside a worker process).
+    """
+    parts = text.split(":")
+    if len(parts) < 2:
+        raise argparse.ArgumentTypeError(
+            f"group spec {text!r} must be name:count[:mobility[:model[:cache[:speed]]]]")
+    try:
+        spec = ClientGroupSpec(
+            name=parts[0],
+            clients=int(parts[1]),
+            mobility_model=parts[2].upper() if len(parts) > 2 and parts[2] else "RAN",
+            model=parts[3].upper() if len(parts) > 3 and parts[3] else "APRO",
+            cache_fraction=float(parts[4]) if len(parts) > 4 and parts[4] else None,
+            speed_factor=float(parts[5]) if len(parts) > 5 and parts[5] else 1.0,
+        )
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad group spec {text!r}: {error}")
+    if spec.mobility_model not in _GROUP_MOBILITY:
+        raise argparse.ArgumentTypeError(
+            f"bad group spec {text!r}: mobility must be one of {_GROUP_MOBILITY}")
+    if spec.model not in _GROUP_MODELS:
+        raise argparse.ArgumentTypeError(
+            f"bad group spec {text!r}: model must be one of {_GROUP_MODELS}")
+    return spec
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    base = SimulationConfig.scaled(query_count=args.queries, object_count=args.objects,
+                                   seed=args.seed).with_overrides(
+        dataset_name=args.dataset, cache_fraction=args.cache,
+        replacement_policy=args.replacement)
+    try:
+        if args.group:
+            fleet = FleetConfig.make(base, args.group, fleet_seed=args.fleet_seed)
+        else:
+            fleet = default_fleet(args.clients, base=base, fleet_seed=args.fleet_seed)
+    except ValueError as error:
+        # Cross-group validation (duplicate names, non-positive totals) that
+        # parse_group_spec cannot see: fail like an argparse error, not a
+        # traceback.
+        raise SystemExit(f"repro fleet: error: {error}")
+    result = run_fleet(fleet, max_workers=args.workers)
+    mode = f"{args.workers} worker processes" if args.workers and args.workers > 1 \
+        else "serial"
+    return format_fleet_report(
+        result, title=f"Fleet simulation — {fleet.total_clients} clients, "
+                      f"{len(fleet.groups)} groups, 1 shared server ({mode})")
+
+
 def _run_figure(args: argparse.Namespace) -> str:
     module = _FIGURES[args.figure]
     config = config_from_args(args)
@@ -98,7 +161,7 @@ def _run_params(args: argparse.Namespace) -> str:
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="repro-spatial-cache",
+        prog="repro",
         description="Proactive caching for spatial queries (ICDE 2005) — simulator CLI")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -107,6 +170,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated models (PAG, SEM, APRO, FPRO, CPRO)")
     _add_config_arguments(compare)
     compare.set_defaults(handler=_run_compare)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="simulate many heterogeneous clients against one shared server")
+    fleet.add_argument("--clients", type=int, default=12,
+                       help="total clients, split over the default heterogeneous "
+                            "groups when no --group is given (default: 12)")
+    fleet.add_argument("--group", action="append", type=parse_group_spec, default=[],
+                       metavar="NAME:COUNT[:MOBILITY[:MODEL[:CACHE[:SPEED]]]]",
+                       help="explicit client group (repeatable); overrides --clients")
+    fleet.add_argument("--queries", type=int, default=40,
+                       help="queries per client (default: 40)")
+    fleet.add_argument("--objects", type=int, default=4_000,
+                       help="number of data objects (default: 4000)")
+    fleet.add_argument("--dataset", choices=("NE", "RD", "UNIFORM"), default="NE",
+                       help="synthetic dataset family (default: NE)")
+    fleet.add_argument("--cache", type=float, default=0.01,
+                       help="base cache fraction, groups may scale it (default: 0.01)")
+    fleet.add_argument("--replacement", default="GRD3",
+                       help="replacement policy for proactive clients (default: GRD3)")
+    fleet.add_argument("--seed", type=int, default=7, help="dataset seed (default: 7)")
+    fleet.add_argument("--fleet-seed", type=int, default=101,
+                       help="seed decorrelating per-client traces (default: 101)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes; >1 shards the fleet (default: 1)")
+    fleet.set_defaults(handler=_run_fleet)
 
     figure = subparsers.add_parser("figure", help="regenerate a figure from the paper")
     figure.add_argument("figure", choices=sorted(_FIGURES),
@@ -124,7 +212,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.handler(args))
+    try:
+        print(args.handler(args))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
     return 0
 
 

@@ -178,6 +178,14 @@ class ProactiveCache:
         if existing is not None:
             cached_node: CachedIndexNode = existing.payload  # type: ignore[assignment]
             old_size = existing.size_bytes
+            # A re-shipped snapshot means the node served the current query:
+            # refresh the replacement metadata or frequently merged nodes
+            # decay under GRD scoring as if they were never touched.  Skip
+            # the hit bump when the walk already touched the node this query
+            # — prob(i) counts queries served, not touches.
+            if existing.last_access < self.clock:
+                existing.hit_queries += 1
+            existing.last_access = self.clock
             cached_node.merge(snapshot.elements.values())
             new_size = cached_node.size_bytes(self.size_model)
             delta = new_size - old_size

@@ -195,10 +195,14 @@ class ClientQueryProcessor:
                     self._touch_object(element.object_id)
                     confirmed[element.object_id] = cached
                     continue
+                # A cached object popped behind a missing node cannot be
+                # locally confirmed, but its payload needs no re-download:
+                # ship it as a confirmation-only frontier target.
                 pending.append((priority,
                                 FrontierTarget.for_object(element.object_id, element.mbr,
                                                           parent_node_id=owner,
-                                                          priority=priority)))
+                                                          priority=priority,
+                                                          confirm_only=cached is not None)))
                 if cached is None:
                     missing_leaf += 1
                 else:
@@ -208,10 +212,13 @@ class ClientQueryProcessor:
         if len(confirmed) >= k:
             return execution
         if not pending and not heap:
-            # Fewer than k objects exist in the (reachable) dataset; whatever
-            # is cached cannot prove that, so fall back to the server unless
-            # nothing at all is missing.
-            execution.k_remaining = None if not execution.frontier else k - len(confirmed)
+            # Nothing was ever set aside (no super entry, missing node or
+            # unconfirmed object), so the cached view covered the whole tree:
+            # fewer than k objects exist and the local answer is provably
+            # complete.  Had anything been set aside it would sit in
+            # ``pending`` and execution would fall through to the
+            # frontier-building path below, which does contact the server.
+            execution.k_remaining = None
             return execution
 
         # Build and prune the frontier: keep candidates up to the (k - m)-th
@@ -231,9 +238,10 @@ class ClientQueryProcessor:
             else:
                 element, owner = payload
                 candidates.append((priority,
-                                   FrontierTarget.for_object(element.object_id, element.mbr,
-                                                             parent_node_id=owner,
-                                                             priority=priority)))
+                                   FrontierTarget.for_object(
+                                       element.object_id, element.mbr,
+                                       parent_node_id=owner, priority=priority,
+                                       confirm_only=self.cache.has_object(element.object_id))))
         candidates.sort(key=lambda item: item[0])
         needed = k - len(confirmed)
         cutoff = None
@@ -308,7 +316,8 @@ class ClientQueryProcessor:
                 return FrontierTarget.for_node(side[1], side[2])
             if kind == "super":
                 return FrontierTarget.for_super(side[1], side[2], side[3])
-            return FrontierTarget.for_object(side[1], side[2], parent_node_id=side[3])
+            return FrontierTarget.for_object(side[1], side[2], parent_node_id=side[3],
+                                             confirm_only=self.cache.has_object(side[1]))
 
         def resolvable(side: Tuple) -> bool:
             kind = side[0]

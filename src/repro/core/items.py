@@ -138,7 +138,10 @@ class FrontierTarget:
     ``priority`` is the element's key in the client's priority queue (MINDIST
     for kNN, 0 for range / join); the server resumes with the same ordering.
     ``parent_node_id`` lets the server (and then the client, on the way back)
-    attach fetched objects to the leaf node that owns them.
+    attach fetched objects to the leaf node that owns them.  An OBJECT target
+    with ``confirm_only`` set tells the server that the client already holds
+    the object's payload and only needs its membership in the result set
+    confirmed — the server must not re-ship the object bytes.
     """
 
     kind: TargetKind
@@ -148,6 +151,7 @@ class FrontierTarget:
     object_id: Optional[int] = None
     code: str = ""
     parent_node_id: Optional[int] = None
+    confirm_only: bool = False
 
     @staticmethod
     def for_node(node_id: int, mbr: Rect, priority: float = 0.0) -> "FrontierTarget":
@@ -156,10 +160,11 @@ class FrontierTarget:
 
     @staticmethod
     def for_object(object_id: int, mbr: Rect, parent_node_id: Optional[int],
-                   priority: float = 0.0) -> "FrontierTarget":
+                   priority: float = 0.0, confirm_only: bool = False) -> "FrontierTarget":
         """Frontier element referencing a (missing or unconfirmed) object."""
         return FrontierTarget(kind=TargetKind.OBJECT, mbr=mbr, priority=priority,
-                              object_id=object_id, parent_node_id=parent_node_id)
+                              object_id=object_id, parent_node_id=parent_node_id,
+                              confirm_only=confirm_only)
 
     @staticmethod
     def for_super(node_id: int, code: str, mbr: Rect, priority: float = 0.0) -> "FrontierTarget":

@@ -46,14 +46,20 @@ class IndexNodeSnapshot:
 
 @dataclass
 class ObjectDelivery:
-    """One result object shipped to the client, with its owning leaf node."""
+    """One result object shipped to the client, with its owning leaf node.
+
+    A ``confirm_only`` delivery answers a confirmation-only frontier target:
+    the client already holds the object payload, so only its id travels on
+    the wire and :attr:`size_bytes` (the payload wire footprint) is zero.
+    """
 
     record: ObjectRecord
     parent_node_id: Optional[int]
+    confirm_only: bool = False
 
     @property
     def size_bytes(self) -> int:
-        return self.record.size_bytes
+        return 0 if self.confirm_only else self.record.size_bytes
 
 
 @dataclass
@@ -67,8 +73,21 @@ class ServerResponse:
     cpu_seconds: float = 0.0
 
     def result_bytes(self) -> int:
-        """Bytes of the result objects (``|Rr|``)."""
+        """Bytes of the downloaded result objects (``|Rr|``, payloads only)."""
         return sum(delivery.size_bytes for delivery in self.deliveries)
+
+    def confirmed_cached_bytes(self) -> int:
+        """Bytes of confirmation-only results the client already holds."""
+        return sum(delivery.record.size_bytes for delivery in self.deliveries
+                   if delivery.confirm_only)
+
+    def confirmation_count(self) -> int:
+        """Number of confirmation-only deliveries."""
+        return sum(1 for delivery in self.deliveries if delivery.confirm_only)
+
+    def confirmation_bytes(self, size_model: SizeModel) -> int:
+        """Wire footprint of the confirmation id list."""
+        return size_model.id_list_bytes(self.confirmation_count())
 
     def index_bytes(self, size_model: SizeModel) -> int:
         """Bytes of the supporting index (``|Ir|``)."""
@@ -76,10 +95,11 @@ class ServerResponse:
 
     def downlink_bytes(self, size_model: SizeModel) -> int:
         """Total downlink bytes of the response."""
-        return self.result_bytes() + self.index_bytes(size_model)
+        return (self.result_bytes() + self.index_bytes(size_model)
+                + self.confirmation_bytes(size_model))
 
     def result_object_ids(self) -> Set[int]:
-        """Ids of the delivered result objects."""
+        """Ids of the delivered result objects (downloads and confirmations)."""
         return {delivery.record.object_id for delivery in self.deliveries}
 
 
@@ -124,6 +144,10 @@ class ServerQueryProcessor:
         start = time.perf_counter()
         recorder: Dict[int, _AccessRecord] = {}
         frontier = remainder.frontier if remainder is not None else self._default_frontier(query)
+        # Objects the client declared it already holds: their membership is
+        # confirmed but their payload is never re-shipped.
+        client_held: Set[int] = {target.object_id for item in frontier for target in item
+                                 if target.kind is TargetKind.OBJECT and target.confirm_only}
 
         if isinstance(query, RangeQuery):
             results, examined = self._process_range(query, frontier, recorder, policy)
@@ -136,7 +160,8 @@ class ServerQueryProcessor:
             raise TypeError(f"unsupported query type {type(query)!r}")
 
         response = ServerResponse(
-            deliveries=[ObjectDelivery(self.tree.objects[oid], parent)
+            deliveries=[ObjectDelivery(self.tree.objects[oid], parent,
+                                       confirm_only=oid in client_held)
                         for oid, parent in sorted(results.items())],
             index_snapshots=self._build_snapshots(recorder, policy),
             accessed_node_count=len(recorder),

@@ -31,6 +31,39 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     return "\n".join(lines)
 
 
+#: The per-group headline metrics every fleet report shows, in order.
+FLEET_METRICS = ("clients", "queries", "uplink_bytes", "downlink_bytes",
+                 "cache_hit_rate", "byte_hit_rate", "response_time",
+                 "server_contact_rate")
+
+
+def format_fleet_report(result, title: str = "Fleet simulation") -> str:
+    """Render a fleet run: per-group metric table plus the server-load block.
+
+    ``result`` is a :class:`~repro.sim.metrics.FleetResult` (duck-typed here
+    to keep this module dependency-free).
+    """
+    groups = result.group_summary()
+    rows = [[metric] + [groups[name][metric] for name in groups]
+            for metric in FLEET_METRICS]
+    return "\n".join([
+        format_table(["metric"] + list(groups), rows, title=title),
+        "",
+        format_kv("Server load", result.server_load().as_dict()),
+    ])
+
+
+def format_kv(title: str, values: Mapping[str, object]) -> str:
+    """Render a key-value block (used for server-load / parameter reports)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(key) for key in values), default=0)
+    for key, value in values.items():
+        lines.append(f"  {key.ljust(width)}  {_fmt(value)}")
+    return "\n".join(lines)
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         if abs(cell) >= 1000:

@@ -1,4 +1,4 @@
-"""End-to-end simulation of a mobile client issuing spatial queries.
+"""End-to-end simulation of mobile clients issuing spatial queries.
 
 The simulator reproduces the paper's experimental setup: a client moves
 through the unit square under a mobility model, issues a Poisson stream of
@@ -6,31 +6,67 @@ mixed spatial queries about its neighbourhood, and answers them through one
 of the caching models (PAG / SEM / proactive in its FPRO / CPRO / APRO
 variants) over a 384 Kbps wireless channel.  Identical query traces are
 replayed against every model so comparisons are paired.
+
+Beyond the paper's single-client experiments, :mod:`repro.sim.fleet` scales
+the same machinery to a whole fleet: many heterogeneous client groups
+interleaved event-driven against one shared server, with per-group and
+server-load aggregates.
 """
 
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import CacheSnapshot, SimulationResult
+from repro.sim.fleet import (
+    ClientGroupSpec,
+    FleetConfig,
+    default_fleet,
+    run_fleet,
+)
+from repro.sim.metrics import (
+    CacheSnapshot,
+    ClientResult,
+    FleetResult,
+    ServerLoad,
+    SimulationResult,
+)
 from repro.sim.sessions import (
     ClientSession,
+    GroundTruthCache,
     PageCachingSession,
     ProactiveSession,
     SemanticCachingSession,
     make_session,
 )
-from repro.sim.runner import SimulationEnvironment, build_environment, generate_trace, run_model, run_models
+from repro.sim.runner import (
+    SharedServerState,
+    SimulationEnvironment,
+    build_environment,
+    build_shared_state,
+    generate_trace,
+    run_model,
+    run_models,
+)
 
 __all__ = [
     "SimulationConfig",
     "CacheSnapshot",
     "SimulationResult",
+    "ClientResult",
+    "FleetResult",
+    "ServerLoad",
     "ClientSession",
+    "GroundTruthCache",
     "ProactiveSession",
     "PageCachingSession",
     "SemanticCachingSession",
     "make_session",
+    "SharedServerState",
     "SimulationEnvironment",
     "build_environment",
+    "build_shared_state",
     "generate_trace",
     "run_model",
     "run_models",
+    "ClientGroupSpec",
+    "FleetConfig",
+    "default_fleet",
+    "run_fleet",
 ]

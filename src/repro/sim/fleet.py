@@ -1,0 +1,253 @@
+"""Fleet-scale simulation: many heterogeneous clients, one shared server.
+
+The paper's experiments replay one client's trace at a time.  A production
+deployment of proactive caching instead looks like PartitionCache-style
+middleware: one server answering heavy traffic from a large population of
+cache-holding clients.  This module grows the simulator in that direction:
+
+* a **fleet** is a set of client *groups*; every group prescribes a mobility
+  model, movement speed, think time, cache size, query mix and caching model
+  for its members (:class:`ClientGroupSpec`);
+* every client gets its own seeded trace, and all traces are interleaved
+  **event-driven by arrival timestamp** against a single shared
+  :class:`~repro.core.server.ServerQueryProcessor`;
+* results come back per client, per group and as server-load aggregates
+  (:class:`~repro.sim.metrics.FleetResult`).
+
+Clients only share server-side state (the tree, the partition trees and the
+memoised ground truth), all of which is read-only during a run, so a fleet
+can be **sharded across worker processes**: every shard rebuilds the
+deterministic server state and simulates its slice of the clients.  Serial
+and parallel runs produce identical seed-deterministic metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import ClientResult, FleetResult
+from repro.sim.runner import (
+    SharedServerState,
+    build_shared_state,
+    generate_trace,
+    map_maybe_parallel,
+)
+from repro.sim.sessions import ClientSession, make_session
+from repro.workload.generator import QueryMix
+from repro.workload.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class ClientGroupSpec:
+    """One homogeneous slice of the fleet.
+
+    Fields left at ``None`` inherit the fleet's base
+    :class:`~repro.sim.config.SimulationConfig`.  ``speed_factor`` scales the
+    base speed instead of replacing it so one fleet definition works at any
+    base scale.
+    """
+
+    name: str
+    clients: int
+    model: str = "APRO"
+    mobility_model: str = "RAN"
+    speed_factor: float = 1.0
+    think_time_mean: Optional[float] = None
+    cache_fraction: Optional[float] = None
+    query_mix: Optional[QueryMix] = None
+    queries_per_client: Optional[int] = None
+    replacement_policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("group name must be non-empty")
+        if self.clients <= 0:
+            raise ValueError("a group needs at least one client")
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A whole fleet: the shared base configuration plus its client groups.
+
+    The base configuration defines the dataset, the index and the channel —
+    everything the one shared server is built from — while the groups define
+    the client population.  ``fleet_seed`` decorrelates the per-client
+    mobility / workload seeds between fleets that share a base config.
+    """
+
+    base: SimulationConfig
+    groups: Tuple[ClientGroupSpec, ...]
+    fleet_seed: int = 101
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a fleet needs at least one client group")
+        names = [group.name for group in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate group names in {names}")
+
+    @staticmethod
+    def make(base: SimulationConfig, groups: Sequence[ClientGroupSpec],
+             fleet_seed: int = 101) -> "FleetConfig":
+        """Build a fleet config from any sequence of group specs."""
+        return FleetConfig(base=base, groups=tuple(groups), fleet_seed=fleet_seed)
+
+    @property
+    def total_clients(self) -> int:
+        """Number of clients across all groups."""
+        return sum(group.clients for group in self.groups)
+
+    def client_specs(self) -> List["FleetClientSpec"]:
+        """One spec per client, with globally unique, deterministic ids."""
+        specs: List[FleetClientSpec] = []
+        client_id = 0
+        for group in self.groups:
+            for _ in range(group.clients):
+                specs.append(FleetClientSpec(
+                    client_id=client_id,
+                    group=group.name,
+                    model=group.model,
+                    config=self._client_config(group, client_id),
+                    replacement_policy=group.replacement_policy))
+                client_id += 1
+        return specs
+
+    def _client_config(self, group: ClientGroupSpec, client_id: int) -> SimulationConfig:
+        """The per-client simulation config: group overrides + unique seeds.
+
+        Dataset fields are never overridden — every client must see the same
+        server-side tree.  The seed offsets use distinct large primes so the
+        mobility and workload streams of different clients (and of the base
+        single-client experiments) never collide.
+        """
+        overrides: Dict[str, object] = {
+            "mobility_model": group.mobility_model,
+            "speed": self.base.speed * group.speed_factor,
+            "mobility_seed": self.base.mobility_seed + 7919 * (self.fleet_seed + client_id + 1),
+            "workload_seed": self.base.workload_seed + 6007 * (self.fleet_seed + client_id + 1),
+        }
+        if group.think_time_mean is not None:
+            overrides["think_time_mean"] = group.think_time_mean
+        if group.cache_fraction is not None:
+            overrides["cache_fraction"] = group.cache_fraction
+        if group.query_mix is not None:
+            overrides["query_mix"] = group.query_mix
+        if group.queries_per_client is not None:
+            overrides["query_count"] = group.queries_per_client
+        return self.base.with_overrides(**overrides)
+
+
+@dataclass(frozen=True)
+class FleetClientSpec:
+    """One concrete client of the fleet (flattened from its group)."""
+
+    client_id: int
+    group: str
+    model: str
+    config: SimulationConfig
+    replacement_policy: Optional[str] = None
+
+
+def default_fleet(clients: int, base: Optional[SimulationConfig] = None,
+                  queries_per_client: Optional[int] = None,
+                  fleet_seed: int = 101) -> FleetConfig:
+    """A heterogeneous three-group city fleet for ``clients`` total clients.
+
+    Pedestrians amble under random-waypoint mobility with the default cache;
+    vehicles move fast and directed with a small cache and a range-heavy mix;
+    hotspot users barely move, hold a large cache and ask mostly kNN queries.
+    """
+    if clients <= 0:
+        raise ValueError("clients must be positive")
+    base = base or SimulationConfig.scaled()
+    if queries_per_client is not None:
+        base = base.with_overrides(query_count=queries_per_client)
+    shares = _split_clients(clients, (2, 1, 1))
+    groups = []
+    if shares[0]:
+        groups.append(ClientGroupSpec(name="pedestrians", clients=shares[0],
+                                      mobility_model="RAN"))
+    if shares[1]:
+        groups.append(ClientGroupSpec(name="vehicles", clients=shares[1],
+                                      mobility_model="DIR", speed_factor=8.0,
+                                      cache_fraction=base.cache_fraction / 2,
+                                      query_mix=QueryMix(range_=2.0, knn=1.0, join=0.5)))
+    if shares[2]:
+        groups.append(ClientGroupSpec(name="hotspot", clients=shares[2],
+                                      mobility_model="RAN", speed_factor=0.25,
+                                      cache_fraction=base.cache_fraction * 2,
+                                      query_mix=QueryMix(range_=0.5, knn=2.0, join=0.5)))
+    return FleetConfig.make(base, groups, fleet_seed=fleet_seed)
+
+
+def _split_clients(total: int, weights: Sequence[int]) -> List[int]:
+    """Split ``total`` clients proportionally to integer ``weights``."""
+    weight_sum = sum(weights)
+    shares = [total * weight // weight_sum for weight in weights]
+    leftover = total - sum(shares)
+    for index in range(leftover):
+        shares[index % len(shares)] += 1
+    return shares
+
+
+# --------------------------------------------------------------------------- #
+# running a fleet
+# --------------------------------------------------------------------------- #
+def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None) -> FleetResult:
+    """Simulate the whole fleet against one shared server.
+
+    With ``max_workers`` > 1 the clients are sharded round-robin over worker
+    processes; every shard rebuilds the deterministic shared server state.
+    Clients are mutually independent (they share only read-only server
+    state), so sharding changes nothing about the results except wall-clock
+    time; the seed-deterministic metrics are identical to a serial run.
+    """
+    specs = fleet.client_specs()
+    if max_workers is not None and max_workers > 1 and len(specs) > 1:
+        shard_count = min(max_workers, len(specs))
+        shards = [specs[offset::shard_count] for offset in range(shard_count)]
+        shard_results = map_maybe_parallel(
+            _run_fleet_shard, [(fleet.base, shard) for shard in shards], max_workers)
+        return FleetResult(clients=[client for shard in shard_results
+                                    for client in shard])
+    shared = build_shared_state(fleet.base)
+    return FleetResult(clients=_run_clients(shared, specs))
+
+
+def _run_fleet_shard(base: SimulationConfig,
+                     specs: List[FleetClientSpec]) -> List[ClientResult]:
+    """Process-pool task: rebuild the shared state and run one client shard."""
+    shared = build_shared_state(base)
+    return _run_clients(shared, specs)
+
+
+def _run_clients(shared: SharedServerState,
+                 specs: Sequence[FleetClientSpec]) -> List[ClientResult]:
+    """Replay every client's trace, interleaved by arrival timestamp."""
+    sessions: Dict[int, ClientSession] = {}
+    results: Dict[int, ClientResult] = {}
+    events: List[Tuple[float, int, TraceRecord]] = []
+    for spec in specs:
+        sessions[spec.client_id] = make_session(
+            spec.model, shared.tree, spec.config, server=shared.server,
+            replacement_policy=spec.replacement_policy,
+            ground_truth=shared.ground_truth)
+        results[spec.client_id] = ClientResult(client_id=spec.client_id,
+                                               group=spec.group, model=spec.model)
+        trace = generate_trace(spec.config)
+        events.extend((record.arrival_time, spec.client_id, record)
+                      for record in trace)
+    # Event-driven interleave: queries hit the shared server in simulated
+    # arrival order (ties broken by client id, then issue order).
+    events.sort(key=lambda event: (event[0], event[1], event[2].index))
+    for arrival_time, client_id, record in events:
+        cost = sessions[client_id].process(record)
+        results[client_id].record(cost, arrival_time)
+    for client_id, session in sessions.items():
+        snapshot = session.cache_snapshot(len(results[client_id].costs))
+        results[client_id].final_cache_used_bytes = snapshot.used_bytes
+    return [results[spec.client_id] for spec in specs]

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.datasets import make_dataset
 from repro.mobility import PoissonThinkTime, make_mobility_model
@@ -15,10 +15,28 @@ from repro.rtree.tree import RTree
 from repro.core.server import ServerQueryProcessor
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimulationResult
-from repro.sim.sessions import ClientSession, make_session
+from repro.sim.sessions import ClientSession, GroundTruthCache, make_session
 from repro.workload.generator import QueryGenerator
 from repro.workload.schedule import KnnRampSchedule
 from repro.workload.trace import QueryTrace, TraceRecord
+
+
+@dataclass
+class SharedServerState:
+    """The server-side state shared by every client of one experiment.
+
+    One dataset, one R*-tree, one query processor and one memoised
+    ground-truth store — built once and reused by every session (single-trace
+    comparisons) or every fleet client (multi-client simulations).
+    """
+
+    tree: RTree
+    server: ServerQueryProcessor
+    ground_truth: GroundTruthCache
+
+    @property
+    def size_model(self) -> SizeModel:
+        return self.tree.size_model
 
 
 @dataclass
@@ -29,10 +47,34 @@ class SimulationEnvironment:
     tree: RTree
     server: ServerQueryProcessor
     trace: QueryTrace
+    ground_truth: Optional[GroundTruthCache] = None
+    knn_schedule: Optional[KnnRampSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.ground_truth is None:
+            self.ground_truth = GroundTruthCache(self.tree)
 
     @property
     def size_model(self) -> SizeModel:
         return self.tree.size_model
+
+
+def map_maybe_parallel(task, argument_lists, max_workers: Optional[int]) -> List:
+    """Run ``task(*args)`` for every args tuple, optionally in worker processes.
+
+    The single dispatch point shared by :func:`run_models`, the sweeps and
+    the fleet runner: with ``max_workers`` > 1 (and more than one task) the
+    calls fan out over a :class:`ProcessPoolExecutor`; otherwise they run
+    serially.  Results come back in submission order either way.  ``task``
+    must be a module-level callable and all arguments picklable.
+    """
+    argument_lists = list(argument_lists)
+    if max_workers is not None and max_workers > 1 and len(argument_lists) > 1:
+        workers = min(max_workers, len(argument_lists))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(task, *args) for args in argument_lists]
+            return [future.result() for future in futures]
+    return [task(*args) for args in argument_lists]
 
 
 def build_tree(config: SimulationConfig) -> RTree:
@@ -43,6 +85,16 @@ def build_tree(config: SimulationConfig) -> RTree:
                            zipf_theta=config.zipf_theta)
     size_model = SizeModel(page_bytes=config.page_bytes)
     return bulk_load_str(records, size_model=size_model)
+
+
+def build_shared_state(config: SimulationConfig) -> SharedServerState:
+    """Build the dataset, the R-tree and the server (no trace)."""
+    tree = build_tree(config)
+    partition_trees = build_partition_trees(tree.all_nodes())
+    server = ServerQueryProcessor(tree, size_model=tree.size_model,
+                                  partition_trees=partition_trees)
+    return SharedServerState(tree=tree, server=server,
+                             ground_truth=GroundTruthCache(tree))
 
 
 def generate_trace(config: SimulationConfig,
@@ -57,25 +109,27 @@ def generate_trace(config: SimulationConfig,
                                join_window_area=config.effective_join_window_area(),
                                mix=config.query_mix, seed=config.workload_seed)
     trace = QueryTrace()
+    elapsed = 0.0
     for index in range(config.query_count):
         think = arrival.sample()
+        elapsed += think
         position = mobility.advance(think)
         k_override = knn_schedule.k_at(index) if knn_schedule is not None else None
         query = generator.next_query(position, k_override=k_override)
         trace.append(TraceRecord(index=index, position=position,
-                                 think_time=think, query=query))
+                                 think_time=think, query=query,
+                                 arrival_time=elapsed))
     return trace
 
 
 def build_environment(config: SimulationConfig,
                       knn_schedule: Optional[KnnRampSchedule] = None) -> SimulationEnvironment:
     """Build the dataset, the R-tree, the server and a query trace."""
-    tree = build_tree(config)
-    partition_trees = build_partition_trees(tree.all_nodes())
-    server = ServerQueryProcessor(tree, size_model=tree.size_model,
-                                  partition_trees=partition_trees)
+    shared = build_shared_state(config)
     trace = generate_trace(config, knn_schedule=knn_schedule)
-    return SimulationEnvironment(config=config, tree=tree, server=server, trace=trace)
+    return SimulationEnvironment(config=config, tree=shared.tree, server=shared.server,
+                                 trace=trace, ground_truth=shared.ground_truth,
+                                 knn_schedule=knn_schedule)
 
 
 def run_session(session: ClientSession, trace: QueryTrace,
@@ -94,20 +148,55 @@ def run_model(environment: SimulationEnvironment, model: str,
     """Run one caching model against the environment's trace."""
     session = make_session(model, environment.tree, environment.config,
                            server=environment.server,
-                           replacement_policy=replacement_policy)
+                           replacement_policy=replacement_policy,
+                           ground_truth=environment.ground_truth)
     return run_session(session, environment.trace, environment.config)
 
 
+def _run_model_worker(config: SimulationConfig, trace: QueryTrace,
+                      model: str, replacement_policy: Optional[str]) -> Tuple[str, SimulationResult]:
+    """Process-pool task: rebuild the server state, replay the shipped trace.
+
+    The trace travels to the worker verbatim (it is small and picklable)
+    rather than being regenerated from seeds, so a caller-supplied or
+    deserialised trace runs identically in serial and parallel modes.
+    """
+    shared = build_shared_state(config)
+    environment = SimulationEnvironment(config=config, tree=shared.tree,
+                                        server=shared.server, trace=trace,
+                                        ground_truth=shared.ground_truth)
+    return model, run_model(environment, model, replacement_policy=replacement_policy)
+
+
 def run_models(environment: SimulationEnvironment, models: Iterable[str],
-               replacement_policy: Optional[str] = None) -> Dict[str, SimulationResult]:
-    """Run several caching models against the same trace (paired comparison)."""
+               replacement_policy: Optional[str] = None,
+               max_workers: Optional[int] = None) -> Dict[str, SimulationResult]:
+    """Run several caching models against the same trace (paired comparison).
+
+    With ``max_workers`` > 1 the models run in parallel worker processes;
+    every worker rebuilds the deterministic server state from the (picklable)
+    configuration and replays the environment's own trace, so the per-model
+    byte/hit-rate metrics are identical to a serial run.  Serially, the
+    models share one :class:`GroundTruthCache`, so only the first model pays
+    for each ground-truth computation.
+    """
+    models = list(models)
+    if max_workers is not None and max_workers > 1 and len(models) > 1:
+        pairs = map_maybe_parallel(
+            _run_model_worker,
+            [(environment.config, environment.trace, model, replacement_policy)
+             for model in models],
+            max_workers)
+        return dict(pairs)
     return {model: run_model(environment, model, replacement_policy=replacement_policy)
             for model in models}
 
 
 def run_comparison(config: SimulationConfig, models: Iterable[str] = ("PAG", "SEM", "APRO"),
                    knn_schedule: Optional[KnnRampSchedule] = None,
-                   replacement_policy: Optional[str] = None) -> Dict[str, SimulationResult]:
+                   replacement_policy: Optional[str] = None,
+                   max_workers: Optional[int] = None) -> Dict[str, SimulationResult]:
     """Convenience wrapper: build an environment and run several models on it."""
     environment = build_environment(config, knn_schedule=knn_schedule)
-    return run_models(environment, models, replacement_policy=replacement_policy)
+    return run_models(environment, models, replacement_policy=replacement_policy,
+                      max_workers=max_workers)

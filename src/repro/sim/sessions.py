@@ -18,7 +18,7 @@ from repro.core.adaptive import AdaptiveDepthController
 from repro.core.cache import ProactiveCache
 from repro.core.client import ClientQueryProcessor
 from repro.core.cost_model import QueryCost, ResponseTimeModel
-from repro.core.items import CachedObject
+from repro.core.items import CachedObject, item_key_for_object
 from repro.core.replacement import make_policy
 from repro.core.server import ServerQueryProcessor
 from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
@@ -71,6 +71,36 @@ def true_results(tree: RTree, query: Query) -> List[int]:
     raise TypeError(f"unsupported query type {type(query)!r}")
 
 
+class GroundTruthCache:
+    """Memoised ground-truth result sets shared across sessions.
+
+    Replaying the same trace against several caching models (or many fleet
+    clients against one server) used to recompute ``true_results`` from
+    scratch for every session.  Queries are frozen dataclasses, so one shared
+    memo keyed by the query itself lets every session reuse the first
+    computation.  The CPU cost measured on the first computation is *charged*
+    on every reuse, so paired runs report identical server CPU regardless of
+    which session happened to compute a result first.
+    """
+
+    def __init__(self, tree: RTree) -> None:
+        self.tree = tree
+        self._store: Dict[Query, Tuple[List[int], float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def results_for(self, query: Query) -> Tuple[List[int], float]:
+        """``(result_ids, charged_cpu_seconds)`` for ``query``."""
+        entry = self._store.get(query)
+        if entry is None:
+            start = time.perf_counter()
+            ids = true_results(self.tree, query)
+            entry = (ids, time.perf_counter() - start)
+            self._store[query] = entry
+        return entry
+
+
 # --------------------------------------------------------------------------- #
 # session interface
 # --------------------------------------------------------------------------- #
@@ -78,11 +108,14 @@ class ClientSession(abc.ABC):
     """One mobile client running one caching model."""
 
     def __init__(self, name: str, tree: RTree, config: SimulationConfig,
-                 size_model: Optional[SizeModel] = None) -> None:
+                 size_model: Optional[SizeModel] = None,
+                 ground_truth: Optional[GroundTruthCache] = None) -> None:
         self.name = name
         self.tree = tree
         self.config = config
         self.size_model = size_model or tree.size_model
+        # Explicit None check: an empty shared cache is falsy (it has __len__).
+        self.ground_truth = ground_truth if ground_truth is not None else GroundTruthCache(tree)
         self.timing = ResponseTimeModel(bandwidth_bps=config.bandwidth_bps,
                                         fixed_rtt_seconds=config.fixed_rtt_seconds)
 
@@ -110,10 +143,12 @@ class ProactiveSession(ClientSession):
                  server: Optional[ServerQueryProcessor] = None,
                  index_form: Optional[str] = None,
                  replacement_policy: Optional[str] = None,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None,
+                 ground_truth: Optional[GroundTruthCache] = None) -> None:
         form = (index_form or config.index_form).lower()
         default_names = {"full": "FPRO", "compact": "CPRO", "adaptive": "APRO"}
-        super().__init__(name or default_names.get(form, "APRO"), tree, config)
+        super().__init__(name or default_names.get(form, "APRO"), tree, config,
+                         ground_truth=ground_truth)
         self.server = server or ServerQueryProcessor(tree, size_model=self.size_model)
         if form == "full":
             self.policy = SupportingIndexPolicy.full()
@@ -154,11 +189,14 @@ class ProactiveSession(ClientSession):
             response = self.server.execute(query, remainder, self.policy)
             delivered_ids = response.result_object_ids()
             downloaded_bytes = response.result_bytes()
-            index_bytes = response.index_bytes(self.size_model)
+            confirmed_bytes = response.confirmed_cached_bytes()
+            index_bytes = (response.index_bytes(self.size_model)
+                           + response.confirmation_bytes(self.size_model))
 
             cost.contacted_server = True
             cost.uplink_bytes = uplink
             cost.downloaded_result_bytes = downloaded_bytes
+            cost.confirmed_cached_bytes = confirmed_bytes
             cost.index_downlink_bytes = index_bytes
             cost.downlink_bytes = downloaded_bytes + index_bytes
             cost.server_cpu_seconds = response.cpu_seconds
@@ -171,6 +209,15 @@ class ProactiveSession(ClientSession):
                                        elements={e.code: e for e in snapshot.elements})
                 self.cache.insert_node_snapshot(node, snapshot.parent_id, context)
             for delivery in response.deliveries:
+                if delivery.confirm_only and self.cache.has_object(delivery.record.object_id):
+                    # The payload is still cached; the confirmation counts
+                    # as a hit on the cached copy.
+                    self.cache.touch(item_key_for_object(delivery.record.object_id))
+                    continue
+                # Ordinary delivery — or a confirm-only object that the
+                # snapshot inserts above just evicted: the client held its
+                # payload when the response arrived (nothing retransmitted),
+                # so re-inserting it is a caching decision, not a download.
                 cached_object = CachedObject(object_id=delivery.record.object_id,
                                              mbr=delivery.record.mbr,
                                              size_bytes=delivery.record.size_bytes)
@@ -185,7 +232,7 @@ class ProactiveSession(ClientSession):
         cost.response_time = self.timing.response_time(
             uplink_bytes=cost.uplink_bytes,
             downloaded_result_bytes=cost.downloaded_result_bytes,
-            confirmed_cached_bytes=0.0,
+            confirmed_cached_bytes=cost.confirmed_cached_bytes,
             total_result_bytes=result_bytes)
         self.controller.record_query(cached_result_bytes, saved_bytes)
         return cost
@@ -207,8 +254,9 @@ class PageCachingSession(ClientSession):
     """Page/object caching with LRU replacement and an id-list uplink protocol."""
 
     def __init__(self, tree: RTree, config: SimulationConfig,
-                 name: str = "PAG") -> None:
-        super().__init__(name, tree, config)
+                 name: str = "PAG",
+                 ground_truth: Optional[GroundTruthCache] = None) -> None:
+        super().__init__(name, tree, config, ground_truth=ground_truth)
         self.cache = PageCache(capacity_bytes=config.cache_bytes())
 
     def process(self, record: TraceRecord) -> QueryCost:
@@ -216,9 +264,8 @@ class PageCachingSession(ClientSession):
         start = time.perf_counter()
         cached_before = self.cache.object_ids()
 
-        server_start = time.perf_counter()
-        result_ids = set(true_results(self.tree, query))
-        server_cpu = time.perf_counter() - server_start
+        true_ids, server_cpu = self.ground_truth.results_for(query)
+        result_ids = set(true_ids)
 
         # Uplink: the query plus the identifiers of every cached object.
         uplink = query.descriptor_bytes(self.size_model)
@@ -246,7 +293,9 @@ class PageCachingSession(ClientSession):
         cost.response_time = self.timing.response_time(
             uplink_bytes=uplink, downloaded_result_bytes=downloaded_bytes,
             confirmed_cached_bytes=confirmed_bytes, total_result_bytes=result_bytes)
-        cost.client_cpu_seconds = time.perf_counter() - start - server_cpu
+        # ``server_cpu`` is the charged (possibly memoised) cost, which can
+        # exceed the wall time actually elapsed on a ground-truth cache hit.
+        cost.client_cpu_seconds = max(0.0, time.perf_counter() - start - server_cpu)
         return cost
 
     def cache_snapshot(self, query_index: int) -> CacheSnapshot:
@@ -262,8 +311,9 @@ class SemanticCachingSession(ClientSession):
     """Semantic caching for range and kNN queries; joins bypass the cache."""
 
     def __init__(self, tree: RTree, config: SimulationConfig,
-                 replacement: str = "FAR", name: str = "SEM") -> None:
-        super().__init__(name, tree, config)
+                 replacement: str = "FAR", name: str = "SEM",
+                 ground_truth: Optional[GroundTruthCache] = None) -> None:
+        super().__init__(name, tree, config, ground_truth=ground_truth)
         self.cache = SemanticCache(capacity_bytes=config.cache_bytes(),
                                    size_model=self.size_model, replacement=replacement)
 
@@ -280,7 +330,7 @@ class SemanticCachingSession(ClientSession):
         else:
             cost, server_cpu = self._process_join(record, query)
 
-        result_ids = set(true_results(self.tree, query))
+        result_ids = set(self.ground_truth.results_for(query)[0])
         cost.result_bytes = self._object_bytes(result_ids)
         cost.cached_result_bytes = self._object_bytes(result_ids & cached_before)
         cost.response_time = self.timing.response_time(
@@ -288,7 +338,7 @@ class SemanticCachingSession(ClientSession):
             downloaded_result_bytes=cost.downloaded_result_bytes,
             confirmed_cached_bytes=cost.confirmed_cached_bytes,
             total_result_bytes=cost.result_bytes)
-        cost.client_cpu_seconds = time.perf_counter() - start - server_cpu
+        cost.client_cpu_seconds = max(0.0, time.perf_counter() - start - server_cpu)
         cost.server_cpu_seconds = server_cpu
         return cost
 
@@ -328,9 +378,7 @@ class SemanticCachingSession(ClientSession):
             return cost, 0.0
         cost.contacted_server = True
         cost.uplink_bytes = query.descriptor_bytes(self.size_model)
-        server_start = time.perf_counter()
-        result_ids = true_knn_results(self.tree, query)
-        server_cpu = time.perf_counter() - server_start
+        result_ids, server_cpu = self.ground_truth.results_for(query)
         records = [self.tree.objects[object_id] for object_id in result_ids]
         downloaded = sum(r.size_bytes for r in records)
         cost.downloaded_result_bytes = downloaded
@@ -344,9 +392,7 @@ class SemanticCachingSession(ClientSession):
         cost = QueryCost(query_index=record.index, query_type=query.query_type.value)
         cost.contacted_server = True
         cost.uplink_bytes = query.descriptor_bytes(self.size_model)
-        server_start = time.perf_counter()
-        result_ids = true_join_results(self.tree, query)
-        server_cpu = time.perf_counter() - server_start
+        result_ids, server_cpu = self.ground_truth.results_for(query)
         downloaded = self._object_bytes(set(result_ids))
         cost.downloaded_result_bytes = downloaded
         cost.downlink_bytes = downloaded
@@ -365,19 +411,23 @@ class SemanticCachingSession(ClientSession):
 # --------------------------------------------------------------------------- #
 def make_session(model: str, tree: RTree, config: SimulationConfig,
                  server: Optional[ServerQueryProcessor] = None,
-                 replacement_policy: Optional[str] = None) -> ClientSession:
+                 replacement_policy: Optional[str] = None,
+                 ground_truth: Optional[GroundTruthCache] = None) -> ClientSession:
     """Create a session by the paper's model name.
 
     Supported names: ``PAG``, ``SEM``, ``APRO``, ``FPRO``, ``CPRO``.
+    Passing a shared :class:`GroundTruthCache` lets several sessions over the
+    same tree reuse each other's ground-truth computations.
     """
     key = model.upper()
     if key == "PAG":
-        return PageCachingSession(tree, config)
+        return PageCachingSession(tree, config, ground_truth=ground_truth)
     if key == "SEM":
-        return SemanticCachingSession(tree, config)
+        return SemanticCachingSession(tree, config, ground_truth=ground_truth)
     if key in ("APRO", "FPRO", "CPRO"):
         form = {"APRO": "adaptive", "FPRO": "full", "CPRO": "compact"}[key]
         return ProactiveSession(tree, config, server=server, index_form=form,
-                                replacement_policy=replacement_policy, name=key)
+                                replacement_policy=replacement_policy, name=key,
+                                ground_truth=ground_truth)
     raise ValueError(f"unknown caching model {model!r}; "
                      "expected one of PAG, SEM, APRO, FPRO, CPRO")

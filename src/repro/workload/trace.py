@@ -18,12 +18,18 @@ from repro.workload.queries import JoinQuery, KNNQuery, Query, RangeQuery
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One issued query: where the client was, how long it waited, what it asked."""
+    """One issued query: where the client was, how long it waited, what it asked.
+
+    ``arrival_time`` is the simulated wall-clock instant the query is issued
+    (the running sum of think times); the fleet runner interleaves the traces
+    of many clients by it.
+    """
 
     index: int
     position: Point
     think_time: float
     query: Query
+    arrival_time: float = 0.0
 
 
 @dataclass
@@ -56,6 +62,7 @@ class QueryTrace:
                 "index": record.index,
                 "position": [record.position.x, record.position.y],
                 "think_time": record.think_time,
+                "arrival_time": record.arrival_time,
             }
             query = record.query
             if isinstance(query, RangeQuery):
@@ -91,5 +98,6 @@ class QueryTrace:
             trace.append(TraceRecord(index=entry["index"],
                                      position=Point(*entry["position"]),
                                      think_time=entry["think_time"],
-                                     query=query))
+                                     query=query,
+                                     arrival_time=entry.get("arrival_time", 0.0)))
         return trace

@@ -83,6 +83,23 @@ def test_merge_updates_size_accounting():
     cache.validate()
 
 
+def test_merge_refreshes_replacement_metadata():
+    """A re-shipped snapshot is a hit: merging must not let the node decay."""
+    cache = make_cache()
+    cache.insert_node_snapshot(node_snapshot(1, level=1, entries=1), parent_node_id=None)
+    state = cache.items[item_key_for_node(1)]
+    hits_before = state.hit_queries
+    for _ in range(5):
+        cache.tick()
+    assert state.last_access == 0
+    cache.insert_node_snapshot(node_snapshot(1, level=1, entries=3), parent_node_id=None)
+    assert state.last_access == cache.clock
+    assert state.hit_queries == hits_before + 1
+    # The refreshed metadata feeds straight into the GRD access probability.
+    assert state.access_probability(cache.clock) == pytest.approx(2 / 6)
+    cache.validate()
+
+
 def test_duplicate_object_insert_is_noop():
     cache = make_cache()
     cache.insert_node_snapshot(node_snapshot(1, level=0), parent_node_id=None)

@@ -1,0 +1,202 @@
+"""Regression tests for two proactive-caching cost-accounting bugs.
+
+1. kNN queries can pop a *cached* object after a missing node was set aside
+   (a "blocked" cached object).  Such objects must travel in the remainder
+   query as confirmation-only frontier targets: the server confirms their
+   membership but never re-ships their payload, and their bytes flow into
+   the response-time model as confirmed cached bytes.
+
+2. The "fewer than k objects reachable" exit of the client kNN walk used a
+   dead conditional (``execution.frontier`` is always empty there) that
+   always produced ``k_remaining = None``.  The exit is only reached when
+   nothing at all was set aside — i.e. the whole tree was served from the
+   cache — so completeness is provable; anything set aside lands in the
+   frontier-building path, which does fall back to the server.
+"""
+
+import pytest
+
+from repro.core.cache import ProactiveCache
+from repro.core.client import ClientQueryProcessor
+from repro.core.items import TargetKind
+from repro.core.server import ServerQueryProcessor
+from repro.core.supporting_index import SupportingIndexPolicy
+from repro.geometry import Point, Rect
+from repro.rtree import SizeModel, bulk_load_str
+from repro.rtree.knn import knn_search
+from repro.sim.config import SimulationConfig
+from repro.sim.sessions import ProactiveSession
+from repro.workload.queries import KNNQuery, RangeQuery
+from repro.workload.trace import TraceRecord
+
+from tests.conftest import make_records
+
+
+MODEL = SizeModel(page_bytes=256)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return bulk_load_str(make_records(150, seed=21), size_model=MODEL)
+
+
+@pytest.fixture(scope="module")
+def server(tree):
+    return ServerQueryProcessor(tree, size_model=MODEL)
+
+
+def make_client(server, capacity=10_000_000):
+    cache = ProactiveCache(capacity_bytes=capacity, size_model=MODEL)
+    client = ClientQueryProcessor(cache, root_id=server.root_id, root_mbr=server.root_mbr)
+    return cache, client
+
+
+def warm(cache, client, server, query):
+    from tests.core.test_client_server import apply_response
+    cache.tick()
+    execution = client.execute(query)
+    if not execution.complete:
+        response = server.execute(query, execution.remainder(),
+                                  SupportingIndexPolicy.adaptive())
+        apply_response(cache, response)
+
+
+def find_blocked_knn(client, k_values=(3, 5, 8, 12)):
+    """Scan anchors until a kNN execution yields blocked cached objects."""
+    for k in k_values:
+        for ix in range(2, 19):
+            for iy in range(2, 19):
+                query = KNNQuery(point=Point(ix / 20.0, iy / 20.0), k=k)
+                execution = client.execute(query)
+                if execution.blocked_cached_objects > 0 and not execution.complete:
+                    return query, execution
+    raise AssertionError("no blocked-cached-object scenario found")
+
+
+def find_confirmed_knn(client, server, policy=None, k_values=(3, 5, 8, 12)):
+    """Find a kNN query whose server response confirms a cached object.
+
+    A blocked cached object only produces a confirm-only *delivery* when it
+    is among the k results the server sends back, so scan until one is.
+    """
+    policy = policy or SupportingIndexPolicy.adaptive()
+    for k in k_values:
+        for ix in range(2, 19):
+            for iy in range(2, 19):
+                query = KNNQuery(point=Point(ix / 20.0, iy / 20.0), k=k)
+                execution = client.execute(query)
+                if execution.blocked_cached_objects == 0 or execution.complete:
+                    continue
+                response = server.execute(query, execution.remainder(), policy)
+                if response.confirmation_count() > 0:
+                    return query, execution
+    raise AssertionError("no confirmed-delivery scenario found")
+
+
+# --------------------------------------------------------------------------- #
+# confirmation-only frontier targets
+# --------------------------------------------------------------------------- #
+def test_blocked_cached_objects_become_confirm_only_targets(server, tree):
+    cache, client = make_client(server)
+    warm(cache, client, server, RangeQuery(window=Rect(0.35, 0.35, 0.75, 0.75)))
+    query, execution = find_blocked_knn(client)
+
+    confirm_targets = [target for item in execution.frontier for target in item
+                       if target.kind is TargetKind.OBJECT and target.confirm_only]
+    assert confirm_targets, "blocked cached objects must ship as confirm-only"
+    for target in confirm_targets:
+        assert cache.has_object(target.object_id)
+
+
+def test_server_never_reships_confirm_only_payloads(server, tree):
+    cache, client = make_client(server)
+    warm(cache, client, server, RangeQuery(window=Rect(0.35, 0.35, 0.75, 0.75)))
+    query, execution = find_confirmed_knn(client, server)
+
+    response = server.execute(query, execution.remainder(),
+                              SupportingIndexPolicy.adaptive())
+    confirmed = [d for d in response.deliveries if d.confirm_only]
+    downloads = [d for d in response.deliveries if not d.confirm_only]
+    assert confirmed, "scenario must actually confirm a cached object"
+    # Confirm-only deliveries carry no payload bytes on the wire...
+    assert all(delivery.size_bytes == 0 for delivery in confirmed)
+    assert response.result_bytes() == sum(d.record.size_bytes for d in downloads)
+    # ...but their true object bytes are reported as confirmed cached bytes.
+    assert response.confirmed_cached_bytes() == \
+        sum(d.record.size_bytes for d in confirmed)
+    assert response.confirmation_count() == len(confirmed)
+    # Every confirm-only delivery answers an object the client already holds.
+    for delivery in confirmed:
+        assert cache.has_object(delivery.record.object_id)
+    # The query answer is still exactly the true kNN result.
+    result_ids = set(execution.saved_objects) | response.result_object_ids()
+    true_ids = {oid for oid, _ in knn_search(tree, query.point, query.k)}
+    assert result_ids == true_ids
+
+
+def test_session_accounts_confirmed_bytes_and_speeds_up_response(tree):
+    config = SimulationConfig.tiny(object_count=150).with_overrides(
+        explicit_cache_bytes=10_000_000)
+    session = ProactiveSession(tree, config,
+                               server=ServerQueryProcessor(tree, size_model=MODEL))
+    session.process(TraceRecord(index=0, position=Point(0.5, 0.5), think_time=1.0,
+                                query=RangeQuery(window=Rect(0.35, 0.35, 0.75, 0.75))))
+    query, execution = find_confirmed_knn(session.client, session.server,
+                                          policy=session.policy)
+    blocked_bytes = sum(
+        tree.objects[target.object_id].size_bytes
+        for item in execution.frontier for target in item
+        if target.kind is TargetKind.OBJECT and target.confirm_only)
+
+    cost = session.process(TraceRecord(index=1, position=query.point, think_time=1.0,
+                                       query=query))
+    assert cost.contacted_server
+    # The server confirms (a subset of) the shipped confirm-only targets —
+    # whichever of them are among the k results — and never more.
+    assert 0 < cost.confirmed_cached_bytes <= blocked_bytes
+    # No object bytes were re-downloaded for the blocked cached objects:
+    # downloads plus confirmations exactly cover the server-delivered part.
+    delivered_bytes = cost.result_bytes - sum(obj.size_bytes for obj
+                                              in execution.saved_objects.values())
+    assert cost.downloaded_result_bytes + cost.confirmed_cached_bytes == \
+        pytest.approx(delivered_bytes)
+    # Confirmation beats re-downloading: the same query charged as a full
+    # re-download would have a strictly larger response time.
+    redownload_time = session.timing.response_time(
+        uplink_bytes=cost.uplink_bytes,
+        downloaded_result_bytes=cost.downloaded_result_bytes + cost.confirmed_cached_bytes,
+        confirmed_cached_bytes=0.0,
+        total_result_bytes=cost.result_bytes)
+    assert cost.response_time < redownload_time
+
+
+# --------------------------------------------------------------------------- #
+# the "fewer than k objects" exit
+# --------------------------------------------------------------------------- #
+def test_knn_complete_without_server_when_whole_tree_cached(server, tree):
+    cache, client = make_client(server)
+    warm(cache, client, server, RangeQuery(window=Rect(0.0, 0.0, 1.0, 1.0)))
+    query = KNNQuery(point=Point(0.5, 0.5), k=len(tree) + 50)
+    execution = client.execute(query)
+    # Nothing was set aside, so the local answer is provably complete even
+    # though fewer than k objects exist.
+    assert execution.complete
+    assert execution.k_remaining is None
+    assert not execution.frontier
+    assert len(execution.saved_objects) == len(tree)
+
+
+def test_knn_falls_back_to_server_when_cache_is_partial(server, tree):
+    cache, client = make_client(server)
+    warm(cache, client, server, RangeQuery(window=Rect(0.0, 0.0, 0.45, 0.45)))
+    query = KNNQuery(point=Point(0.2, 0.2), k=len(tree) + 50)
+    execution = client.execute(query)
+    # Parts of the tree were set aside as missing: the client cannot prove
+    # the dataset holds fewer than k objects, so it must ask the server.
+    assert not execution.complete
+    assert execution.frontier
+    assert execution.k_remaining == query.k - len(execution.saved_objects)
+    response = server.execute(query, execution.remainder(),
+                              SupportingIndexPolicy.adaptive())
+    result_ids = set(execution.saved_objects) | response.result_object_ids()
+    assert result_ids == set(tree.objects)

@@ -1,0 +1,146 @@
+"""Tests for the fleet-scale multi-client simulation subsystem."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import (
+    ClientGroupSpec,
+    FleetConfig,
+    _split_clients,
+    default_fleet,
+    run_fleet,
+)
+from repro.sim.metrics import DETERMINISTIC_METRICS
+from repro.workload.generator import QueryMix
+
+
+BASE = SimulationConfig.tiny(query_count=12, object_count=400)
+
+
+def small_fleet(fleet_seed=101):
+    return FleetConfig.make(BASE, [
+        ClientGroupSpec(name="walkers", clients=3, mobility_model="RAN"),
+        ClientGroupSpec(name="drivers", clients=2, mobility_model="DIR",
+                        speed_factor=6.0, cache_fraction=0.005,
+                        query_mix=QueryMix(range_=2.0, knn=1.0, join=0.5)),
+        ClientGroupSpec(name="pag-legacy", clients=2, model="PAG"),
+    ], fleet_seed=fleet_seed)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fleet(small_fleet())
+
+
+# --------------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------------- #
+def test_group_spec_validation():
+    with pytest.raises(ValueError):
+        ClientGroupSpec(name="", clients=1)
+    with pytest.raises(ValueError):
+        ClientGroupSpec(name="g", clients=0)
+    with pytest.raises(ValueError):
+        ClientGroupSpec(name="g", clients=1, speed_factor=0.0)
+    with pytest.raises(ValueError):
+        FleetConfig.make(BASE, [])
+    with pytest.raises(ValueError):
+        FleetConfig.make(BASE, [ClientGroupSpec(name="g", clients=1),
+                                ClientGroupSpec(name="g", clients=2)])
+
+
+def test_client_specs_are_unique_and_heterogeneous():
+    fleet = small_fleet()
+    specs = fleet.client_specs()
+    assert len(specs) == fleet.total_clients == 7
+    assert [spec.client_id for spec in specs] == list(range(7))
+    # Every client draws its own mobility / workload stream...
+    assert len({spec.config.mobility_seed for spec in specs}) == 7
+    assert len({spec.config.workload_seed for spec in specs}) == 7
+    # ...but all clients share the server-side dataset.
+    assert len({spec.config.dataset_seed for spec in specs}) == 1
+    drivers = [spec for spec in specs if spec.group == "drivers"]
+    assert all(spec.config.mobility_model == "DIR" for spec in drivers)
+    assert all(spec.config.speed == pytest.approx(BASE.speed * 6.0) for spec in drivers)
+    assert all(spec.config.cache_fraction == 0.005 for spec in drivers)
+
+
+def test_split_clients_covers_total():
+    assert _split_clients(10, (2, 1, 1)) == [6, 2, 2]
+    assert sum(_split_clients(7, (2, 1, 1))) == 7
+    assert sum(_split_clients(1, (2, 1, 1))) == 1
+
+
+def test_default_fleet_structure():
+    fleet = default_fleet(9, base=BASE)
+    assert fleet.total_clients == 9
+    assert [group.name for group in fleet.groups] == \
+        ["pedestrians", "vehicles", "hotspot"]
+    with pytest.raises(ValueError):
+        default_fleet(0)
+
+
+# --------------------------------------------------------------------------- #
+# running
+# --------------------------------------------------------------------------- #
+def test_fleet_runs_every_client_trace(result):
+    fleet = small_fleet()
+    assert len(result.clients) == fleet.total_clients
+    for client in result.clients:
+        assert len(client.costs) == BASE.query_count
+        assert len(client.arrival_times) == BASE.query_count
+        # Arrival times are the running sum of positive think times.
+        assert all(b > a for a, b in zip(client.arrival_times,
+                                         client.arrival_times[1:]))
+
+
+def test_fleet_group_and_server_aggregates(result):
+    groups = result.group_summary()
+    assert set(groups) == {"walkers", "drivers", "pag-legacy"}
+    assert groups["walkers"]["clients"] == 3.0
+    assert groups["pag-legacy"]["cache_hit_rate"] == 0.0  # PAG never saves locally
+    load = result.server_load()
+    assert load.total_queries == sum(len(c.costs) for c in result.clients)
+    assert load.server_queries <= load.total_queries
+    assert load.duration_seconds == pytest.approx(
+        max(t for c in result.clients for t in c.arrival_times))
+    assert load.queries_per_second > 0
+    assert load.uplink_bytes_total == pytest.approx(
+        sum(cost.uplink_bytes for c in result.clients for cost in c.costs))
+    windows = result.windowed_queries_per_second(windows=4)
+    assert len(windows) == 4
+    assert sum(w for w in windows) > 0
+
+
+def test_fleet_determinism_same_seed(result):
+    again = run_fleet(small_fleet())
+    assert again.deterministic_group_summary() == result.deterministic_group_summary()
+    for mine, theirs in zip(result.clients, again.clients):
+        assert [c.uplink_bytes for c in mine.costs] == \
+            [c.uplink_bytes for c in theirs.costs]
+        assert [c.response_time for c in mine.costs] == \
+            [c.response_time for c in theirs.costs]
+
+
+def test_fleet_seed_changes_traces(result):
+    other = run_fleet(small_fleet(fleet_seed=999))
+    assert other.deterministic_group_summary() != result.deterministic_group_summary()
+
+
+def test_serial_and_parallel_fleets_agree(result):
+    parallel = run_fleet(small_fleet(), max_workers=3)
+    assert parallel.deterministic_group_summary() == \
+        result.deterministic_group_summary()
+    assert [c.client_id for c in parallel.clients] == \
+        [c.client_id for c in result.clients]
+    for mine, theirs in zip(result.clients, parallel.clients):
+        assert mine.group == theirs.group
+        assert [c.downlink_bytes for c in mine.costs] == \
+            [c.downlink_bytes for c in theirs.costs]
+        assert mine.arrival_times == theirs.arrival_times
+
+
+def test_deterministic_summary_covers_expected_metrics(result):
+    summary = result.deterministic_group_summary()
+    for metrics in summary.values():
+        assert set(metrics) == set(DETERMINISTIC_METRICS)

@@ -13,6 +13,7 @@ from repro.sim.runner import (
     run_models,
 )
 from repro.sim.sessions import (
+    GroundTruthCache,
     PageCachingSession,
     ProactiveSession,
     SemanticCachingSession,
@@ -146,3 +147,37 @@ def test_snapshot_index_fraction_bounds(environment):
     result = run_model(environment, "APRO")
     for snapshot in result.snapshots:
         assert 0.0 <= snapshot.index_fraction <= 1.0
+
+
+def test_ground_truth_cache_memoises_and_matches(environment):
+    memo = GroundTruthCache(environment.tree)
+    record = environment.trace[0]
+    ids_first, cpu_first = memo.results_for(record.query)
+    ids_again, cpu_again = memo.results_for(record.query)
+    assert ids_first == ids_again == true_results(environment.tree, record.query)
+    # The charged CPU cost is replayed verbatim on a memo hit.
+    assert cpu_again == cpu_first
+    assert len(memo) == 1
+
+
+def test_sessions_share_environment_ground_truth(environment):
+    assert environment.ground_truth is not None
+    results = run_models(environment, ("PAG", "SEM"))
+    # After a run the shared memo covers every distinct trace query.
+    distinct_queries = len({record.query for record in environment.trace})
+    assert len(environment.ground_truth) >= distinct_queries
+    # The memoised results feed both models the same ground truth bytes.
+    pag_bytes = [cost.result_bytes for cost in results["PAG"].costs]
+    sem_bytes = [cost.result_bytes for cost in results["SEM"].costs]
+    assert pag_bytes == pytest.approx(sem_bytes)
+
+
+def test_parallel_run_models_matches_serial(environment):
+    serial = run_models(environment, ("PAG", "APRO"))
+    parallel = run_models(environment, ("PAG", "APRO"), max_workers=2)
+    assert set(serial) == set(parallel)
+    for model in serial:
+        mine, theirs = serial[model].summary(), parallel[model].summary()
+        for metric in ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
+                       "byte_hit_rate", "false_miss_rate", "response_time"):
+            assert mine[metric] == pytest.approx(theirs[metric])
