@@ -1,0 +1,15 @@
+"""Small version-compatibility shims.
+
+``DATACLASS_SLOTS`` lets the hot dataclasses (geometry primitives, R-tree
+entries, cache item metadata) opt into ``__slots__`` on Python 3.10+ —
+``@dataclass(slots=True)`` generates the correct ``__getstate__`` /
+``__setstate__`` pair so frozen slotted instances still pickle (the fleet
+runner ships traces across process boundaries).  On 3.9 the flag does not
+exist, so the classes silently fall back to ``__dict__`` storage there.
+"""
+
+from __future__ import annotations
+
+import sys
+
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}

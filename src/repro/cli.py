@@ -2,7 +2,7 @@
 
 Installed as the ``repro`` console script (also runnable as
 ``python -m repro.cli``; the legacy ``repro-spatial-cache`` alias is kept).
-Four sub-commands are provided:
+Five sub-commands are provided:
 
 * ``compare`` — run PAG / SEM / APRO (and optionally FPRO / CPRO) on one
   trace and print the headline metrics;
@@ -10,7 +10,9 @@ Four sub-commands are provided:
   and print per-group and server-load metrics;
 * ``figure`` — regenerate one of the paper's figures (``6``–``11``,
   ``table61`` or ``overheads``);
-* ``params`` — print the Table 6.1 parameter sheet for a configuration.
+* ``params`` — print the Table 6.1 parameter sheet for a configuration;
+* ``bench`` — run the perf-regression scenario suite, write a
+  ``BENCH_*.json`` report and optionally gate against a committed baseline.
 """
 
 from __future__ import annotations
@@ -158,6 +160,45 @@ def _run_params(args: argparse.Namespace) -> str:
     return table61.render(table61.run(config_from_args(args)))
 
 
+def _run_bench(args: argparse.Namespace) -> str:
+    from repro.perf import (
+        compare_to_baseline, format_report, load_report, run_suite,
+        scenario_names, write_report,
+    )
+    if args.check and not args.baseline:
+        # A gate that never ran must not look like a gate that passed.
+        raise SystemExit("repro bench: error: --check requires --baseline")
+    names = args.scenario or scenario_names()
+    current = run_suite(names, scale=args.scale, repeats=args.repeats,
+                        measure_allocations=not args.no_alloc,
+                        label=args.label, progress=print)
+    baseline = None
+    comparison = None
+    if args.baseline:
+        baseline = load_report(args.baseline, section=args.baseline_section)
+        comparison = compare_to_baseline(current, baseline,
+                                         max_regression=args.max_regression)
+    if args.output:
+        write_report(args.output, current, baseline=baseline,
+                     meta={"command": "repro bench", "scale": args.scale})
+    report = format_report(current, comparison)
+    if args.check and comparison is not None:
+        failures = [e.name for e in comparison if e.regressed]
+        mismatches = [e.name for e in comparison if e.fingerprint_matches is False]
+        if failures or mismatches:
+            print(report)
+            problems = []
+            if failures:
+                problems.append(
+                    f"wall-clock regression > {args.max_regression:.0%} in: "
+                    + ", ".join(failures))
+            if mismatches:
+                problems.append("behaviour fingerprint mismatch in: "
+                                + ", ".join(mismatches))
+            raise SystemExit("repro bench: FAILED — " + "; ".join(problems))
+    return report
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -205,6 +246,35 @@ def build_parser() -> argparse.ArgumentParser:
     params = subparsers.add_parser("params", help="print the Table 6.1 parameter sheet")
     _add_config_arguments(params)
     params.set_defaults(handler=_run_params)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the perf-regression scenario suite")
+    bench.add_argument("--scenario", action="append", default=[],
+                       help="scenario to run (repeatable; default: all)")
+    bench.add_argument("--scale", choices=("default", "smoke"), default="default",
+                       help="scenario scale: committed-baseline 'default' or "
+                            "CI-sized 'smoke' (default: default)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per scenario; best-of is reported "
+                            "(default: 3)")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="write the BENCH_*.json report here")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="committed BENCH_*.json to compare against")
+    bench.add_argument("--baseline-section", choices=("current", "baseline"),
+                       default="current",
+                       help="which section of the baseline file to compare "
+                            "against (default: current)")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="allowed fractional wall-clock growth before "
+                            "--check fails (default: 0.25)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero on regression or fingerprint mismatch")
+    bench.add_argument("--no-alloc", action="store_true",
+                       help="skip the tracemalloc instrumentation pass")
+    bench.add_argument("--label", default="",
+                       help="free-form label stored in the report")
+    bench.set_defaults(handler=_run_bench)
     return parser
 
 

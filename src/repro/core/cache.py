@@ -10,6 +10,12 @@ as victims, and cascading bookkeeping keeps the leaf set correct.
 
 Per-item metadata matches Section 5.2: size, insertion time (query sequence
 number), hit-query count, parent id and number of cached children.
+
+All aggregate views the replacement policies sit in hot loops on — the leaf
+set, ``used_bytes`` and the index/object byte split — are maintained
+incrementally on every insert/evict instead of being recomputed by scanning
+``items``, and ``evict_subtree`` walks an explicit stack so arbitrarily deep
+snapshot chains cannot exhaust the interpreter's recursion limit.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Union
 
+from repro._compat import DATACLASS_SLOTS
 from repro.core.items import (
     CachedIndexNode,
     CachedObject,
@@ -29,7 +36,7 @@ from repro.rtree.sizes import SizeModel
 Payload = Union[CachedIndexNode, CachedObject]
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class CacheItemState:
     """A cached item plus the metadata needed by the replacement policies."""
 
@@ -86,6 +93,11 @@ class ProactiveCache:
         self.clock = 0
         self.evictions = 0
         self.rejected_inserts = 0
+        # Incremental aggregates: the set of evictable (childless) items as an
+        # insertion-ordered dict-backed set, plus the index/object byte split.
+        self._leaf_keys: Dict[str, None] = {}
+        self._index_bytes = 0
+        self._object_bytes = 0
 
     # ------------------------------------------------------------------ #
     # clock / bookkeeping
@@ -138,23 +150,45 @@ class ProactiveCache:
         return {state.payload.node_id for state in self.items.values()
                 if state.is_index_item}
 
+    def leaf_keys(self) -> List[str]:
+        """Keys of all currently evictable items (maintained incrementally)."""
+        return list(self._leaf_keys)
+
     def leaf_items(self) -> List[CacheItemState]:
         """All currently evictable items."""
-        return [state for state in self.items.values() if state.is_leaf_item]
+        items = self.items
+        return [items[key] for key in self._leaf_keys]
 
     def index_bytes(self) -> int:
         """Bytes occupied by index snapshots."""
-        return sum(s.size_bytes for s in self.items.values() if s.is_index_item)
+        return self._index_bytes
 
     def object_bytes(self) -> int:
         """Bytes occupied by data objects."""
-        return sum(s.size_bytes for s in self.items.values() if not s.is_index_item)
+        return self._object_bytes
 
     def __len__(self) -> int:
         return len(self.items)
 
     def __contains__(self, key: str) -> bool:
         return key in self.items
+
+    # ------------------------------------------------------------------ #
+    # internal bookkeeping helpers
+    # ------------------------------------------------------------------ #
+    def _register(self, state: CacheItemState) -> None:
+        """Add ``state`` to items, aggregates and the parent/leaf structure."""
+        self.items[state.key] = state
+        self.used_bytes += state.size_bytes
+        if state.is_index_item:
+            self._index_bytes += state.size_bytes
+        else:
+            self._object_bytes += state.size_bytes
+        self._leaf_keys[state.key] = None
+        if state.parent_key is not None:
+            parent = self.items[state.parent_key]
+            parent.cached_children.add(state.key)
+            self._leaf_keys.pop(state.parent_key, None)
 
     # ------------------------------------------------------------------ #
     # insertion
@@ -195,6 +229,7 @@ class ProactiveCache:
                 pass
             existing.size_bytes = new_size
             self.used_bytes += delta
+            self._index_bytes += delta
             return True
 
         size = snapshot.size_bytes(self.size_model)
@@ -209,10 +244,7 @@ class ProactiveCache:
         state = CacheItemState(key=key, payload=snapshot.copy(), size_bytes=size,
                                insert_time=self.clock, parent_key=parent_key,
                                last_access=self.clock)
-        self.items[key] = state
-        self.used_bytes += size
-        if parent_key is not None:
-            self.items[parent_key].cached_children.add(key)
+        self._register(state)
         return True
 
     def insert_object(self, cached_object: CachedObject, parent_node_id: Optional[int],
@@ -237,10 +269,7 @@ class ProactiveCache:
         state = CacheItemState(key=key, payload=cached_object, size_bytes=size,
                                insert_time=self.clock, parent_key=parent_key,
                                last_access=self.clock)
-        self.items[key] = state
-        self.used_bytes += size
-        if parent_key is not None:
-            self.items[parent_key].cached_children.add(key)
+        self._register(state)
         return True
 
     # ------------------------------------------------------------------ #
@@ -252,27 +281,58 @@ class ProactiveCache:
         if state.cached_children:
             raise ValueError(f"cannot evict {key}: it still has cached children")
         del self.items[key]
+        self._leaf_keys.pop(key, None)
         self.used_bytes -= state.size_bytes
+        if state.is_index_item:
+            self._index_bytes -= state.size_bytes
+        else:
+            self._object_bytes -= state.size_bytes
         self.evictions += 1
         if state.parent_key is not None:
             parent = self.items.get(state.parent_key)
             if parent is not None:
                 parent.cached_children.discard(key)
+                if not parent.cached_children:
+                    self._leaf_keys[state.parent_key] = None
 
     def evict_subtree(self, key: str) -> List[str]:
         """Remove an item together with all its cached descendants.
 
-        Returns the keys removed, in leaf-to-root order.
+        Returns the keys removed, in leaf-to-root order (every descendant
+        before its ancestor).  Iterative so that snapshot chains deeper than
+        the interpreter's recursion limit are handled.
         """
         removed: List[str] = []
-        state = self.items.get(key)
-        if state is None:
+        if key not in self.items:
             return removed
-        for child_key in list(state.cached_children):
-            removed.extend(self.evict_subtree(child_key))
-        self.evict(key)
-        removed.append(key)
+        # Depth-first preorder; reversing it yields a valid leaf-to-root
+        # eviction order (children always appear after their parent).
+        order: List[str] = []
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            state = self.items.get(current)
+            if state is None:
+                continue
+            order.append(current)
+            stack.extend(state.cached_children)
+        for current in reversed(order):
+            self.evict(current)
+            removed.append(current)
         return removed
+
+    def restore_item(self, state: CacheItemState) -> None:
+        """Re-admit a previously evicted item (GRD3's step-(6) correction).
+
+        The item is restored childless; its parent (if any) must already be
+        cached.  All incremental aggregates are maintained, unlike a raw
+        ``items[key] = state`` write.
+        """
+        if state.parent_key is not None and state.parent_key not in self.items:
+            raise ValueError(
+                f"cannot restore {state.key}: parent {state.parent_key} not cached")
+        state.cached_children = set()
+        self._register(state)
 
     def _make_room(self, bytes_needed: int, context: Optional[dict],
                    protect: Set[str]) -> bool:
@@ -293,6 +353,12 @@ class ProactiveCache:
         """Check structural invariants (used by the tests)."""
         computed = sum(state.size_bytes for state in self.items.values())
         assert computed == self.used_bytes, "used_bytes out of sync"
+        index_total = sum(s.size_bytes for s in self.items.values() if s.is_index_item)
+        object_total = sum(s.size_bytes for s in self.items.values() if not s.is_index_item)
+        assert index_total == self._index_bytes, "index_bytes out of sync"
+        assert object_total == self._object_bytes, "object_bytes out of sync"
+        leaves = {key for key, state in self.items.items() if state.is_leaf_item}
+        assert leaves == set(self._leaf_keys), "leaf set out of sync"
         for key, state in self.items.items():
             if state.parent_key is not None:
                 assert state.parent_key in self.items, f"{key} is unreachable"

@@ -269,26 +269,53 @@ class ClientQueryProcessor:
             return execution
 
         root_side = ("node", self.root_id, self.root_mbr)
-        stack: List[Tuple[Tuple, Tuple]] = [(root_side, root_side)]
-        seen_pairs: Set[Tuple[str, str]] = set()
+        stack: List[Tuple[Tuple, Tuple, bool]] = [(root_side, root_side, False)]
+        seen_pairs: Set[Tuple] = set()
         result_pairs: Set[Tuple[int, int]] = set()
 
-        def side_key(side: Tuple) -> str:
+        def side_key(side: Tuple) -> Tuple:
             kind = side[0]
             if kind == "node":
-                return f"n{side[1]}"
+                return ("n", side[1])
             if kind == "super":
-                return f"s{side[1]}:{side[2]}"
-            return f"o{side[1]}"
+                return ("s", side[1], side[2])
+            return ("o", side[1])
 
         def side_mbr(side: Tuple) -> Rect:
             return side[-1] if side[0] != "object" else side[2]
 
+        # Same inlining as the server's join predicate: one call per
+        # candidate pair, hoisted window coords, squared MINDIST.
+        w_min_x, w_min_y = window.min_x, window.min_y
+        w_max_x, w_max_y = window.max_x, window.max_y
+        threshold_sq = threshold * threshold
+
         def qualifies(a: Tuple, b: Tuple) -> bool:
-            mbr_a, mbr_b = side_mbr(a), side_mbr(b)
-            if not mbr_a.intersects(window) or not mbr_b.intersects(window):
+            mbr_a = a[2] if a[0] == "object" else a[-1]
+            mbr_b = b[2] if b[0] == "object" else b[-1]
+            if (mbr_a.min_x > w_max_x or mbr_a.max_x < w_min_x
+                    or mbr_a.min_y > w_max_y or mbr_a.max_y < w_min_y):
                 return False
-            return mbr_a.min_dist_to_rect(mbr_b) <= threshold
+            if (mbr_b.min_x > w_max_x or mbr_b.max_x < w_min_x
+                    or mbr_b.min_y > w_max_y or mbr_b.max_y < w_min_y):
+                return False
+            dx = mbr_a.min_x - mbr_b.max_x
+            if dx < 0.0:
+                dx = mbr_b.min_x - mbr_a.max_x
+                if dx < 0.0:
+                    dx = 0.0
+            dy = mbr_a.min_y - mbr_b.max_y
+            if dy < 0.0:
+                dy = mbr_b.min_y - mbr_a.max_y
+                if dy < 0.0:
+                    dy = 0.0
+            return dx * dx + dy * dy <= threshold_sq
+
+        # Memoised per query: a cached node's side list never changes while
+        # the join runs (joins only touch, never insert or evict), but the
+        # hit-accounting touch must still land once per expansion, exactly
+        # as the unmemoised walk performed it.
+        expand_cache: Dict[int, Optional[List[Tuple]]] = {}
 
         def expand(side: Tuple) -> Optional[List[Tuple]]:
             """Expand a node side into child sides; None when not possible locally."""
@@ -296,8 +323,14 @@ class ClientQueryProcessor:
             if kind != "node":
                 return None
             node_id = side[1]
+            if node_id in expand_cache:
+                cached = expand_cache[node_id]
+                if cached is not None:
+                    self._touch_node(node_id)
+                return cached
             snapshot = self.cache.get_node(node_id)
             if snapshot is None:
+                expand_cache[node_id] = None
                 return None
             self._touch_node(node_id)
             sides: List[Tuple] = []
@@ -308,6 +341,7 @@ class ClientQueryProcessor:
                     sides.append(("node", element.child_id, element.mbr))
                 else:
                     sides.append(("object", element.object_id, element.mbr, node_id))
+            expand_cache[node_id] = sides
             return sides
 
         def to_target(side: Tuple) -> FrontierTarget:
@@ -328,11 +362,12 @@ class ClientQueryProcessor:
             return self.cache.has_object(side[1])
 
         while stack:
-            side_a, side_b = stack.pop()
+            side_a, side_b, prequalified = stack.pop()
             execution.examined_elements += 1
-            if not qualifies(side_a, side_b):
+            if not prequalified and not qualifies(side_a, side_b):
                 continue
-            pair_key = tuple(sorted((side_key(side_a), side_key(side_b))))
+            key_a, key_b = side_key(side_a), side_key(side_b)
+            pair_key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
             if pair_key in seen_pairs:
                 continue
             seen_pairs.add(pair_key)
@@ -369,7 +404,27 @@ class ClientQueryProcessor:
             if expanded is None:  # pragma: no cover - defensive (resolvable node)
                 execution.frontier.append((to_target(side_a), to_target(side_b)))
                 continue
+            # Inline child-vs-other predicate (same shape as the server's):
+            # `other` already passed the window test as part of this pair.
+            o_mbr = other[2] if other[0] == "object" else other[-1]
+            o_min_x, o_min_y = o_mbr.min_x, o_mbr.min_y
+            o_max_x, o_max_y = o_mbr.max_x, o_mbr.max_y
+            push = stack.append
             for child in expanded:
-                if qualifies(child, other):
-                    stack.append((child, other))
+                c_mbr = child[2] if child[0] == "object" else child[-1]
+                if (c_mbr.min_x > w_max_x or c_mbr.max_x < w_min_x
+                        or c_mbr.min_y > w_max_y or c_mbr.max_y < w_min_y):
+                    continue
+                dx = c_mbr.min_x - o_max_x
+                if dx < 0.0:
+                    dx = o_min_x - c_mbr.max_x
+                    if dx < 0.0:
+                        dx = 0.0
+                dy = c_mbr.min_y - o_max_y
+                if dy < 0.0:
+                    dy = o_min_y - c_mbr.max_y
+                    if dy < 0.0:
+                        dy = 0.0
+                if dx * dx + dy * dy <= threshold_sq:
+                    push((child, other, True))
         return execution

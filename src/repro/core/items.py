@@ -6,11 +6,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.geometry import Rect
 from repro.rtree.sizes import SizeModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class CacheEntry:
     """One element of a cached index-node snapshot.
 
@@ -53,7 +54,7 @@ class CacheEntry:
         return size_model.entry_bytes
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class CachedIndexNode:
     """A client-side snapshot of one R-tree node.
 
@@ -102,11 +103,15 @@ class CachedIndexNode:
             if existing is None or existing.is_super and not element.is_super:
                 combined[element.code] = element
         codes = sorted(combined)
+        # In lexicographic order every strict extension of a code sorts into
+        # a contiguous block immediately after it, so "something finer is
+        # known" reduces to one startswith test against the next code.
         refined: Dict[str, CacheEntry] = {}
-        for code in codes:
-            has_finer = any(other != code and other.startswith(code) for other in codes)
-            if not has_finer:
-                refined[code] = combined[code]
+        last_index = len(codes) - 1
+        for index, code in enumerate(codes):
+            if index < last_index and codes[index + 1].startswith(code):
+                continue
+            refined[code] = combined[code]
         self.elements = refined
 
     def copy(self) -> "CachedIndexNode":
@@ -114,7 +119,7 @@ class CachedIndexNode:
         return CachedIndexNode(self.node_id, self.level, dict(self.elements))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class CachedObject:
     """A data object held in the client cache."""
 
@@ -131,7 +136,7 @@ class TargetKind(enum.Enum):
     SUPER = "super"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class FrontierTarget:
     """One element of the execution state handed over to the server.
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Set
 
@@ -27,10 +28,16 @@ class ReplacementPolicy(abc.ABC):
     """A policy decides which *leaf items* to evict to make room.
 
     Subclasses implement :meth:`score`; a lower score means "evict sooner".
-    ``make_room`` repeatedly evicts the lowest-scoring leaf item until the
-    requested number of bytes fits (or nothing evictable remains).  Evicting
-    a leaf item can turn its parent into a leaf item, so the candidate set is
-    recomputed every round.
+    ``make_room`` evicts the lowest-scoring leaf item until the requested
+    number of bytes fits (or nothing evictable remains).
+
+    Victim selection runs on a per-call min-heap over the leaf items instead
+    of rescanning the whole leaf set every round: the clock is fixed for the
+    duration of a ``make_room`` call and no hits land mid-eviction, so every
+    leaf's score is stable and only *new* leaves (parents whose last cached
+    child was just evicted) ever enter the candidate set.  Ties break on the
+    item key, which keeps the victim sequence byte-for-byte identical to the
+    naive min-scan this replaces.
     """
 
     name = "base"
@@ -44,11 +51,21 @@ class ReplacementPolicy(abc.ABC):
                   context: dict, protect: Set[str]) -> bool:
         """Evict until ``bytes_needed`` additional bytes fit in the cache."""
         target = cache.capacity_bytes - bytes_needed
+        if cache.used_bytes <= target:
+            return True
+        items = cache.items
+        heap = [(self.score(state, cache, context), state.key)
+                for state in cache.leaf_items() if state.key not in protect]
+        heapq.heapify(heap)
         while cache.used_bytes > target:
-            candidates = [state for state in cache.leaf_items()
-                          if state.key not in protect]
-            if not candidates:
+            if not heap:
                 return False
-            victim = min(candidates, key=lambda s: (self.score(s, cache, context), s.key))
-            cache.evict(victim.key)
+            _, key = heapq.heappop(heap)
+            parent_key = items[key].parent_key
+            cache.evict(key)
+            if parent_key is not None and parent_key not in protect:
+                parent = items.get(parent_key)
+                if parent is not None and not parent.cached_children:
+                    heapq.heappush(
+                        heap, (self.score(parent, cache, context), parent_key))
         return True

@@ -331,19 +331,51 @@ class ServerQueryProcessor:
         def side_mbr(side: Tuple) -> Rect:
             return side[3] if side[0] == "node" else side[2]
 
-        def side_key(side: Tuple) -> str:
+        def side_key(side: Tuple) -> Tuple:
             if side[0] == "node":
-                return f"n{side[1]}:{side[2]}"
-            return f"o{side[1]}"
+                return ("n", side[1], side[2])
+            return ("o", side[1])
+
+        # This predicate runs once per candidate pair — the hottest loop of
+        # the whole server — so the window test and the MINDIST comparison
+        # are inlined on hoisted coordinates and squared distances.
+        w_min_x, w_min_y = window.min_x, window.min_y
+        w_max_x, w_max_y = window.max_x, window.max_y
+        threshold_sq = threshold * threshold
 
         def qualifies(a: Tuple, b: Tuple) -> bool:
-            mbr_a, mbr_b = side_mbr(a), side_mbr(b)
-            if not mbr_a.intersects(window) or not mbr_b.intersects(window):
+            mbr_a = a[3] if a[0] == "node" else a[2]
+            mbr_b = b[3] if b[0] == "node" else b[2]
+            if (mbr_a.min_x > w_max_x or mbr_a.max_x < w_min_x
+                    or mbr_a.min_y > w_max_y or mbr_a.max_y < w_min_y):
                 return False
-            return mbr_a.min_dist_to_rect(mbr_b) <= threshold
+            if (mbr_b.min_x > w_max_x or mbr_b.max_x < w_min_x
+                    or mbr_b.min_y > w_max_y or mbr_b.max_y < w_min_y):
+                return False
+            dx = mbr_a.min_x - mbr_b.max_x
+            if dx < 0.0:
+                dx = mbr_b.min_x - mbr_a.max_x
+                if dx < 0.0:
+                    dx = 0.0
+            dy = mbr_a.min_y - mbr_b.max_y
+            if dy < 0.0:
+                dy = mbr_b.min_y - mbr_a.max_y
+                if dy < 0.0:
+                    dy = 0.0
+            return dx * dx + dy * dy <= threshold_sq
+
+        # A node side is expanded once per pair it appears in; the expansion
+        # is deterministic and the recorder bookkeeping inside _start_node is
+        # idempotent, so repeated expansions of the same (node, base) within
+        # this query are served from a memo.
+        expand_cache: Dict[Tuple[int, str], List[Tuple]] = {}
 
         def expand(side: Tuple) -> List[Tuple]:
-            node_id, base = side[1], side[2]
+            cache_key = (side[1], side[2])
+            cached = expand_cache.get(cache_key)
+            if cached is not None:
+                return cached
+            node_id, base = cache_key
             sides: List[Tuple] = []
             for owner, element in self._start_node(node_id, base, recorder, policy):
                 if isinstance(element, SuperEntry):
@@ -352,23 +384,29 @@ class ServerQueryProcessor:
                     sides.append(("object", element.object_id, element.mbr, owner))
                 else:
                     sides.append(("node", element.child_id, "", element.mbr))
+            expand_cache[cache_key] = sides
             return sides
 
-        stack: List[Tuple[Tuple, Tuple]] = []
+        # Stack entries are (side_a, side_b, prequalified).  Children are
+        # only pushed after passing the pair predicate, so re-evaluating it
+        # on pop would always succeed — the flag skips that redundant check
+        # while `examined` still counts every popped pair, exactly as before.
+        stack: List[Tuple[Tuple, Tuple, bool]] = []
         for item in frontier:
             if len(item) == 2:
-                stack.append((target_to_side(item[0]), target_to_side(item[1])))
+                stack.append((target_to_side(item[0]), target_to_side(item[1]), False))
             else:
                 side = target_to_side(item[0])
-                stack.append((side, side))
-        seen: Set[Tuple[str, str]] = set()
+                stack.append((side, side, False))
+        seen: Set[Tuple] = set()
 
         while stack:
-            side_a, side_b = stack.pop()
+            side_a, side_b, prequalified = stack.pop()
             examined += 1
-            if not qualifies(side_a, side_b):
+            if not prequalified and not qualifies(side_a, side_b):
                 continue
-            pair_key = tuple(sorted((side_key(side_a), side_key(side_b))))
+            key_a, key_b = side_key(side_a), side_key(side_b)
+            pair_key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
             if pair_key in seen:
                 continue
             seen.add(pair_key)
@@ -386,9 +424,30 @@ class ServerQueryProcessor:
                 children, other = expand(side_a), side_b
             else:
                 children, other = expand(side_b), side_a
+            # Inline child-vs-other predicate: `other` survived the pair
+            # check above, so only the child's window test and the mutual
+            # MINDIST remain.
+            o_mbr = other[3] if other[0] == "node" else other[2]
+            o_min_x, o_min_y = o_mbr.min_x, o_mbr.min_y
+            o_max_x, o_max_y = o_mbr.max_x, o_mbr.max_y
+            push = stack.append
             for child in children:
-                if qualifies(child, other):
-                    stack.append((child, other))
+                c_mbr = child[3] if child[0] == "node" else child[2]
+                if (c_mbr.min_x > w_max_x or c_mbr.max_x < w_min_x
+                        or c_mbr.min_y > w_max_y or c_mbr.max_y < w_min_y):
+                    continue
+                dx = c_mbr.min_x - o_max_x
+                if dx < 0.0:
+                    dx = o_min_x - c_mbr.max_x
+                    if dx < 0.0:
+                        dx = 0.0
+                dy = c_mbr.min_y - o_max_y
+                if dy < 0.0:
+                    dy = o_min_y - c_mbr.max_y
+                    if dy < 0.0:
+                        dy = 0.0
+                if dx * dx + dy * dy <= threshold_sq:
+                    push((child, other, True))
         return results, examined
 
     # ------------------------------------------------------------------ #

@@ -18,6 +18,24 @@ def min_dist_point_rect(point: Point, rect: Rect) -> float:
     return rect.min_dist_to_point(point)
 
 
+def min_dist_sq_point_rect(point: Point, rect: Rect) -> float:
+    """Squared MINDIST between a point and a rectangle (no square root).
+
+    Reference form of the squared kernels the hot loops inline; see
+    :meth:`Rect.min_dist_sq_to_point`.
+    """
+    return rect.min_dist_sq_to_point(point)
+
+
+def min_dist_sq_rect_rect(a: Rect, b: Rect) -> float:
+    """Squared minimum distance between two rectangles (0 when overlapping).
+
+    Reference form of the squared kernels the join loops inline; see
+    :meth:`Rect.min_dist_sq_to_rect`.
+    """
+    return a.min_dist_sq_to_rect(b)
+
+
 def min_max_dist_point_rect(point: Point, rect: Rect) -> float:
     """MINMAXDIST between a point and a rectangle.
 

@@ -12,10 +12,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.geometry.point import Point
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **DATACLASS_SLOTS)
 class Rect:
     """An immutable axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
 
@@ -54,15 +55,22 @@ class Rect:
     @staticmethod
     def bounding(rects: Iterable["Rect"]) -> "Rect":
         """The MBR of a non-empty collection of rectangles."""
-        rects = list(rects)
-        if not rects:
+        iterator = iter(rects)
+        first = next(iterator, None)
+        if first is None:
             raise ValueError("cannot bound an empty collection of rectangles")
-        return Rect(
-            min(r.min_x for r in rects),
-            min(r.min_y for r in rects),
-            max(r.max_x for r in rects),
-            max(r.max_y for r in rects),
-        )
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for rect in iterator:
+            if rect.min_x < min_x:
+                min_x = rect.min_x
+            if rect.min_y < min_y:
+                min_y = rect.min_y
+            if rect.max_x > max_x:
+                max_x = rect.max_x
+            if rect.max_y > max_y:
+                max_y = rect.max_y
+        return Rect(min_x, min_y, max_x, max_y)
 
     # ------------------------------------------------------------------ #
     # basic measures
@@ -143,6 +151,17 @@ class Rect:
         dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
         return math.hypot(dx, dy)
 
+    def min_dist_sq_to_point(self, point: Point) -> float:
+        """Squared MINDIST from ``point`` (no square root).
+
+        Reference formulation of the arithmetic the kNN hot loop inlines
+        (``rtree/knn.py`` hoists the coordinates rather than calling this);
+        the equivalence tests pin the inlined kernels against it.
+        """
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return dx * dx + dy * dy
+
     def max_dist_to_point(self, point: Point) -> float:
         """Maximum Euclidean distance from ``point`` to the rectangle."""
         dx = max(abs(point.x - self.min_x), abs(point.x - self.max_x))
@@ -154,6 +173,17 @@ class Rect:
         dx = max(self.min_x - other.max_x, 0.0, other.min_x - self.max_x)
         dy = max(self.min_y - other.max_y, 0.0, other.min_y - self.max_y)
         return math.hypot(dx, dy)
+
+    def min_dist_sq_to_rect(self, other: "Rect") -> float:
+        """Squared minimum distance between the two rectangles.
+
+        Reference formulation of the arithmetic the join predicates inline
+        (``rtree/join.py`` and the server/client join loops hoist the
+        coordinates rather than calling this).
+        """
+        dx = max(self.min_x - other.max_x, 0.0, other.min_x - self.max_x)
+        dy = max(self.min_y - other.max_y, 0.0, other.min_y - self.max_y)
+        return dx * dx + dy * dy
 
     # ------------------------------------------------------------------ #
     # decomposition (semantic-cache trimming)

@@ -1,0 +1,115 @@
+"""The perf-harness scenario suite.
+
+Every scenario is a plain function ``run(scale) -> fingerprint`` where the
+fingerprint is a flat ``{name: float}`` dict of seed-deterministic metrics.
+The harness times the call and stores the fingerprint next to the timing, so
+a perf report doubles as an equivalence certificate: an optimisation that
+changes any eviction decision or query result shows up as a fingerprint
+mismatch against the baseline, not just a timing delta.
+
+Scales
+------
+``default``
+    The committed-baseline scale: big enough that the hot paths dominate
+    (thousands of queries through the replacement and search kernels).
+``smoke``
+    The CI scale: the same scenarios shrunk to run in a few seconds.
+
+Only deterministic metrics (byte counts, hit rates, modelled response time)
+go into fingerprints — wall-clock-derived values like measured CPU seconds
+are excluded by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import default_fleet, run_fleet
+from repro.sim.metrics import DETERMINISTIC_METRICS
+from repro.sim.runner import run_comparison
+
+
+Fingerprint = Dict[str, float]
+
+#: Scenario scale knobs: (queries, objects, fleet_clients, fleet_queries).
+SCALES: Dict[str, Dict[str, int]] = {
+    "default": {"queries": 250, "objects": 4_000,
+                "fleet_clients": 24, "fleet_queries": 40,
+                "pressure_queries": 150, "pressure_objects": 3_000},
+    "smoke": {"queries": 60, "objects": 1_200,
+              "fleet_clients": 6, "fleet_queries": 12,
+              "pressure_queries": 40, "pressure_objects": 800},
+}
+
+_FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
+                        "byte_hit_rate", "false_miss_rate", "response_time")
+
+
+def _round(value: float) -> float:
+    """Round to a stable precision so JSON round-trips compare exactly."""
+    return round(float(value), 9)
+
+
+def fig6_models(scale: Dict[str, int]) -> Fingerprint:
+    """Figure-6-style comparison: PAG vs SEM vs APRO on one DIR trace."""
+    config = SimulationConfig.scaled(
+        query_count=scale["queries"], object_count=scale["objects"],
+    ).with_overrides(mobility_model="DIR", cache_fraction=0.01)
+    results = run_comparison(config, models=("PAG", "SEM", "APRO"))
+    fingerprint: Fingerprint = {}
+    for model, result in results.items():
+        summary = result.summary()
+        for metric in _FINGERPRINT_METRICS:
+            fingerprint[f"{model}.{metric}"] = _round(summary[metric])
+    return fingerprint
+
+
+def fleet_rush_hour(scale: Dict[str, int]) -> Fingerprint:
+    """The default heterogeneous fleet against one shared server."""
+    base = SimulationConfig.scaled(
+        query_count=scale["fleet_queries"], object_count=scale["objects"])
+    fleet = default_fleet(scale["fleet_clients"], base=base)
+    result = run_fleet(fleet)
+    fingerprint: Fingerprint = {}
+    for group, summary in sorted(result.deterministic_group_summary().items()):
+        for metric in DETERMINISTIC_METRICS:
+            fingerprint[f"{group}.{metric}"] = _round(summary[metric])
+    load = result.server_load()
+    fingerprint["server.total_queries"] = float(load.total_queries)
+    fingerprint["server.server_queries"] = float(load.server_queries)
+    fingerprint["server.uplink_bytes_total"] = _round(load.uplink_bytes_total)
+    fingerprint["server.downlink_bytes_total"] = _round(load.downlink_bytes_total)
+    return fingerprint
+
+
+def cache_pressure(scale: Dict[str, int]) -> Fingerprint:
+    """APRO under shrinking cache budgets — an eviction-heavy workload.
+
+    Small caches force the replacement policy to run on nearly every insert,
+    which is exactly the ``make_room`` hot path this scenario protects.
+    """
+    fractions: Tuple[float, ...] = (0.002, 0.005, 0.01, 0.02)
+    fingerprint: Fingerprint = {}
+    for fraction in fractions:
+        config = SimulationConfig.scaled(
+            query_count=scale["pressure_queries"],
+            object_count=scale["pressure_objects"],
+        ).with_overrides(cache_fraction=fraction)
+        results = run_comparison(config, models=("APRO",))
+        summary = results["APRO"].summary()
+        for metric in _FINGERPRINT_METRICS:
+            fingerprint[f"c{fraction}.{metric}"] = _round(summary[metric])
+    return fingerprint
+
+
+SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
+    "fig6_models": fig6_models,
+    "fleet_rush_hour": fleet_rush_hour,
+    "cache_pressure": cache_pressure,
+}
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, in registry order."""
+    return list(SCENARIOS)

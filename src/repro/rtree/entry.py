@@ -5,10 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.geometry import Point, Rect
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class ObjectRecord:
     """A spatial data object stored in the database.
 
@@ -27,7 +28,7 @@ class ObjectRecord:
         return self.mbr.center()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Entry:
     """An entry ``(MBR, p)`` inside an R-tree node.
 

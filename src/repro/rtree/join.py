@@ -17,10 +17,26 @@ PairPredicate = Callable[[Rect, Rect], bool]
 
 
 def distance_predicate(threshold: float) -> PairPredicate:
-    """Predicate "minimum distance between the MBRs is at most ``threshold``"."""
+    """Predicate "minimum distance between the MBRs is at most ``threshold``".
+
+    Evaluated on squared distances with inlined coordinate arithmetic — this
+    predicate runs once per candidate pair in the join inner loops, so it
+    avoids the ``Rect.min_dist_to_rect`` method call and its square root.
+    """
+    threshold_sq = threshold * threshold
 
     def predicate(a: Rect, b: Rect) -> bool:
-        return a.min_dist_to_rect(b) <= threshold
+        dx = a.min_x - b.max_x
+        if dx < 0.0:
+            dx = b.min_x - a.max_x
+            if dx < 0.0:
+                dx = 0.0
+        dy = a.min_y - b.max_y
+        if dy < 0.0:
+            dy = b.min_y - a.max_y
+            if dy < 0.0:
+                dy = 0.0
+        return dx * dx + dy * dy <= threshold_sq
 
     return predicate
 

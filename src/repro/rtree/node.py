@@ -5,11 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.geometry import Rect
 from repro.rtree.entry import Entry
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class Node:
     """A single R-tree node, i.e. one page of the index.
 

@@ -63,6 +63,11 @@ class PartitionTree:
         self._entry_codes: Dict[str, str] = {}
         self._build("", list(node.entries))
         self.height = max(len(code) for code in self.subsets)
+        # The tree is immutable after construction, so leaf membership and
+        # the two-element child lists of internal codes can be served from
+        # caches instead of being recomputed in the query-processing loops.
+        self._leaf_codes: Set[str] = set(self._entry_codes.values())
+        self._children_cache: Dict[str, List[PartitionElement]] = {}
 
     def _build(self, code: str, entries: List[Entry]) -> None:
         self.subsets[code] = entries
@@ -80,7 +85,11 @@ class PartitionTree:
     # ------------------------------------------------------------------ #
     def is_leaf_code(self, code: str) -> bool:
         """True when ``code`` designates a single real entry."""
-        return len(self.subsets[code]) == 1
+        if code in self._leaf_codes:
+            return True
+        # Preserve the KeyError contract for unknown codes.
+        self.subsets[code]
+        return False
 
     def entry_at(self, code: str) -> Entry:
         """The single real entry at a leaf code."""
@@ -94,7 +103,14 @@ class PartitionTree:
         return self._entry_codes[entry.key()]
 
     def children(self, code: str) -> List[PartitionElement]:
-        """The two children of an internal code (real entries or super entries)."""
+        """The two children of an internal code (real entries or super entries).
+
+        Memoised: the elements are immutable and callers only iterate the
+        returned list, so the same list object is handed out every time.
+        """
+        cached = self._children_cache.get(code)
+        if cached is not None:
+            return cached
         if self.is_leaf_code(code):
             raise ValueError(f"code {code!r} is a leaf and has no children")
         elements: List[PartitionElement] = []
@@ -103,6 +119,7 @@ class PartitionTree:
                 elements.append(self.entry_at(child_code))
             else:
                 elements.append(SuperEntry(self.node_id, child_code, self.mbrs[child_code]))
+        self._children_cache[code] = elements
         return elements
 
     def element_at(self, code: str) -> PartitionElement:

@@ -26,19 +26,29 @@ def range_search(tree: RTree, window: Rect,
     results: List[int] = []
     if not tree.root.entries:
         return results
+    # The window is fixed for the whole traversal: hoist its coordinates and
+    # test intersection inline instead of paying a method call per entry.
+    w_min_x, w_min_y = window.min_x, window.min_y
+    w_max_x, w_max_y = window.max_x, window.max_y
+    node_of = tree.node
+    append_result = results.append
     stack = [tree.root_id]
+    push = stack.append
     while stack:
         node_id = stack.pop()
-        node = tree.node(node_id)
+        node = node_of(node_id)
         if visited_nodes is not None:
             visited_nodes.add(node_id)
         for entry in node.entries:
-            if not entry.mbr.intersects(window):
+            mbr = entry.mbr
+            if (mbr.min_x > w_max_x or mbr.max_x < w_min_x
+                    or mbr.min_y > w_max_y or mbr.max_y < w_min_y):
                 continue
-            if entry.is_leaf_entry:
-                results.append(entry.object_id)
+            object_id = entry.object_id
+            if object_id is not None:
+                append_result(object_id)
             else:
-                stack.append(entry.child_id)
+                push(entry.child_id)
     return results
 
 

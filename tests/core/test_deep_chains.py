@@ -1,0 +1,117 @@
+"""Tall snapshot chains must not hit Python's recursion limit.
+
+``evict_subtree``, GRD2's EBRS aggregation and the protected-ancestor
+closure all walk parent/child chains; each is iterative as of PR 2 so a
+5,000-deep synthetic chain (five times the default interpreter recursion
+limit) is handled.  The seed's recursive implementations would raise
+``RecursionError`` on every one of these tests.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.cache import ProactiveCache
+from repro.core.items import CacheEntry, CachedIndexNode, CachedObject, item_key_for_node
+from repro.core.replacement import GRD1Policy, GRD2Policy, GRD3Policy
+from repro.core.replacement.grd import _protected_closure, _subtree_sums
+from repro.geometry import Rect
+from repro.rtree.sizes import SizeModel
+
+
+MODEL = SizeModel()
+DEPTH = 5_000
+
+
+def build_chain(policy=None, depth=DEPTH, capacity=2_000_000):
+    """A cache holding one ``depth``-deep snapshot chain (root id 1)."""
+    cache = ProactiveCache(capacity_bytes=capacity, size_model=MODEL,
+                           replacement_policy=policy)
+    for node_id in range(1, depth + 1):
+        snapshot = CachedIndexNode(node_id=node_id, level=depth - node_id, elements={
+            "0": CacheEntry(mbr=Rect(0, 0, 0.1, 0.1), code="0",
+                            child_id=node_id + 1)})
+        parent = node_id - 1 if node_id > 1 else None
+        assert cache.insert_node_snapshot(snapshot, parent), node_id
+    return cache
+
+
+def test_chain_is_really_deeper_than_the_recursion_limit():
+    assert DEPTH > sys.getrecursionlimit()
+
+
+def test_evict_subtree_iterative_on_deep_chain():
+    cache = build_chain()
+    assert len(cache) == DEPTH
+    removed = cache.evict_subtree(item_key_for_node(1))
+    assert len(removed) == DEPTH
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+    # Leaf-to-root order: every descendant is removed before its ancestor.
+    position = {key: index for index, key in enumerate(removed)}
+    assert position[item_key_for_node(DEPTH)] < position[item_key_for_node(1)]
+    cache.validate()
+
+
+def test_grd2_benefit_and_size_iterative_on_deep_chain():
+    cache = build_chain(policy=GRD2Policy())
+    policy = cache.replacement_policy
+    root_state = cache.items[item_key_for_node(1)]
+    benefit, size = policy._benefit_and_size(root_state, cache)
+    assert size == cache.used_bytes
+    assert benefit > 0
+    assert policy.ebrs(root_state, cache) == pytest.approx(benefit / size)
+
+
+def test_grd2_subtree_sums_cover_deep_chain():
+    cache = build_chain(policy=GRD2Policy())
+    sums = _subtree_sums(cache, cache.clock)
+    assert len(sums) == DEPTH
+    assert sums[item_key_for_node(1)][1] == cache.used_bytes
+
+
+def test_protected_closure_iterative_on_deep_chain():
+    cache = build_chain()
+    deepest = item_key_for_node(DEPTH)
+    closure = _protected_closure(cache, {deepest})
+    assert len(closure) == DEPTH  # the whole ancestor chain is protected
+
+
+def test_grd2_make_room_evicts_from_deep_chain():
+    cache = build_chain(policy=GRD2Policy())
+    free = cache.capacity_bytes - cache.used_bytes
+    assert cache.replacement_policy.make_room(cache, free + 5_000, {}, set())
+    assert cache.capacity_bytes - cache.used_bytes >= free + 5_000
+    cache.validate()
+
+
+def test_grd1_make_room_evicts_from_deep_chain():
+    cache = build_chain(policy=GRD1Policy())
+    free = cache.capacity_bytes - cache.used_bytes
+    assert cache.replacement_policy.make_room(cache, free + 5_000, {}, set())
+    cache.validate()
+
+
+def test_grd3_make_room_protect_deep_leaf():
+    """The protection closure walk is exercised with a deep protected key."""
+    cache = build_chain(policy=GRD3Policy())
+    deepest = item_key_for_node(DEPTH)
+    free = cache.capacity_bytes - cache.used_bytes
+    # Protecting the deepest item protects the whole chain: nothing is
+    # evictable, so the request must be refused — without recursion.
+    assert not cache.replacement_policy.make_room(
+        cache, free + 5_000, {}, {deepest})
+    assert deepest in cache.items
+    cache.validate()
+
+
+def test_deep_chain_with_object_leaf():
+    """An object hanging off the chain's deepest node evicts cleanly too."""
+    cache = build_chain()
+    assert cache.insert_object(
+        CachedObject(object_id=9, mbr=Rect(0, 0, 0.01, 0.01), size_bytes=500),
+        parent_node_id=DEPTH)
+    removed = cache.evict_subtree(item_key_for_node(1))
+    assert len(removed) == DEPTH + 1
+    assert removed[0] == "obj:9"  # the deepest leaf goes first
+    cache.validate()

@@ -1,0 +1,129 @@
+"""GRD3 step-(6) regression: the reinserted item must stay reachable.
+
+The step-(6) correction clears the cache down to the dominant item's parent
+chain before re-admitting it.  The seed implementation drove that loop by
+rebuilding ``leaf_items()`` every round and re-attached the item by writing
+``cache.items`` directly; the rewrite runs a cascading worklist over the
+incremental leaf set and goes through ``ProactiveCache.restore_item``.  This
+test pins the contract on a cache where the dominant item's parent has
+sibling subtrees: the siblings must drain fully, the parent chain must
+survive untouched, and the reinserted item must be reachable (parent/child
+links intact, all aggregates in sync).
+"""
+
+from repro.core.cache import ProactiveCache
+from repro.core.items import (
+    CacheEntry,
+    CachedIndexNode,
+    CachedObject,
+    item_key_for_node,
+    item_key_for_object,
+)
+from repro.core.replacement import GRD3Policy
+from repro.geometry import Rect
+from repro.rtree.sizes import SizeModel
+
+
+MODEL = SizeModel()
+
+
+def build_sibling_cache():
+    """root(1, level 1) -> {leaf 2 with hot object 10, leaf 3 with colds}."""
+    cache = ProactiveCache(capacity_bytes=10_000, size_model=MODEL,
+                           replacement_policy=GRD3Policy())
+    root = CachedIndexNode(node_id=1, level=1, elements={
+        "0": CacheEntry(mbr=Rect(0, 0, 0.5, 1), code="0", child_id=2),
+        "1": CacheEntry(mbr=Rect(0.5, 0, 1, 1), code="1", child_id=3),
+    })
+    assert cache.insert_node_snapshot(root, None)
+    for leaf_id in (2, 3):
+        leaf = CachedIndexNode(node_id=leaf_id, level=0, elements={
+            "": CacheEntry(mbr=Rect(0, 0, 0.5, 0.5), code="",
+                           object_id=leaf_id * 100)})
+        assert cache.insert_node_snapshot(leaf, 1)
+    # The dominant item: big and frequently hit, under leaf 2.
+    assert cache.insert_object(CachedObject(object_id=10, mbr=Rect(0, 0, 0.1, 0.1),
+                                            size_bytes=3_000), 2)
+    hot_key = item_key_for_object(10)
+    for _ in range(10):
+        cache.tick()
+        cache.touch(hot_key)
+    # Cold siblings: two objects under leaf 3 (the parent's sibling subtree).
+    for object_id, size in ((100, 1_500), (101, 1_800)):
+        cache.tick()
+        assert cache.insert_object(CachedObject(object_id=object_id,
+                                                mbr=Rect(0.6, 0.6, 0.7, 0.7),
+                                                size_bytes=size), 3)
+    for _ in range(30):
+        cache.tick()  # cold items decay, the hot object stays dominant
+    cache.validate()
+    return cache
+
+
+def test_step6_reinserted_item_reachable_with_sibling_subtrees():
+    cache = build_sibling_cache()
+    used_before = cache.used_bytes
+
+    # A root-level snapshot big enough that the eviction loop must remove
+    # the colds, the sibling leaf AND the hot object — but small enough that
+    # the hot object fits back under the new limit, making step (6) fire.
+    big = CachedIndexNode(node_id=50, level=0, elements={
+        format(index, "b").zfill(9): CacheEntry(
+            mbr=Rect(0.4, 0.4, 0.5, 0.5), code=format(index, "b").zfill(9),
+            object_id=5_000 + index)
+        for index in range(194)})
+    big_size = big.size_bytes(MODEL)
+    limit = cache.capacity_bytes - big_size
+    # Evicting the colds and the sibling leaf is not enough — the hot object
+    # must be the last victim — yet it still fits under the new limit.
+    assert used_before - 3_300 - 40 > limit
+    assert 3_000 <= limit
+
+    accepted = cache.insert_node_snapshot(big, None)
+    cache.validate()
+
+    assert not accepted                   # step (6) kept the dominant item
+    assert not cache.has_node(50)
+
+    # The dominant item is back and *reachable*: its parent survived and the
+    # parent/child links are consistent all the way to the root.
+    hot_key = item_key_for_object(10)
+    assert cache.has_object(10)
+    hot_state = cache.items[hot_key]
+    assert hot_state.parent_key == item_key_for_node(2)
+    assert hot_key in cache.items[item_key_for_node(2)].cached_children
+    assert cache.items[item_key_for_node(2)].parent_key == item_key_for_node(1)
+    assert cache.has_node(1)
+
+    # The parent's sibling subtree (leaf 3 and its objects) drained fully.
+    assert not cache.has_node(3)
+    assert not cache.has_object(100)
+    assert not cache.has_object(101)
+    # Leaf 2's placeholder object entry (200) was also cleared by step (6);
+    # only the chain root -> leaf 2 -> hot object remains.
+    assert set(cache.items) == {item_key_for_node(1), item_key_for_node(2), hot_key}
+    assert cache.used_bytes <= cache.capacity_bytes
+    # The incremental aggregates survived the restore.
+    assert set(cache.leaf_keys()) == {hot_key}
+    assert cache.object_bytes() == 3_000
+
+
+def test_step6_skipped_when_parent_chain_would_break():
+    """If the dominant item cannot fit back, nothing is reinserted."""
+    cache = build_sibling_cache()
+    # A snapshot so large the hot object could never return (limit < 3000):
+    # GRD3 step (1) drops oversized subtrees and the insert is simply
+    # rejected without a step-(6) swap of an unreachable item.
+    big = CachedIndexNode(node_id=60, level=0, elements={
+        format(index, "b").zfill(9): CacheEntry(
+            mbr=Rect(0.4, 0.4, 0.5, 0.5), code=format(index, "b").zfill(9),
+            object_id=6_000 + index)
+        for index in range(250)})
+    limit = cache.capacity_bytes - big.size_bytes(MODEL)
+    assert limit < 3_000
+    cache.insert_node_snapshot(big, None)
+    cache.validate()
+    if cache.has_object(10):
+        # If it survived, it must be genuinely reachable.
+        state = cache.items[item_key_for_object(10)]
+        assert state.parent_key in cache.items

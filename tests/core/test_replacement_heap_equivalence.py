@@ -1,0 +1,307 @@
+"""Heap-based victim selection must be byte-for-byte identical to the scans.
+
+PR 2 replaced the per-eviction ``leaf_items()`` + ``min()`` rescans in every
+replacement policy with per-call lazy min-heaps.  These tests pin the
+optimisation to the seed behaviour: reference implementations of the naive
+scans (ported verbatim from the seed ``make_room`` bodies, modulo the
+``restore_item`` accessor for GRD3's step (6)) replay the *same* random
+workload on a second cache, and the full eviction sequences — order
+included — must match exactly, for all six policies across multiple seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cache import ProactiveCache
+from repro.core.items import (
+    CacheEntry,
+    CachedIndexNode,
+    CachedObject,
+    item_key_for_node,
+    item_key_for_object,
+)
+from repro.core.replacement import (
+    FARPolicy,
+    GRD1Policy,
+    GRD2Policy,
+    GRD3Policy,
+    LRUPolicy,
+    MRUPolicy,
+)
+from repro.geometry import Point, Rect
+from repro.rtree.sizes import SizeModel
+
+
+MODEL = SizeModel()
+
+
+# --------------------------------------------------------------------- #
+# reference (seed) implementations: naive scans, recursion and all
+# --------------------------------------------------------------------- #
+def _subtree_contains(cache, state, protect):
+    if state.key in protect:
+        return True
+    for child_key in state.cached_children:
+        child = cache.items.get(child_key)
+        if child is not None and _subtree_contains(cache, child, protect):
+            return True
+    return False
+
+
+class _NaiveScanMixin:
+    """The seed base-class ``make_room``: rescan all leaves every round."""
+
+    def make_room(self, cache, bytes_needed, context, protect):
+        target = cache.capacity_bytes - bytes_needed
+        while cache.used_bytes > target:
+            candidates = [state for state in cache.leaf_items()
+                          if state.key not in protect]
+            if not candidates:
+                return False
+            victim = min(candidates, key=lambda s: (self.score(s, cache, context), s.key))
+            cache.evict(victim.key)
+        return True
+
+
+class NaiveLRU(_NaiveScanMixin, LRUPolicy):
+    pass
+
+
+class NaiveMRU(_NaiveScanMixin, MRUPolicy):
+    pass
+
+
+class NaiveFAR(_NaiveScanMixin, FARPolicy):
+    pass
+
+
+class NaiveGRD3(GRD3Policy):
+    """The seed GRD3 ``make_room``: leaf rescans and the step-(6) loop."""
+
+    def make_room(self, cache, bytes_needed, context, protect):
+        limit = cache.capacity_bytes - bytes_needed
+        oversized = [state.key for state in list(cache.items.values())
+                     if state.size_bytes > limit
+                     and not _subtree_contains(cache, state, protect)]
+        for key in oversized:
+            if key in cache.items:
+                cache.evict_subtree(key)
+
+        removed = []
+        while cache.used_bytes > limit:
+            candidates = [state for state in cache.leaf_items() if state.key not in protect]
+            if not candidates:
+                return False
+            victim = min(candidates,
+                         key=lambda s: (s.access_probability(cache.clock), s.key))
+            removed.append(victim)
+            cache.evict(victim.key)
+
+        if removed and not protect:
+            last = removed[-1]
+            remaining_benefit = sum(
+                state.access_probability(cache.clock) * state.size_bytes
+                for state in cache.items.values())
+            last_benefit = last.access_probability(cache.clock) * last.size_bytes
+            can_reinsert = (last.parent_key is None or last.parent_key in cache.items)
+            if last_benefit > remaining_benefit and last.size_bytes <= limit and can_reinsert:
+                while True:
+                    evictable = [state for state in cache.leaf_items()
+                                 if state.key != last.parent_key]
+                    if not evictable:
+                        break
+                    for state in evictable:
+                        cache.evict(state.key)
+                if last.parent_key is None or last.parent_key in cache.items:
+                    cache.restore_item(last)
+        return True
+
+
+class NaiveGRD2(GRD2Policy):
+    """The seed GRD2: recursive EBRS recomputed for every candidate, every round."""
+
+    def _naive_benefit_and_size(self, state, cache):
+        prob = state.access_probability(cache.clock)
+        benefit = prob * state.size_bytes
+        size = state.size_bytes
+        for child_key in state.cached_children:
+            child = cache.items.get(child_key)
+            if child is None:
+                continue
+            child_benefit, child_size = self._naive_benefit_and_size(child, cache)
+            benefit += child_benefit
+            size += child_size
+        return benefit, size
+
+    def _naive_ebrs(self, state, cache):
+        benefit, size = self._naive_benefit_and_size(state, cache)
+        return benefit / size if size else 0.0
+
+    def make_room(self, cache, bytes_needed, context, protect):
+        limit = cache.capacity_bytes - bytes_needed
+        if bytes_needed > cache.capacity_bytes:
+            return False
+        while cache.used_bytes > limit:
+            candidates = [state for state in cache.items.values()
+                          if state.key not in protect
+                          and not _subtree_contains(cache, state, protect)]
+            if not candidates:
+                return False
+            victim = min(candidates,
+                         key=lambda s: (self._naive_ebrs(s, cache), not s.is_leaf_item, s.key))
+            cache.evict_subtree(victim.key)
+        return True
+
+
+class NaiveGRD1(GRD1Policy):
+    """The seed GRD1: full rescan of every item per eviction round."""
+
+    def make_room(self, cache, bytes_needed, context, protect):
+        limit = cache.capacity_bytes - bytes_needed
+        if bytes_needed > cache.capacity_bytes:
+            return False
+        while cache.used_bytes > limit:
+            candidates = [state for state in cache.items.values()
+                          if not _subtree_contains(cache, state, protect)]
+            if not candidates:
+                return False
+            victim = min(candidates,
+                         key=lambda s: (s.access_probability(cache.clock), s.key))
+            if victim.key in cache.items:
+                cache.evict_subtree(victim.key)
+        return True
+
+
+PAIRS = {
+    "LRU": (NaiveLRU, LRUPolicy),
+    "MRU": (NaiveMRU, MRUPolicy),
+    "FAR": (NaiveFAR, FARPolicy),
+    "GRD1": (NaiveGRD1, GRD1Policy),
+    "GRD2": (NaiveGRD2, GRD2Policy),
+    "GRD3": (NaiveGRD3, GRD3Policy),
+}
+
+
+class RecordingCache(ProactiveCache):
+    """A cache that logs every eviction in order."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.evict_log = []
+
+    def evict(self, key):
+        self.evict_log.append(key)
+        super().evict(key)
+
+
+def generate_ops(seed, steps=300):
+    """A deterministic random op sequence, decoupled from cache state.
+
+    Every op is pre-generated so the exact same sequence can be replayed
+    against two caches whose internal decisions we want to compare.
+    """
+    rng = random.Random(seed)
+    ops = []
+    node_ids = list(range(1, 25))
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.40:
+            node_id = rng.choice(node_ids)
+            parent_choice = rng.randrange(0, 26)  # index into candidate list
+            elements = {}
+            for index in range(rng.randint(1, 6)):
+                code = format(index, "b").zfill(3)
+                x, y = rng.random() * 0.9, rng.random() * 0.9
+                if rng.random() < 0.3:
+                    elements[code] = CacheEntry(mbr=Rect(x, y, x + 0.05, y + 0.05),
+                                                code=code)
+                else:
+                    elements[code] = CacheEntry(mbr=Rect(x, y, x + 0.05, y + 0.05),
+                                                code=code,
+                                                object_id=node_id * 1000 + index)
+            ops.append(("node", node_id, parent_choice, elements))
+        elif roll < 0.70:
+            x, y = rng.random(), rng.random()
+            ops.append(("object", rng.randint(1, 400), rng.randrange(0, 26),
+                        rng.randint(100, 1500), Rect(x, y, x, y)))
+        else:
+            ops.append(("touch", rng.random() < 0.5, rng.randint(0, 10 ** 6)))
+    return ops
+
+
+def apply_ops(cache, ops):
+    """Replay an op sequence; parent picks resolve against current state."""
+    context = {"client_position": Point(0.5, 0.5)}
+    for op in ops:
+        cache.tick()
+        cached_nodes = sorted(cache.cached_node_ids())
+        if op[0] == "node":
+            _, node_id, parent_choice, elements = op
+            candidates = [None] + cached_nodes
+            parent = candidates[parent_choice % len(candidates)]
+            if parent == node_id:
+                parent = None
+            level = 1 if parent is None else 0
+            snapshot = CachedIndexNode(node_id=node_id, level=level,
+                                       elements=dict(elements))
+            cache.insert_node_snapshot(snapshot, parent, context)
+        elif op[0] == "object":
+            _, object_id, parent_choice, size, mbr = op
+            if not cached_nodes:
+                continue
+            parent = cached_nodes[parent_choice % len(cached_nodes)]
+            cache.insert_object(CachedObject(object_id=object_id, mbr=mbr,
+                                             size_bytes=size), parent, context)
+        else:
+            _, touch_node, raw = op
+            if touch_node and cached_nodes:
+                cache.touch(item_key_for_node(cached_nodes[raw % len(cached_nodes)]))
+            else:
+                cache.touch(item_key_for_object(raw % 400 + 1))
+    return cache
+
+
+@pytest.mark.parametrize("policy_name", sorted(PAIRS))
+@pytest.mark.parametrize("seed", (3, 11, 42, 97))
+def test_heap_victim_sequence_identical_to_naive_scan(policy_name, seed):
+    naive_cls, current_cls = PAIRS[policy_name]
+    ops = generate_ops(seed)
+    naive = RecordingCache(capacity_bytes=11_000, size_model=MODEL,
+                           replacement_policy=naive_cls())
+    current = RecordingCache(capacity_bytes=11_000, size_model=MODEL,
+                             replacement_policy=current_cls())
+    apply_ops(naive, ops)
+    apply_ops(current, ops)
+
+    assert current.evict_log == naive.evict_log, (
+        f"{policy_name}: heap-based eviction sequence diverged from naive scan")
+    assert set(current.items) == set(naive.items)
+    assert current.used_bytes == naive.used_bytes
+    assert current.evictions == naive.evictions
+    assert current.rejected_inserts == naive.rejected_inserts
+    current.validate()
+    naive.validate()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_explicit_make_room_identical(seed):
+    """Direct make_room calls (not via inserts) agree too, per policy."""
+    for policy_name, (naive_cls, current_cls) in sorted(PAIRS.items()):
+        ops = generate_ops(seed * 31 + 7, steps=120)
+        naive = RecordingCache(capacity_bytes=60_000, size_model=MODEL,
+                               replacement_policy=naive_cls())
+        current = RecordingCache(capacity_bytes=60_000, size_model=MODEL,
+                                 replacement_policy=current_cls())
+        apply_ops(naive, ops)
+        apply_ops(current, ops)
+        assert set(naive.items) == set(current.items)
+
+        context = {"client_position": Point(0.1, 0.9)}
+        freed_naive = naive.replacement_policy.make_room(
+            naive, naive.capacity_bytes - naive.used_bytes + 9_000, context, set())
+        freed_current = current.replacement_policy.make_room(
+            current, current.capacity_bytes - current.used_bytes + 9_000, context, set())
+        assert freed_naive == freed_current
+        assert naive.evict_log == current.evict_log, policy_name
+        assert set(naive.items) == set(current.items)
