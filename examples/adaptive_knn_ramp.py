@@ -20,12 +20,13 @@ from repro.experiments import fig11
 from repro.experiments.report import format_table
 
 
-def main() -> None:
-    config = fig11.default_config(query_count=300)
+def main(query_count: int = 300, window: int = 25) -> None:
+    """Run the Figure-11 kNN ramp and print the per-window adaptation table."""
+    config = fig11.default_config(query_count=query_count)
     print("kNN-only workload, k ramping 10 -> 1 -> 10, cache = 0.1% of the dataset")
     print()
 
-    series = fig11.run(config, window=25)
+    series = fig11.run(config, window=window)
 
     models = ("FPRO", "CPRO", "APRO")
     headers = ["window", "avg k"] + [f"{m} fmr" for m in models] + \

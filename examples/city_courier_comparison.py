@@ -22,8 +22,11 @@ from repro.sim.runner import build_environment, run_model, run_models
 from repro.sim.sweeps import replacement_sweep
 
 
-def main() -> None:
-    config = SimulationConfig.scaled(query_count=200, object_count=4_000).with_overrides(
+def main(query_count: int = 200, object_count: int = 4_000,
+         sweep_query_count: int = 150) -> None:
+    """Compare caching models and eviction policies on the courier trace."""
+    config = SimulationConfig.scaled(
+        query_count=query_count, object_count=object_count).with_overrides(
         mobility_model="DIR", cache_fraction=0.02)
 
     print("Courier scenario: directed movement, 2% cache, mixed workload")
@@ -40,7 +43,7 @@ def main() -> None:
     print()
 
     print("Replacement policies for the proactive cache (RAN vs DIR):")
-    sweep = replacement_sweep(config.with_overrides(query_count=150),
+    sweep = replacement_sweep(config.with_overrides(query_count=sweep_query_count),
                               policies=("LRU", "FAR", "GRD3"),
                               mobility_models=("RAN", "DIR"))
     rows = []

@@ -26,14 +26,17 @@ from repro.sim.fleet import ClientGroupSpec, FleetConfig, run_fleet
 from repro.workload.generator import QueryMix
 
 
-def main() -> None:
-    base = SimulationConfig.scaled(query_count=30, object_count=4_000)
+def main(query_count: int = 30, object_count: int = 4_000,
+         pedestrians: int = 24, vehicles: int = 16, hotspot: int = 10) -> None:
+    """Simulate the three-group rush-hour fleet and print the report."""
+    base = SimulationConfig.scaled(query_count=query_count,
+                                   object_count=object_count)
     fleet = FleetConfig.make(base, [
-        ClientGroupSpec(name="pedestrians", clients=24, mobility_model="RAN"),
-        ClientGroupSpec(name="vehicles", clients=16, mobility_model="DIR",
+        ClientGroupSpec(name="pedestrians", clients=pedestrians, mobility_model="RAN"),
+        ClientGroupSpec(name="vehicles", clients=vehicles, mobility_model="DIR",
                         speed_factor=8.0, cache_fraction=0.005,
                         query_mix=QueryMix(range_=2.0, knn=1.0, join=0.5)),
-        ClientGroupSpec(name="hotspot", clients=10, mobility_model="RAN",
+        ClientGroupSpec(name="hotspot", clients=hotspot, mobility_model="RAN",
                         speed_factor=0.25, cache_fraction=0.02,
                         query_mix=QueryMix(range_=0.5, knn=2.0, join=0.5)),
     ])

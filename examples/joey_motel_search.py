@@ -57,9 +57,10 @@ def describe(execution, response, size_model):
     print()
 
 
-def main() -> None:
+def main(motel_count: int = 2_000) -> None:
+    """Replay the paper's Section-1 Joey scenario against the proactive cache."""
     size_model = SizeModel(page_bytes=512)
-    motels = generate_ne_like(2_000, seed=42)
+    motels = generate_ne_like(motel_count, seed=42)
     tree = bulk_load_str(motels, size_model=size_model)
     server = ServerQueryProcessor(tree, size_model=size_model)
     policy = SupportingIndexPolicy.adaptive(initial_depth=1)

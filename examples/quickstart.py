@@ -17,10 +17,12 @@ from repro.sim.config import SimulationConfig
 from repro.sim.runner import run_comparison
 
 
-def main() -> None:
+def main(query_count: int = 200, object_count: int = 4_000) -> None:
+    """Run the paired PAG / SEM / APRO comparison and print the metrics."""
     # A laptop-scale configuration: 4,000 clustered objects, 200 mixed
     # range / kNN / join queries, 1% cache, random-waypoint mobility.
-    config = SimulationConfig.scaled(query_count=200, object_count=4_000)
+    config = SimulationConfig.scaled(query_count=query_count,
+                                     object_count=object_count)
     print("Simulation parameters")
     for key, value in config.as_table().items():
         print(f"  {key:>12}: {value}")

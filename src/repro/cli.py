@@ -2,17 +2,21 @@
 
 Installed as the ``repro`` console script (also runnable as
 ``python -m repro.cli``; the legacy ``repro-spatial-cache`` alias is kept).
-Five sub-commands are provided:
+Six sub-commands are provided (see ``docs/cli.md`` for a full guide):
 
 * ``compare`` — run PAG / SEM / APRO (and optionally FPRO / CPRO) on one
   trace and print the headline metrics;
 * ``fleet`` — simulate many heterogeneous clients against one shared server
-  and print per-group and server-load metrics;
+  and print per-group and server-load metrics; supports halting mid-run and
+  resuming from persisted cache snapshots (``--halt-after`` / ``--resume``);
 * ``figure`` — regenerate one of the paper's figures (``6``–``11``,
   ``table61`` or ``overheads``);
 * ``params`` — print the Table 6.1 parameter sheet for a configuration;
 * ``bench`` — run the perf-regression scenario suite, write a
-  ``BENCH_*.json`` report and optionally gate against a committed baseline.
+  ``BENCH_*.json`` report and optionally gate against a committed baseline;
+* ``persist`` — checkpoint a server R-tree into a ``.rpro`` page store,
+  inspect one, or verify that the file backend reproduces the in-memory
+  results and page counts exactly.
 """
 
 from __future__ import annotations
@@ -74,9 +78,13 @@ def config_from_args(args: argparse.Namespace) -> SimulationConfig:
 
 
 def _run_compare(args: argparse.Namespace) -> str:
+    from repro.storage import StorageError
     config = config_from_args(args)
     models = tuple(model.strip().upper() for model in args.models.split(","))
-    results = run_comparison(config, models=models)
+    try:
+        results = run_comparison(config, models=models, store_path=args.store)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro compare: error: {error}")
     metrics = ("uplink_bytes", "downlink_bytes", "cache_hit_rate", "byte_hit_rate",
                "false_miss_rate", "response_time", "client_cpu_ms")
     rows = [[metric] + [results[m].summary()[metric] for m in models] for metric in metrics]
@@ -122,6 +130,19 @@ def parse_group_spec(text: str) -> ClientGroupSpec:
 
 
 def _run_fleet(args: argparse.Namespace) -> str:
+    from repro.storage import StorageError
+    if args.resume:
+        from repro.sim.restart import resume_fleet
+        try:
+            result, state = resume_fleet(args.resume)
+        except (OSError, ValueError, StorageError) as error:
+            raise SystemExit(f"repro fleet: error: cannot resume: {error}")
+        processed = state["processed_events"]
+        total = state["total_events"]
+        return format_fleet_report(
+            result, title=f"Fleet simulation — resumed from {args.resume} "
+                          f"(events {processed}/{total} were pre-restart)")
+
     base = SimulationConfig.scaled(query_count=args.queries, object_count=args.objects,
                                    seed=args.seed).with_overrides(
         dataset_name=args.dataset, cache_fraction=args.cache,
@@ -136,9 +157,31 @@ def _run_fleet(args: argparse.Namespace) -> str:
         # parse_group_spec cannot see: fail like an argparse error, not a
         # traceback.
         raise SystemExit(f"repro fleet: error: {error}")
-    result = run_fleet(fleet, max_workers=args.workers)
+
+    if args.halt_after is not None:
+        from repro.sim.restart import run_fleet_interrupted
+        if not args.session_dir:
+            raise SystemExit("repro fleet: error: --halt-after requires "
+                             "--session-dir to persist the session")
+        try:
+            state = run_fleet_interrupted(fleet, halt_after=args.halt_after,
+                                          directory=args.session_dir,
+                                          store_path=args.store)
+        except (OSError, ValueError, StorageError) as error:
+            raise SystemExit(f"repro fleet: error: {error}")
+        return (f"Fleet halted after {state['processed_events']} of "
+                f"{state['total_events']} events; session saved to "
+                f"{args.session_dir}.\nResume with: repro fleet --resume "
+                f"{args.session_dir}")
+
+    try:
+        result = run_fleet(fleet, max_workers=args.workers, store_path=args.store)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro fleet: error: {error}")
     mode = f"{args.workers} worker processes" if args.workers and args.workers > 1 \
         else "serial"
+    if args.store:
+        mode += f", tree served from {args.store}"
     return format_fleet_report(
         result, title=f"Fleet simulation — {fleet.total_clients} clients, "
                       f"{len(fleet.groups)} groups, 1 shared server ({mode})")
@@ -199,21 +242,136 @@ def _run_bench(args: argparse.Namespace) -> str:
     return report
 
 
+def _run_persist_save_tree(args: argparse.Namespace) -> str:
+    from repro.sim.runner import build_tree
+    from repro.storage import StorageError, save_tree
+    config = config_from_args(args)
+    tree = build_tree(config)
+    meta = {"dataset": config.dataset_name, "object_count": config.object_count,
+            "dataset_seed": config.dataset_seed, "page_bytes": config.page_bytes,
+            "mean_object_bytes": config.mean_object_bytes,
+            "zipf_theta": config.zipf_theta}
+    try:
+        header = save_tree(tree, args.out, meta=meta)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    return (f"saved {header['node_count']} node pages and "
+            f"{header['object_count']} object pages "
+            f"({header['page_size']} B each) to {args.out}")
+
+
+def _run_persist_info(args: argparse.Namespace) -> str:
+    from repro.storage import StorageError, read_header
+    try:
+        header = read_header(args.path)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    lines = [f"{args.path}: rtree page store (format {header['format']})"]
+    for key in ("page_size", "node_count", "object_count", "root_id", "height",
+                "max_entries", "min_entries"):
+        lines.append(f"  {key:>14}: {header[key]}")
+    for key, value in sorted(header.get("meta", {}).items()):
+        lines.append(f"  meta.{key}: {value}")
+    return "\n".join(lines)
+
+
+def _run_persist_verify(args: argparse.Namespace) -> str:
+    """Replay one APRO trace against both backends and diff everything.
+
+    Asserts identical query results, per-query visited-page counts and
+    logical page-read totals — the backend-invariance contract of
+    :mod:`repro.storage`.
+    """
+    from repro.sim.runner import generate_trace, replay_store_trace
+    from repro.storage import StorageError
+    config = config_from_args(args)
+    trace = generate_trace(config)
+    try:
+        memory_rows, memory_reads, _ = replay_store_trace(config, trace)
+        # A small 16-page buffer so the file path is genuinely exercised at
+        # query time (a default-size buffer could serve everything warm).
+        file_rows, file_reads, io_stats = replay_store_trace(
+            config, trace, store_path=args.path, store_buffer_pages=16)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    mismatches = [index for index, (m, f) in enumerate(zip(memory_rows, file_rows))
+                  if m != f]
+    if mismatches or memory_reads != file_reads:
+        raise SystemExit(
+            f"repro persist: VERIFY FAILED — per-query mismatches at "
+            f"{mismatches[:10]}, logical reads {memory_reads} (memory) vs "
+            f"{file_reads} (file)")
+    return (f"OK — {len(trace)} queries identical on both backends; "
+            f"{file_reads} logical page reads, "
+            f"{io_stats['file_reads']} physical file reads, "
+            f"{io_stats['buffer_hits']} buffer hits")
+
+
+_EXAMPLES = {
+    "compare": """\
+examples:
+  repro compare --queries 250 --objects 4000 --models PAG,SEM,APRO
+  repro compare --mobility DIR --cache 0.02 --replacement LRU
+  repro persist save-tree --out server.rpro && repro compare --store server.rpro
+""",
+    "fleet": """\
+examples:
+  repro fleet --clients 50 --queries 40 --workers 4
+  repro fleet --group walkers:30:RAN:APRO --group vans:20:DIR:APRO:0.005:8
+  repro fleet --clients 8 --halt-after 100 --session-dir ./session
+  repro fleet --resume ./session
+""",
+    "figure": """\
+examples:
+  repro figure 6 --queries 250
+  repro figure 10 --mobility DIR
+  repro figure table61 --paper-scale
+""",
+    "params": """\
+examples:
+  repro params
+  repro params --paper-scale
+""",
+    "bench": """\
+examples:
+  repro bench
+  repro bench --scale smoke --repeats 1
+  repro bench --baseline BENCH_PR2.json --check
+  repro bench --scenario storage_paged --scenario warm_restart --scale smoke
+""",
+    "persist": """\
+examples:
+  repro persist save-tree --out server.rpro --objects 4000
+  repro persist info server.rpro
+  repro persist verify server.rpro --queries 100
+""",
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Proactive caching for spatial queries (ICDE 2005) — simulator CLI")
+        description="Proactive caching for spatial queries (ICDE 2005) — simulator CLI",
+        epilog="Full documentation: docs/cli.md")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    compare = subparsers.add_parser("compare", help="compare caching models on one trace")
+    compare = subparsers.add_parser(
+        "compare", help="compare caching models on one trace",
+        epilog=_EXAMPLES["compare"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     compare.add_argument("--models", default="PAG,SEM,APRO",
                          help="comma-separated models (PAG, SEM, APRO, FPRO, CPRO)")
+    compare.add_argument("--store", default=None, metavar="PATH",
+                         help="serve the R-tree from this .rpro page store "
+                              "(see 'repro persist save-tree')")
     _add_config_arguments(compare)
     compare.set_defaults(handler=_run_compare)
 
     fleet = subparsers.add_parser(
-        "fleet", help="simulate many heterogeneous clients against one shared server")
+        "fleet", help="simulate many heterogeneous clients against one shared server",
+        epilog=_EXAMPLES["fleet"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     fleet.add_argument("--clients", type=int, default=12,
                        help="total clients, split over the default heterogeneous "
                             "groups when no --group is given (default: 12)")
@@ -235,20 +393,61 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed decorrelating per-client traces (default: 101)")
     fleet.add_argument("--workers", type=int, default=1,
                        help="worker processes; >1 shards the fleet (default: 1)")
+    fleet.add_argument("--store", default=None, metavar="PATH",
+                       help="serve the shared R-tree from this .rpro page store")
+    fleet.add_argument("--halt-after", type=int, default=None, metavar="N",
+                       help="stop after N global events and persist the "
+                            "session (requires --session-dir)")
+    fleet.add_argument("--session-dir", default=None, metavar="DIR",
+                       help="directory the halted session is saved to")
+    fleet.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume a halted session from DIR and run it to "
+                            "completion (ignores the other fleet options)")
     fleet.set_defaults(handler=_run_fleet)
 
-    figure = subparsers.add_parser("figure", help="regenerate a figure from the paper")
+    figure = subparsers.add_parser(
+        "figure", help="regenerate a figure from the paper",
+        epilog=_EXAMPLES["figure"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     figure.add_argument("figure", choices=sorted(_FIGURES),
                         help="which figure/table to regenerate")
     _add_config_arguments(figure)
     figure.set_defaults(handler=_run_figure)
 
-    params = subparsers.add_parser("params", help="print the Table 6.1 parameter sheet")
+    params = subparsers.add_parser(
+        "params", help="print the Table 6.1 parameter sheet",
+        epilog=_EXAMPLES["params"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     _add_config_arguments(params)
     params.set_defaults(handler=_run_params)
 
+    persist = subparsers.add_parser(
+        "persist", help="checkpoint / inspect / verify disk-backed page stores",
+        epilog=_EXAMPLES["persist"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    persist_actions = persist.add_subparsers(dest="action", required=True)
+
+    save_tree = persist_actions.add_parser(
+        "save-tree", help="build the configured dataset's R-tree and save it")
+    save_tree.add_argument("--out", required=True, metavar="PATH",
+                           help="output .rpro file")
+    _add_config_arguments(save_tree)
+    save_tree.set_defaults(handler=_run_persist_save_tree)
+
+    info = persist_actions.add_parser("info", help="print a page store's header")
+    info.add_argument("path", help="an .rpro file")
+    info.set_defaults(handler=_run_persist_info)
+
+    verify = persist_actions.add_parser(
+        "verify", help="assert the file backend matches the in-memory backend")
+    verify.add_argument("path", help="an .rpro file written from this configuration")
+    _add_config_arguments(verify)
+    verify.set_defaults(handler=_run_persist_verify)
+
     bench = subparsers.add_parser(
-        "bench", help="run the perf-regression scenario suite")
+        "bench", help="run the perf-regression scenario suite",
+        epilog=_EXAMPLES["bench"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     bench.add_argument("--scenario", action="append", default=[],
                        help="scenario to run (repeatable; default: all)")
     bench.add_argument("--scale", choices=("default", "smoke"), default="default",

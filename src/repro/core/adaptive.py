@@ -91,3 +91,26 @@ class AdaptiveDepthController:
     def depth(self) -> int:
         """The current compact-form expansion depth ``d``."""
         return self.policy.depth
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore (warm-restart persistence)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """The controller's mutable state as JSON-serialisable primitives."""
+        return {
+            "last_reported_fmr": self.last_reported_fmr,
+            "window_false": self._window_false,
+            "window_cached": self._window_cached,
+            "queries_in_window": self._queries_in_window,
+            "history": list(self.history),
+            "depth": self.policy.depth,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (including the policy's depth)."""
+        self.last_reported_fmr = state["last_reported_fmr"]
+        self._window_false = state["window_false"]
+        self._window_cached = state["window_cached"]
+        self._queries_in_window = state["queries_in_window"]
+        self.history = list(state["history"])
+        self.policy.depth = state["depth"]

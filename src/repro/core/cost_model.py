@@ -72,6 +72,11 @@ class QueryCost:
     client_cpu_seconds: float = 0.0
     server_cpu_seconds: float = 0.0
     contacted_server: bool = False
+    # Index pages the server visited answering this query (the paper's
+    # page-access count; 0 for queries answered entirely from the cache).
+    # Backend-invariant: the paged file store reports the same counts as
+    # the in-memory store by construction.
+    server_page_reads: int = 0
 
     @property
     def false_miss_bytes(self) -> float:

@@ -42,6 +42,7 @@ def render(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    """Regenerate and print this experiment at the default scale."""
     print(render(run()))
 
 

@@ -84,6 +84,7 @@ def render(series: Dict[str, Dict[str, List[float]]]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    """Regenerate and print this experiment at the default scale."""
     print(render(run()))
 
 

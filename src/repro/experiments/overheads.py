@@ -53,6 +53,7 @@ def render(values: Dict[str, float]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    """Regenerate and print this experiment at the default scale."""
     print(render(run()))
 
 

@@ -34,6 +34,7 @@ def render(tables: Dict[str, Dict[str, str]]) -> str:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    """Regenerate and print this experiment at the default scale."""
     print(render(run()))
 
 

@@ -22,6 +22,8 @@ are excluded by construction.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Callable, Dict, List, Tuple
 
 from repro.sim.config import SimulationConfig
@@ -36,10 +38,14 @@ Fingerprint = Dict[str, float]
 SCALES: Dict[str, Dict[str, int]] = {
     "default": {"queries": 250, "objects": 4_000,
                 "fleet_clients": 24, "fleet_queries": 40,
-                "pressure_queries": 150, "pressure_objects": 3_000},
+                "pressure_queries": 150, "pressure_objects": 3_000,
+                "storage_queries": 120, "storage_objects": 3_000,
+                "restart_clients": 8, "restart_queries": 20},
     "smoke": {"queries": 60, "objects": 1_200,
               "fleet_clients": 6, "fleet_queries": 12,
-              "pressure_queries": 40, "pressure_objects": 800},
+              "pressure_queries": 40, "pressure_objects": 800,
+              "storage_queries": 40, "storage_objects": 900,
+              "restart_clients": 4, "restart_queries": 10},
 }
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
@@ -103,10 +109,86 @@ def cache_pressure(scale: Dict[str, int]) -> Fingerprint:
     return fingerprint
 
 
+def storage_paged(scale: Dict[str, int]) -> Fingerprint:
+    """APRO served from the disk-backed page store vs the in-memory tree.
+
+    Checkpoints the server tree into an ``.rpro`` file, replays one APRO
+    trace against both backends and fingerprints the deterministic metrics
+    of the file-backed run, the logical page-read total (backend-invariant
+    by construction), the physical file-read count (deterministic: fixed
+    LRU buffer + deterministic access sequence) and an explicit
+    ``backend_match`` bit asserting the two runs agreed query for query.
+    """
+    from repro.sim.runner import build_tree, generate_trace, replay_store_trace
+    from repro.storage import save_tree
+
+    config = SimulationConfig.scaled(
+        query_count=scale["storage_queries"],
+        object_count=scale["storage_objects"]).with_overrides(cache_fraction=0.01)
+    trace = generate_trace(config)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "server.rpro")
+        tree = build_tree(config)
+        save_tree(tree, store_path)
+        # The in-memory replay reuses the tree just checkpointed (it is
+        # deterministic from config) instead of rebuilding it; the file
+        # replay uses a deliberately small 16-page buffer so the LRU is
+        # exercised and real query-time file reads appear even at smoke
+        # scale, where the whole index fits the default buffer.
+        memory_run, memory_reads, _ = replay_store_trace(config, trace, tree=tree)
+        file_run, file_reads, io_stats = replay_store_trace(
+            config, trace, store_path=store_path, store_buffer_pages=16)
+
+    fingerprint: Fingerprint = {
+        "backend_match": 1.0 if (memory_run == file_run
+                                 and memory_reads == file_reads) else 0.0,
+        "logical_page_reads": float(file_reads),
+        "file_reads": float(io_stats["file_reads"]),
+        "buffer_hits": float(io_stats["buffer_hits"]),
+    }
+    for metric, value in zip(("uplink_bytes", "downlink_bytes", "response_time"),
+                             (sum(q[1] for q in file_run),
+                              sum(q[2] for q in file_run),
+                              sum(q[3] for q in file_run))):
+        fingerprint[f"total.{metric}"] = _round(value)
+    return fingerprint
+
+
+def warm_restart(scale: Dict[str, int]) -> Fingerprint:
+    """A fleet killed mid-run and resumed from cache snapshots.
+
+    Runs the default fleet twice — uninterrupted, and halted halfway then
+    resumed via :mod:`repro.sim.restart` — and fingerprints the resumed
+    run's deterministic group metrics plus a ``digest_match`` bit asserting
+    every client's final cache contents matched the uninterrupted run.
+    """
+    from repro.sim.restart import resume_fleet, run_fleet_interrupted
+
+    base = SimulationConfig.scaled(
+        query_count=scale["restart_queries"], object_count=scale["objects"])
+    fleet = default_fleet(scale["restart_clients"], base=base)
+    uninterrupted = run_fleet(fleet)
+    total_events = sum(len(c.costs) for c in uninterrupted.clients)
+    with tempfile.TemporaryDirectory() as tmp:
+        run_fleet_interrupted(fleet, halt_after=total_events // 2, directory=tmp)
+        resumed, _ = resume_fleet(tmp)
+    digests_match = all(
+        full.final_cache_digest == res.final_cache_digest
+        for full, res in zip(uninterrupted.clients, resumed.clients))
+    fingerprint: Fingerprint = {"digest_match": 1.0 if digests_match else 0.0}
+    for group, summary in sorted(resumed.deterministic_group_summary().items()):
+        for metric in DETERMINISTIC_METRICS:
+            fingerprint[f"{group}.{metric}"] = _round(summary[metric])
+    return fingerprint
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
     "cache_pressure": cache_pressure,
+    "storage_paged": storage_paged,
+    "warm_restart": warm_restart,
 }
 
 

@@ -27,7 +27,13 @@ from repro.rtree.split import rstar_split
 
 @dataclass
 class PageStore:
-    """An id-addressed store of R-tree nodes (the "disk")."""
+    """An id-addressed in-memory store of R-tree nodes (the "disk").
+
+    This is the default :class:`~repro.storage.backend.StorageBackend`: all
+    pages live in a dict, so "page reads" are pure accounting.  The paged
+    file backend (:mod:`repro.storage.paged`) implements the same contract
+    over an actual file.
+    """
 
     pages: Dict[int, Node] = field(default_factory=dict)
     _next_id: Iterator[int] = field(default_factory=lambda: itertools.count(1))
@@ -60,6 +66,30 @@ class PageStore:
     def __len__(self) -> int:
         return len(self.pages)
 
+    #: Whether the store accepts mutations (read-only backends say False).
+    writable = True
+
+    def node_ids(self) -> List[int]:
+        """All stored page ids, in insertion (allocation) order."""
+        return list(self.pages)
+
+    def iter_nodes(self) -> Iterable[Node]:
+        """Iterate over every stored node."""
+        return self.pages.values()
+
+    def io_stats(self) -> Dict[str, int]:
+        """Physical I/O counters — always zero for the in-memory store."""
+        return {"file_reads": 0, "file_writes": 0, "buffer_hits": 0}
+
+    def reset_io_stats(self) -> None:
+        """No-op: the in-memory store has no physical counters."""
+
+    def flush(self) -> None:
+        """No-op: an in-memory store has nothing to write through."""
+
+    def close(self) -> None:
+        """No-op: an in-memory store holds no external resources."""
+
 
 class RTree:
     """A dynamic R*-tree over :class:`ObjectRecord` data.
@@ -77,14 +107,25 @@ class RTree:
     forced_reinsert:
         Whether the first overflow at each level performs the R* forced
         reinsertion of the 30 % most distant entries before splitting.
+    store:
+        Optional empty :class:`~repro.storage.backend.StorageBackend` to
+        build the tree on; defaults to a fresh in-memory :class:`PageStore`.
+        To adopt an *already populated* backend use :meth:`from_storage`.
     """
 
-    def __init__(self,
-                 size_model: Optional[SizeModel] = None,
-                 max_entries: Optional[int] = None,
-                 min_entries: Optional[int] = None,
-                 splitter: Callable[[Sequence[Entry], int], Tuple[List[Entry], List[Entry]]] = rstar_split,
-                 forced_reinsert: bool = True) -> None:
+    def _configure(self,
+                   size_model: Optional[SizeModel],
+                   max_entries: Optional[int],
+                   min_entries: Optional[int],
+                   splitter: Callable[[Sequence[Entry], int],
+                                      Tuple[List[Entry], List[Entry]]],
+                   forced_reinsert: bool) -> None:
+        """Normalise and validate the shared tree parameters.
+
+        The single source of the fanout-bound derivation, used by both
+        :meth:`__init__` and :meth:`from_storage` so built and loaded trees
+        can never disagree on the bounds the splitter uses.
+        """
         self.size_model = size_model or SizeModel()
         self.max_entries = max_entries or self.size_model.node_capacity
         if self.max_entries < 2:
@@ -94,12 +135,52 @@ class RTree:
         self.splitter = splitter
         self.forced_reinsert = forced_reinsert
 
-        self.store = PageStore()
+    def __init__(self,
+                 size_model: Optional[SizeModel] = None,
+                 max_entries: Optional[int] = None,
+                 min_entries: Optional[int] = None,
+                 splitter: Callable[[Sequence[Entry], int], Tuple[List[Entry], List[Entry]]] = rstar_split,
+                 forced_reinsert: bool = True,
+                 store: Optional[PageStore] = None) -> None:
+        self._configure(size_model, max_entries, min_entries, splitter,
+                        forced_reinsert)
+        if store is not None and len(store):
+            raise ValueError("store must be empty; use RTree.from_storage to "
+                             "adopt a populated backend")
+        self.store = store if store is not None else PageStore()
         self.objects: Dict[int, ObjectRecord] = {}
         root = self.store.allocate(level=0)
         self.root_id = root.node_id
         self.height = 1
         self._reinsert_levels: set = set()
+
+    @classmethod
+    def from_storage(cls, store: PageStore, objects: Dict[int, ObjectRecord],
+                     root_id: int, height: int,
+                     size_model: Optional[SizeModel] = None,
+                     max_entries: Optional[int] = None,
+                     min_entries: Optional[int] = None,
+                     splitter: Callable[[Sequence[Entry], int],
+                                        Tuple[List[Entry], List[Entry]]] = rstar_split,
+                     forced_reinsert: bool = True) -> "RTree":
+        """Adopt an already populated storage backend (deserialisation hook).
+
+        Used by :func:`repro.storage.paged.load_tree` to reconstruct a tree
+        around a file-backed page store without re-inserting anything.  The
+        caller is responsible for ``root_id`` / ``height`` being consistent
+        with the backend's contents (``validate`` checks the invariants).
+        """
+        if root_id not in store:
+            raise ValueError(f"root node {root_id} not present in the store")
+        tree = cls.__new__(cls)
+        tree._configure(size_model, max_entries, min_entries, splitter,
+                        forced_reinsert)
+        tree.store = store
+        tree.objects = objects
+        tree.root_id = root_id
+        tree.height = height
+        tree._reinsert_levels = set()
+        return tree
 
     # ------------------------------------------------------------------ #
     # public read API
@@ -126,8 +207,8 @@ class RTree:
                      child_id=self.root_id)
 
     def all_nodes(self) -> Iterable[Node]:
-        """Iterate over every node page."""
-        return self.store.pages.values()
+        """Iterate over every node page (backend-agnostic)."""
+        return self.store.iter_nodes()
 
     def index_bytes(self) -> int:
         """Total byte size of the index (all nodes, by the size model)."""
@@ -140,8 +221,22 @@ class RTree:
     # ------------------------------------------------------------------ #
     # insertion
     # ------------------------------------------------------------------ #
+    def _check_writable(self) -> None:
+        """Reject structural mutation over a read-only storage backend.
+
+        Checked up front so a paged, buffered backend can never be left with
+        half-applied in-buffer mutations before an ``allocate``/``free``
+        would have raised.
+        """
+        if not getattr(self.store, "writable", True):
+            from repro.storage.backend import ReadOnlyStorageError
+            raise ReadOnlyStorageError(
+                "this tree is backed by a read-only store; rebuild it in "
+                "memory and re-save it to mutate")
+
     def insert(self, record: ObjectRecord) -> None:
         """Insert a data object into the tree."""
+        self._check_writable()
         if record.object_id in self.objects:
             raise ValueError(f"duplicate object id {record.object_id}")
         self.objects[record.object_id] = record
@@ -262,6 +357,7 @@ class RTree:
     # ------------------------------------------------------------------ #
     def delete(self, object_id: int) -> bool:
         """Remove an object; returns True if it was present."""
+        self._check_writable()
         record = self.objects.pop(object_id, None)
         if record is None:
             return False

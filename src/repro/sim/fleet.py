@@ -197,7 +197,8 @@ def _split_clients(total: int, weights: Sequence[int]) -> List[int]:
 # --------------------------------------------------------------------------- #
 # running a fleet
 # --------------------------------------------------------------------------- #
-def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None) -> FleetResult:
+def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
+              store_path: Optional[str] = None) -> FleetResult:
     """Simulate the whole fleet against one shared server.
 
     With ``max_workers`` > 1 the clients are sharded round-robin over worker
@@ -205,49 +206,92 @@ def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None) -> FleetRes
     Clients are mutually independent (they share only read-only server
     state), so sharding changes nothing about the results except wall-clock
     time; the seed-deterministic metrics are identical to a serial run.
+
+    With ``store_path`` the shared server serves from a disk-backed
+    ``.rpro`` page store instead of an in-memory tree (every shard opens
+    its own read-only handle); all deterministic metrics are identical to
+    the in-memory run.
     """
     specs = fleet.client_specs()
     if max_workers is not None and max_workers > 1 and len(specs) > 1:
         shard_count = min(max_workers, len(specs))
         shards = [specs[offset::shard_count] for offset in range(shard_count)]
         shard_results = map_maybe_parallel(
-            _run_fleet_shard, [(fleet.base, shard) for shard in shards], max_workers)
+            _run_fleet_shard,
+            [(fleet.base, shard, store_path) for shard in shards], max_workers)
         return FleetResult(clients=[client for shard in shard_results
                                     for client in shard])
-    shared = build_shared_state(fleet.base)
-    return FleetResult(clients=_run_clients(shared, specs))
+    shared = build_shared_state(fleet.base, store_path=store_path)
+    try:
+        return FleetResult(clients=_run_clients(shared, specs))
+    finally:
+        shared.tree.store.close()
 
 
-def _run_fleet_shard(base: SimulationConfig,
-                     specs: List[FleetClientSpec]) -> List[ClientResult]:
+def _run_fleet_shard(base: SimulationConfig, specs: List[FleetClientSpec],
+                     store_path: Optional[str] = None) -> List[ClientResult]:
     """Process-pool task: rebuild the shared state and run one client shard."""
-    shared = build_shared_state(base)
-    return _run_clients(shared, specs)
+    shared = build_shared_state(base, store_path=store_path)
+    try:
+        return _run_clients(shared, specs)
+    finally:
+        shared.tree.store.close()
+
+
+def make_fleet_sessions(shared: SharedServerState,
+                        specs: Sequence[FleetClientSpec]) -> Dict[int, ClientSession]:
+    """One freshly built (cold-cache) session per client spec."""
+    return {spec.client_id: make_session(
+        spec.model, shared.tree, spec.config, server=shared.server,
+        replacement_policy=spec.replacement_policy,
+        ground_truth=shared.ground_truth) for spec in specs}
+
+
+def build_fleet_events(specs: Sequence[FleetClientSpec],
+                       ) -> List[Tuple[float, int, TraceRecord]]:
+    """The fleet's deterministic global event list.
+
+    Every client's seeded trace, merged and sorted by simulated arrival
+    time (ties broken by client id, then issue order).  The list depends
+    only on the specs, so a resumed session rebuilds the identical list
+    and continues from any event offset (see :mod:`repro.sim.restart`).
+    """
+    events: List[Tuple[float, int, TraceRecord]] = []
+    for spec in specs:
+        trace = generate_trace(spec.config)
+        events.extend((record.arrival_time, spec.client_id, record)
+                      for record in trace)
+    events.sort(key=lambda event: (event[0], event[1], event[2].index))
+    return events
+
+
+def replay_fleet_events(sessions: Dict[int, ClientSession],
+                        results: Dict[int, ClientResult],
+                        events: Sequence[Tuple[float, int, TraceRecord]]) -> None:
+    """Process ``events`` in order, recording each cost on its client."""
+    for arrival_time, client_id, record in events:
+        cost = sessions[client_id].process(record)
+        results[client_id].record(cost, arrival_time)
+
+
+def finalize_fleet_results(sessions: Dict[int, ClientSession],
+                           results: Dict[int, ClientResult]) -> None:
+    """Stamp final cache usage (and content digest, where supported)."""
+    for client_id, session in sessions.items():
+        snapshot = session.cache_snapshot(len(results[client_id].costs))
+        results[client_id].final_cache_used_bytes = snapshot.used_bytes
+        cache = getattr(session, "cache", None)
+        if hasattr(cache, "content_digest"):
+            results[client_id].final_cache_digest = cache.content_digest()
 
 
 def _run_clients(shared: SharedServerState,
                  specs: Sequence[FleetClientSpec]) -> List[ClientResult]:
     """Replay every client's trace, interleaved by arrival timestamp."""
-    sessions: Dict[int, ClientSession] = {}
-    results: Dict[int, ClientResult] = {}
-    events: List[Tuple[float, int, TraceRecord]] = []
-    for spec in specs:
-        sessions[spec.client_id] = make_session(
-            spec.model, shared.tree, spec.config, server=shared.server,
-            replacement_policy=spec.replacement_policy,
-            ground_truth=shared.ground_truth)
-        results[spec.client_id] = ClientResult(client_id=spec.client_id,
-                                               group=spec.group, model=spec.model)
-        trace = generate_trace(spec.config)
-        events.extend((record.arrival_time, spec.client_id, record)
-                      for record in trace)
-    # Event-driven interleave: queries hit the shared server in simulated
-    # arrival order (ties broken by client id, then issue order).
-    events.sort(key=lambda event: (event[0], event[1], event[2].index))
-    for arrival_time, client_id, record in events:
-        cost = sessions[client_id].process(record)
-        results[client_id].record(cost, arrival_time)
-    for client_id, session in sessions.items():
-        snapshot = session.cache_snapshot(len(results[client_id].costs))
-        results[client_id].final_cache_used_bytes = snapshot.used_bytes
+    sessions = make_fleet_sessions(shared, specs)
+    results = {spec.client_id: ClientResult(client_id=spec.client_id,
+                                            group=spec.group, model=spec.model)
+               for spec in specs}
+    replay_fleet_events(sessions, results, build_fleet_events(specs))
+    finalize_fleet_results(sessions, results)
     return [results[spec.client_id] for spec in specs]

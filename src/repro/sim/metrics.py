@@ -136,6 +136,9 @@ class ClientResult:
     costs: List[QueryCost] = field(default_factory=list)
     arrival_times: List[float] = field(default_factory=list)
     final_cache_used_bytes: int = 0
+    # Digest of the full final cache state (proactive sessions only; "" for
+    # models without snapshot support).  Warm-restart tests compare these.
+    final_cache_digest: str = ""
 
     def record(self, cost: QueryCost, arrival_time: float) -> None:
         """Record one query's cost and its simulated arrival instant."""

@@ -1,0 +1,185 @@
+"""Warm-restart fleet sessions: kill a running fleet, resume it later.
+
+A production deployment restarts — processes crash, clients go offline
+overnight — and a proactive cache that survives the restart is worth real
+bytes (the paper's whole premise is that cached state substitutes for
+downlink traffic).  This module makes a fleet run *resumable*:
+
+* :func:`run_fleet_interrupted` simulates the first ``halt_after`` events
+  of the fleet's deterministic global event list, then persists one
+  snapshot per client (cache + adaptive-controller state, via
+  :meth:`~repro.sim.sessions.ProactiveSession.state_dict`) plus the fleet
+  configuration and every cost recorded so far into a session directory;
+* :func:`resume_fleet` rebuilds the shared server state from the same
+  seeds (or the same ``.rpro`` page store), restores every session and
+  replays the *remaining* events.
+
+Because the event list, the server state and every per-client seed are
+deterministic, a killed-and-resumed run reaches exactly the same final
+cache contents (same digests) and the same deterministic metrics as an
+uninterrupted run — asserted by the warm-restart tests and surfaced
+through the ``repro fleet --halt-after/--resume`` CLI flags.
+
+Only proactive sessions (APRO / FPRO / CPRO) are resumable; PAG and SEM
+sessions raise when snapshotted, and :func:`run_fleet_interrupted` rejects
+fleets containing them up front.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cost_model import QueryCost
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import (
+    ClientGroupSpec,
+    FleetConfig,
+    build_fleet_events,
+    finalize_fleet_results,
+    make_fleet_sessions,
+    replay_fleet_events,
+)
+from repro.sim.metrics import ClientResult, FleetResult
+from repro.sim.runner import build_shared_state
+from repro.storage.snapshot import load_state, save_state
+from repro.workload.generator import QueryMix
+
+SESSION_FILE = "session.json"
+
+_RESUMABLE_MODELS = ("APRO", "FPRO", "CPRO")
+
+
+# --------------------------------------------------------------------------- #
+# (de)serialising the fleet configuration
+# --------------------------------------------------------------------------- #
+def _config_dict(config: SimulationConfig) -> dict:
+    # asdict recurses into nested dataclasses, so query_mix arrives as a
+    # plain dict already.
+    return dataclasses.asdict(config)
+
+
+def _config_from_dict(data: dict) -> SimulationConfig:
+    data = dict(data)
+    data["query_mix"] = QueryMix(**data["query_mix"])
+    return SimulationConfig(**data)
+
+
+def fleet_to_dict(fleet: FleetConfig) -> dict:
+    """JSON-serialisable form of a :class:`FleetConfig`."""
+    return {"base": _config_dict(fleet.base),
+            "groups": [dataclasses.asdict(group) for group in fleet.groups],
+            "fleet_seed": fleet.fleet_seed}
+
+
+def fleet_from_dict(data: dict) -> FleetConfig:
+    """Rebuild a :class:`FleetConfig` from :func:`fleet_to_dict` output."""
+    groups = []
+    for entry in data["groups"]:
+        entry = dict(entry)
+        if entry.get("query_mix") is not None:
+            entry["query_mix"] = QueryMix(**entry["query_mix"])
+        groups.append(ClientGroupSpec(**entry))
+    return FleetConfig(base=_config_from_dict(data["base"]),
+                       groups=tuple(groups), fleet_seed=data["fleet_seed"])
+
+
+def _cost_dict(cost: QueryCost) -> dict:
+    return dataclasses.asdict(cost)
+
+
+def _cost_from_dict(data: dict) -> QueryCost:
+    return QueryCost(**data)
+
+
+# --------------------------------------------------------------------------- #
+# halt / resume
+# --------------------------------------------------------------------------- #
+def run_fleet_interrupted(fleet: FleetConfig, halt_after: int, directory: str,
+                          store_path: Optional[str] = None) -> dict:
+    """Run the first ``halt_after`` global events, then persist the session.
+
+    Returns the session state that was written to
+    ``directory/session.json``.  ``halt_after`` counts events of the global
+    arrival-ordered event list (not per-client queries); the run stops
+    *after* processing that many events, simulating a process killed
+    mid-fleet.
+    """
+    if halt_after < 0:
+        raise ValueError("halt_after must be non-negative")
+    for group in fleet.groups:
+        if group.model.upper() not in _RESUMABLE_MODELS:
+            raise ValueError(
+                f"group {group.name!r} runs {group.model}, which does not "
+                f"support warm restarts; resumable models: "
+                f"{', '.join(_RESUMABLE_MODELS)}")
+    specs = fleet.client_specs()
+    shared = build_shared_state(fleet.base, store_path=store_path)
+    try:
+        sessions = make_fleet_sessions(shared, specs)
+        results = {spec.client_id: ClientResult(client_id=spec.client_id,
+                                                group=spec.group, model=spec.model)
+                   for spec in specs}
+        events = build_fleet_events(specs)
+        halt_after = min(halt_after, len(events))
+        replay_fleet_events(sessions, results, events[:halt_after])
+    finally:
+        shared.tree.store.close()
+
+    state = {
+        "format": 1,
+        "kind": "fleet-session",
+        "fleet": fleet_to_dict(fleet),
+        "store_path": store_path,
+        "processed_events": halt_after,
+        "total_events": len(events),
+        "clients": [
+            {
+                "client_id": spec.client_id,
+                "group": spec.group,
+                "model": spec.model,
+                "costs": [_cost_dict(c) for c in results[spec.client_id].costs],
+                "arrival_times": list(results[spec.client_id].arrival_times),
+                "session": sessions[spec.client_id].state_dict(),
+            }
+            for spec in specs
+        ],
+    }
+    os.makedirs(directory, exist_ok=True)
+    save_state(state, os.path.join(directory, SESSION_FILE))
+    return state
+
+
+def resume_fleet(directory: str) -> Tuple[FleetResult, dict]:
+    """Resume a halted fleet session and run it to completion.
+
+    Returns ``(result, session_state)`` where ``result`` covers the *whole*
+    run — the costs recorded before the halt plus the resumed remainder —
+    exactly as an uninterrupted :func:`~repro.sim.fleet.run_fleet` would
+    have reported them (wall-clock CPU fields aside).
+    """
+    state = load_state(os.path.join(directory, SESSION_FILE))
+    if state.get("kind") != "fleet-session" or state.get("format") != 1:
+        raise ValueError(f"{directory}: not a fleet session directory")
+    fleet = fleet_from_dict(state["fleet"])
+    specs = fleet.client_specs()
+    shared = build_shared_state(fleet.base, store_path=state.get("store_path"))
+    try:
+        sessions = make_fleet_sessions(shared, specs)
+        results: Dict[int, ClientResult] = {}
+        by_id = {entry["client_id"]: entry for entry in state["clients"]}
+        for spec in specs:
+            entry = by_id[spec.client_id]
+            sessions[spec.client_id].restore_state(entry["session"])
+            results[spec.client_id] = ClientResult(
+                client_id=spec.client_id, group=spec.group, model=spec.model,
+                costs=[_cost_from_dict(c) for c in entry["costs"]],
+                arrival_times=list(entry["arrival_times"]))
+        events = build_fleet_events(specs)
+        replay_fleet_events(sessions, results, events[state["processed_events"]:])
+        finalize_fleet_results(sessions, results)
+    finally:
+        shared.tree.store.close()
+    return (FleetResult(clients=[results[spec.client_id] for spec in specs]),
+            state)

@@ -87,14 +87,100 @@ def build_tree(config: SimulationConfig) -> RTree:
     return bulk_load_str(records, size_model=size_model)
 
 
-def build_shared_state(config: SimulationConfig) -> SharedServerState:
-    """Build the dataset, the R-tree and the server (no trace)."""
-    tree = build_tree(config)
+#: ``.rpro`` header meta key → SimulationConfig attribute it must match.
+_STORE_META_FIELDS = {
+    "dataset": "dataset_name",
+    "object_count": "object_count",
+    "dataset_seed": "dataset_seed",
+    "page_bytes": "page_bytes",
+    "mean_object_bytes": "mean_object_bytes",
+    "zipf_theta": "zipf_theta",
+}
+
+
+def _check_store_meta(config: SimulationConfig, meta: dict, store_path: str) -> None:
+    """Reject a store whose recorded generating config contradicts ``config``.
+
+    Only keys actually present in the meta are checked (stores written
+    outside the CLI may carry none), so a mismatch always means the caller
+    mixed dataset flags between ``save-tree`` time and load time — caught
+    here with a clear message instead of silently simulating a hybrid.
+    """
+    mismatches = [
+        f"{key}: store={meta[key]!r} config={getattr(config, attribute)!r}"
+        for key, attribute in _STORE_META_FIELDS.items()
+        if key in meta and meta[key] != getattr(config, attribute)]
+    if mismatches:
+        from repro.storage.backend import StorageError
+        raise StorageError(
+            f"{store_path} was written for a different dataset configuration "
+            f"({'; '.join(mismatches)}); rerun with matching flags or "
+            f"re-save the store")
+
+
+def build_shared_state(config: SimulationConfig,
+                       store_path: Optional[str] = None,
+                       store_buffer_pages: Optional[int] = None,
+                       tree: Optional[RTree] = None) -> SharedServerState:
+    """Build the dataset, the R-tree and the server (no trace).
+
+    With ``store_path`` the tree is not rebuilt from the dataset seeds but
+    loaded from a ``.rpro`` page store (see :mod:`repro.storage.paged`):
+    the server then performs actual file reads for page accesses, with
+    visited-page accounting identical to the in-memory backend.  A store
+    whose recorded generating configuration contradicts ``config`` is
+    rejected.  Physical I/O counters start at zero once the state is built,
+    so ``tree.store.io_stats()`` afterwards measures query-driven I/O only.
+
+    A prebuilt ``tree`` (matching ``config``) skips the dataset rebuild —
+    used by callers that already hold the deterministic tree, e.g. right
+    after checkpointing it.  Mutually exclusive with ``store_path``.
+    """
+    if store_path is not None:
+        if tree is not None:
+            raise ValueError("pass either store_path or tree, not both")
+        from repro.storage.paged import DEFAULT_BUFFER_PAGES, load_tree, read_header
+        _check_store_meta(config, read_header(store_path).get("meta", {}),
+                          store_path)
+        tree = load_tree(store_path,
+                         buffer_pages=(store_buffer_pages
+                                       if store_buffer_pages is not None
+                                       else DEFAULT_BUFFER_PAGES))
+    elif tree is None:
+        tree = build_tree(config)
     partition_trees = build_partition_trees(tree.all_nodes())
     server = ServerQueryProcessor(tree, size_model=tree.size_model,
                                   partition_trees=partition_trees)
+    # Partition-tree construction swept every page; that is startup I/O.
+    tree.store.reset_io_stats()
     return SharedServerState(tree=tree, server=server,
                              ground_truth=GroundTruthCache(tree))
+
+
+def replay_store_trace(config: SimulationConfig, trace: QueryTrace,
+                       store_path: Optional[str] = None,
+                       store_buffer_pages: Optional[int] = None,
+                       tree: Optional[RTree] = None):
+    """Replay ``trace`` through one APRO session; the backend-invariance probe.
+
+    The shared kernel of ``repro persist verify`` and the ``storage_paged``
+    perf scenario: returns ``(per_query_rows, logical_reads, io_stats)``
+    where each row is the deterministic
+    ``(server_page_reads, uplink, downlink, result_bytes, response_time)``
+    tuple.  Two replays of the same trace — one in-memory, one through a
+    page store — must return identical rows and logical read totals; only
+    ``io_stats`` may differ.  The store handle is closed before returning.
+    """
+    shared = build_shared_state(config, store_path=store_path,
+                                store_buffer_pages=store_buffer_pages,
+                                tree=tree)
+    session = make_session("APRO", shared.tree, config, server=shared.server)
+    rows = [(cost.server_page_reads, cost.uplink_bytes, cost.downlink_bytes,
+             cost.result_bytes, cost.response_time)
+            for cost in (session.process(record) for record in trace)]
+    stats = (rows, shared.tree.store.reads, shared.tree.store.io_stats())
+    shared.tree.store.close()
+    return stats
 
 
 def generate_trace(config: SimulationConfig,
@@ -123,9 +209,14 @@ def generate_trace(config: SimulationConfig,
 
 
 def build_environment(config: SimulationConfig,
-                      knn_schedule: Optional[KnnRampSchedule] = None) -> SimulationEnvironment:
-    """Build the dataset, the R-tree, the server and a query trace."""
-    shared = build_shared_state(config)
+                      knn_schedule: Optional[KnnRampSchedule] = None,
+                      store_path: Optional[str] = None) -> SimulationEnvironment:
+    """Build the dataset, the R-tree, the server and a query trace.
+
+    ``store_path`` serves the R-tree from a ``.rpro`` page store instead of
+    rebuilding it in memory (see :func:`build_shared_state`).
+    """
+    shared = build_shared_state(config, store_path=store_path)
     trace = generate_trace(config, knn_schedule=knn_schedule)
     return SimulationEnvironment(config=config, tree=shared.tree, server=shared.server,
                                  trace=trace, ground_truth=shared.ground_truth,
@@ -195,8 +286,10 @@ def run_models(environment: SimulationEnvironment, models: Iterable[str],
 def run_comparison(config: SimulationConfig, models: Iterable[str] = ("PAG", "SEM", "APRO"),
                    knn_schedule: Optional[KnnRampSchedule] = None,
                    replacement_policy: Optional[str] = None,
-                   max_workers: Optional[int] = None) -> Dict[str, SimulationResult]:
+                   max_workers: Optional[int] = None,
+                   store_path: Optional[str] = None) -> Dict[str, SimulationResult]:
     """Convenience wrapper: build an environment and run several models on it."""
-    environment = build_environment(config, knn_schedule=knn_schedule)
+    environment = build_environment(config, knn_schedule=knn_schedule,
+                                    store_path=store_path)
     return run_models(environment, models, replacement_policy=replacement_policy,
                       max_workers=max_workers)

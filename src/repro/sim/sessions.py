@@ -127,6 +127,17 @@ class ClientSession(abc.ABC):
     def cache_snapshot(self, query_index: int) -> CacheSnapshot:
         """The cache state after the most recent query."""
 
+    # Warm-restart persistence (see repro.storage.snapshot). ------------- #
+    def state_dict(self) -> dict:
+        """Serialisable session state for warm restarts (where supported)."""
+        raise NotImplementedError(
+            f"{self.name} sessions do not support warm-restart snapshots")
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (where supported)."""
+        raise NotImplementedError(
+            f"{self.name} sessions do not support warm-restart snapshots")
+
     # Convenience shared by the subclasses. ------------------------------- #
     def _object_bytes(self, object_ids: Set[int]) -> int:
         return sum(self.tree.objects[object_id].size_bytes for object_id in object_ids
@@ -200,6 +211,7 @@ class ProactiveSession(ClientSession):
             cost.index_downlink_bytes = index_bytes
             cost.downlink_bytes = downloaded_bytes + index_bytes
             cost.server_cpu_seconds = response.cpu_seconds
+            cost.server_page_reads = response.accessed_node_count
 
             insert_start = time.perf_counter()
             context = {"client_position": record.position}
@@ -245,6 +257,40 @@ class ProactiveSession(ClientSession):
                              item_count=len(self.cache),
                              depth=self.policy.depth if self.policy.form is IndexForm.ADAPTIVE
                              else self.policy.effective_depth(10**6))
+
+    # -- warm-restart persistence ----------------------------------------- #
+    def state_dict(self) -> dict:
+        """Everything a warm restart needs to resume this session exactly.
+
+        The cache (items + replacement metadata + orderings), the adaptive
+        depth controller's fmr window and the supporting-index depth.  The
+        query processor and the server connection are stateless and are
+        rebuilt from the configuration on resume.
+        """
+        return {
+            "format": 1,
+            "kind": "proactive-session",
+            "name": self.name,
+            "cache": self.cache.state_dict(),
+            "controller": self.controller.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot taken from an equivalent session.
+
+        The session must have been constructed with the same configuration
+        (model, cache budget, replacement policy) that produced the snapshot;
+        only the mutable state is transplanted.
+        """
+        if state.get("kind") != "proactive-session":
+            raise ValueError(f"not a proactive-session snapshot: "
+                             f"{state.get('kind')!r}")
+        self.cache = ProactiveCache.from_state_dict(
+            state["cache"], size_model=self.size_model,
+            replacement_policy=self.cache.replacement_policy)
+        self.controller.load_state_dict(state["controller"])
+        self.client = ClientQueryProcessor(self.cache, root_id=self.server.root_id,
+                                           root_mbr=self.server.root_mbr)
 
 
 # --------------------------------------------------------------------------- #

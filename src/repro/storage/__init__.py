@@ -1,0 +1,53 @@
+"""Pluggable persistence: disk-backed R-tree pages and cache snapshots.
+
+The paper's cost model counts page accesses; this package makes those pages
+(optionally) real.  It contains:
+
+* :mod:`repro.storage.backend` — the :class:`StorageBackend` contract every
+  node store satisfies, plus the storage error types;
+* :mod:`repro.storage.memory` — the in-memory backend (the default; the
+  classic :class:`~repro.rtree.tree.PageStore` registered under the
+  contract);
+* :mod:`repro.storage.paged` — ``save_tree`` / ``load_tree`` and the
+  read-only :class:`PagedFileBackend` whose page reads are actual file
+  reads through an LRU page buffer;
+* :mod:`repro.storage.snapshot` — cache-snapshot files for warm-restart
+  sessions (see :mod:`repro.sim.restart`).
+
+The file backend is decision-identical to the in-memory one: query results
+and per-query visited-page counts match exactly (asserted by the storage
+equivalence tests), only the physical I/O — reported via
+:meth:`StorageBackend.io_stats` — differs.
+"""
+
+from repro.storage.backend import ReadOnlyStorageError, StorageBackend, StorageError
+from repro.storage.memory import MemoryBackend
+from repro.storage.paged import (
+    DEFAULT_BUFFER_PAGES,
+    PagedFileBackend,
+    load_tree,
+    read_header,
+    save_tree,
+)
+from repro.storage.snapshot import (
+    load_cache_snapshot,
+    load_state,
+    save_cache_snapshot,
+    save_state,
+)
+
+__all__ = [
+    "DEFAULT_BUFFER_PAGES",
+    "MemoryBackend",
+    "PagedFileBackend",
+    "ReadOnlyStorageError",
+    "StorageBackend",
+    "StorageError",
+    "load_cache_snapshot",
+    "load_state",
+    "load_tree",
+    "read_header",
+    "save_cache_snapshot",
+    "save_state",
+    "save_tree",
+]

@@ -1,0 +1,120 @@
+"""The pluggable node-storage protocol (paper Section 3's "disk").
+
+The paper's cost model counts *page accesses*: every index node the server
+touches while resuming a remainder query is one page read.  The seed
+reproduction kept all pages in a plain dict (:class:`~repro.rtree.tree.PageStore`),
+which makes page reads an accounting fiction.  This module defines the
+:class:`StorageBackend` contract that lets the R-tree run over different
+physical stores — the in-memory dict (the default, unchanged behaviour) or
+the paged file backend of :mod:`repro.storage.paged`, where a page read that
+misses the buffer is an actual ``seek`` + ``read`` against a file.
+
+The contract is deliberately the exact surface :class:`~repro.rtree.tree.RTree`
+already uses, in the spirit of ZODB's minimal storage interface: backends are
+interchangeable underneath an unchanged tree, and the *logical* read/write
+counters (``reads`` / ``writes``) must behave identically across backends so
+the paper's visited-page accounting is backend-invariant.  Physical I/O is
+reported separately via :meth:`StorageBackend.io_stats`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rtree.node import Node
+
+
+class StorageError(Exception):
+    """Base class for storage-backend failures."""
+
+
+class ReadOnlyStorageError(StorageError):
+    """A mutation was attempted on a read-only (frozen) backend.
+
+    The paged file backend serves query workloads; trees are built (or
+    mutated) in memory and checkpointed with
+    :func:`repro.storage.paged.save_tree`.
+    """
+
+
+class StorageBackend(abc.ABC):
+    """Abstract id-addressed store of R-tree node pages.
+
+    Implementations must expose two integer counters with *logical* page
+    semantics, identical across backends:
+
+    ``reads``
+        Incremented by every :meth:`get` (the paper's visited-page count).
+    ``writes``
+        Incremented by every :meth:`allocate`.
+
+    :meth:`peek` never counts a logical read — maintenance and diagnostics
+    code uses it — though on a paged backend it may still cause physical I/O
+    (reported via :meth:`io_stats`).
+    """
+
+    reads: int
+    writes: int
+
+    @abc.abstractmethod
+    def allocate(self, level: int) -> "Node":
+        """Create, register and return an empty node at ``level``."""
+
+    @abc.abstractmethod
+    def get(self, node_id: int) -> "Node":
+        """Fetch a node by id; counts as one logical page read."""
+
+    @abc.abstractmethod
+    def peek(self, node_id: int) -> "Node":
+        """Fetch a node without counting a logical read."""
+
+    @abc.abstractmethod
+    def free(self, node_id: int) -> None:
+        """Remove a node from the store."""
+
+    @abc.abstractmethod
+    def __contains__(self, node_id: int) -> bool:
+        """True when a page with this id exists."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored pages."""
+
+    @abc.abstractmethod
+    def node_ids(self) -> Iterable[int]:
+        """All stored page ids (deterministic order)."""
+
+    def iter_nodes(self) -> Iterator["Node"]:
+        """Iterate over every stored node (via :meth:`peek`)."""
+        for node_id in self.node_ids():
+            yield self.peek(node_id)
+
+    # ------------------------------------------------------------------ #
+    # physical I/O — backends without real I/O report zeros
+    # ------------------------------------------------------------------ #
+    def io_stats(self) -> Dict[str, int]:
+        """Physical I/O counters: ``file_reads``, ``file_writes``, ``buffer_hits``.
+
+        The in-memory backend performs no I/O and reports zeros; the paged
+        file backend reports real ``seek``/``read`` operations and LRU-buffer
+        hits.  Logical counters (``reads``/``writes``) are attributes, not
+        part of this dict, because they must stay backend-invariant.
+        """
+        return {"file_reads": 0, "file_writes": 0, "buffer_hits": 0}
+
+    def reset_io_stats(self) -> None:
+        """Zero the physical I/O counters (no-op for in-memory stores).
+
+        Called after bulk startup work (eager object decode, partition-tree
+        construction) so :meth:`io_stats` afterwards reflects query-driven
+        I/O only — the quantity buffer-effectiveness reasoning needs.
+        Logical counters are never reset.
+        """
+
+    def flush(self) -> None:
+        """Write any buffered state through to durable storage (no-op here)."""
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op for in-memory stores)."""

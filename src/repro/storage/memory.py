@@ -1,0 +1,19 @@
+"""The in-memory storage backend (the default, unchanged seed behaviour).
+
+:class:`~repro.rtree.tree.PageStore` — the dict-of-pages store the R-tree
+has always used — already satisfies the
+:class:`~repro.storage.backend.StorageBackend` contract; this module
+registers it as a virtual subclass and re-exports it under the backend
+naming so call sites can spell intent (``MemoryBackend()``) without the
+R-tree package ever importing the storage package (which would be a cycle).
+"""
+
+from __future__ import annotations
+
+from repro.rtree.tree import PageStore
+from repro.storage.backend import StorageBackend
+
+#: The in-memory backend *is* the classic page store.
+MemoryBackend = PageStore
+
+StorageBackend.register(PageStore)

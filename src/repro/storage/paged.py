@@ -1,0 +1,278 @@
+"""The paged file backend: R-tree nodes and objects, one per disk page.
+
+``save_tree`` checkpoints an in-memory tree into a single ``.rpro`` file;
+``load_tree`` reconstructs the tree around a :class:`PagedFileBackend` whose
+page reads are actual ``seek`` + ``read`` calls against that file, filtered
+through an LRU page buffer.  This makes the paper's page-access cost model
+*physical*: a remainder query resumed over a cold buffer performs one file
+read per visited page, while the logical ``reads`` counter stays identical
+to the in-memory backend by construction (same traversal, same counter
+semantics), so all visited-page accounting is backend-invariant.
+
+Design notes (in the spirit of ZODB's FileStorage, minus the history):
+
+* **Checkpoint, then read-only.**  Trees are built / mutated in memory and
+  saved; a loaded tree is frozen (``allocate`` / ``free`` raise
+  :class:`~repro.storage.backend.ReadOnlyStorageError`).  This sidesteps the
+  aliasing hazards of write-back caching of mutable nodes and matches every
+  workload in this repo: bulk-load once, serve queries forever.
+* **One record per page.**  The slot size is the smallest multiple of 64
+  bytes that fits the largest encoded node (at least ``size_model.page_bytes``),
+  mirroring "an R-tree node is a page".  Object records get pages of the
+  same stride in a second region; they are decoded eagerly at load time
+  because every layer addresses ``tree.objects`` as a dict (payloads are
+  synthetic byte *counts*, so this costs ~50 bytes per object, not 10 KB).
+* **Deterministic layout.**  Pages are laid out in sorted-id order and the
+  JSON header is dumped canonically, so ``save → load → save`` reproduces
+  the file byte for byte — asserted by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.rtree.entry import ObjectRecord
+from repro.rtree.node import Node
+from repro.rtree.serialize import (
+    decode_node,
+    decode_object,
+    encode_node,
+    encode_object,
+    encoded_object_size,
+)
+from repro.rtree.sizes import SizeModel
+from repro.rtree.tree import RTree
+from repro.storage.backend import ReadOnlyStorageError, StorageBackend, StorageError
+
+MAGIC = b"RPROSTOR1\n"
+
+#: Default number of decoded node pages the LRU buffer holds.
+DEFAULT_BUFFER_PAGES = 64
+
+
+def _slot_size(sizes: Iterable[int], minimum: int) -> int:
+    """The page stride: smallest multiple of 64 covering every record."""
+    largest = max(list(sizes) or [0])
+    needed = max(largest, minimum, 64)
+    return (needed + 63) // 64 * 64
+
+
+def _size_model_dict(size_model: SizeModel) -> Dict[str, int]:
+    return {
+        "page_bytes": size_model.page_bytes,
+        "coordinate_bytes": size_model.coordinate_bytes,
+        "pointer_bytes": size_model.pointer_bytes,
+        "query_header_bytes": size_model.query_header_bytes,
+        "object_id_bytes": size_model.object_id_bytes,
+    }
+
+
+def save_tree(tree: RTree, path: str, meta: Optional[Dict] = None) -> Dict:
+    """Checkpoint ``tree`` into the single-file page store at ``path``.
+
+    Returns the header dict that was written.  ``meta`` is free-form caller
+    metadata (the CLI stores the generating dataset configuration) returned
+    verbatim by :func:`read_header`.  Re-saving a tree that is itself backed
+    by a :class:`PagedFileBackend` carries the original meta over unless a
+    new one is given, so save → load → save is byte-stable.
+    """
+    if meta is None and isinstance(tree.store, PagedFileBackend):
+        meta = tree.store.header.get("meta")
+    node_ids = sorted(tree.store.node_ids())
+    encoded_nodes = [encode_node(tree.store.peek(node_id)) for node_id in node_ids]
+    object_ids = sorted(tree.objects)
+    page_size = _slot_size((len(blob) for blob in encoded_nodes),
+                           max(tree.size_model.page_bytes, encoded_object_size()))
+    header = {
+        "format": 1,
+        "kind": "rtree-page-store",
+        "page_size": page_size,
+        "root_id": tree.root_id,
+        "height": tree.height,
+        "node_count": len(node_ids),
+        "object_count": len(object_ids),
+        "node_ids": node_ids,
+        "object_ids": object_ids,
+        "size_model": _size_model_dict(tree.size_model),
+        "max_entries": tree.max_entries,
+        "min_entries": tree.min_entries,
+        "meta": dict(meta or {}),
+    }
+    header_bytes = json.dumps(header, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        for blob in encoded_nodes:
+            handle.write(blob.ljust(page_size, b"\0"))
+        for object_id in object_ids:
+            handle.write(encode_object(tree.objects[object_id]).ljust(page_size, b"\0"))
+    return header
+
+
+def _read_header_raw(path: str) -> Tuple[Dict, int]:
+    """Read the JSON header; returns ``(header, data_start_offset)``."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise StorageError(f"{path} is not an rpro page store "
+                               f"(bad magic {magic!r})")
+        header_len = int.from_bytes(handle.read(8), "little")
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+    if header.get("format") != 1 or header.get("kind") != "rtree-page-store":
+        raise StorageError(f"{path}: unsupported format {header.get('format')!r} "
+                           f"/ kind {header.get('kind')!r}")
+    return header, len(MAGIC) + 8 + header_len
+
+
+def read_header(path: str) -> Dict:
+    """Read and validate the JSON header of a ``.rpro`` file."""
+    return _read_header_raw(path)[0]
+
+
+class PagedFileBackend(StorageBackend):
+    """Read-only :class:`StorageBackend` over a ``.rpro`` page file.
+
+    Parameters
+    ----------
+    path:
+        File written by :func:`save_tree`.
+    buffer_pages:
+        Capacity of the LRU buffer of decoded node pages.  ``0`` disables
+        buffering entirely (every logical read is a file read).
+    """
+
+    #: The backend is frozen; RTree refuses structural mutation over it.
+    writable = False
+
+    def __init__(self, path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES) -> None:
+        if buffer_pages < 0:
+            raise ValueError("buffer_pages must be >= 0")
+        self.path = path
+        self.buffer_pages = buffer_pages
+        self.header, data_start = _read_header_raw(path)
+        self._page_size: int = self.header["page_size"]
+        self._node_offsets: Dict[int, int] = {
+            node_id: data_start + slot * self._page_size
+            for slot, node_id in enumerate(self.header["node_ids"])}
+        self._object_region_start = data_start + len(self._node_offsets) * self._page_size
+        self._handle: Optional[io.BufferedReader] = open(path, "rb")
+        self._buffer: "OrderedDict[int, Node]" = OrderedDict()
+        self.reads = 0
+        self.writes = 0
+        self.file_reads = 0
+        self.buffer_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # StorageBackend contract
+    # ------------------------------------------------------------------ #
+    def allocate(self, level: int) -> Node:
+        raise ReadOnlyStorageError(
+            "the paged file backend is read-only; build the tree in memory "
+            "and checkpoint it with repro.storage.paged.save_tree")
+
+    def free(self, node_id: int) -> None:
+        raise ReadOnlyStorageError(
+            "the paged file backend is read-only; build the tree in memory "
+            "and checkpoint it with repro.storage.paged.save_tree")
+
+    def get(self, node_id: int) -> Node:
+        """Fetch a node; one logical read, physically served buffer-first."""
+        self.reads += 1
+        return self._fetch(node_id)
+
+    def peek(self, node_id: int) -> Node:
+        """Fetch a node without counting a logical read."""
+        return self._fetch(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._node_offsets
+
+    def __len__(self) -> int:
+        return len(self._node_offsets)
+
+    def node_ids(self) -> List[int]:
+        """All stored page ids (sorted — the file's slot order)."""
+        return list(self._node_offsets)
+
+    def io_stats(self) -> Dict[str, int]:
+        """Physical counters: real file reads and LRU buffer hits."""
+        return {"file_reads": self.file_reads, "file_writes": 0,
+                "buffer_hits": self.buffer_hits}
+
+    def reset_io_stats(self) -> None:
+        """Zero the physical counters; done after bulk startup scans so
+        :meth:`io_stats` reflects query-driven I/O only."""
+        self.file_reads = 0
+        self.buffer_hits = 0
+
+    def flush(self) -> None:
+        """No-op: the backend never holds dirty state (read-only)."""
+
+    def close(self) -> None:
+        """Close the underlying file handle; further reads will fail."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _fetch(self, node_id: int) -> Node:
+        node = self._buffer.get(node_id)
+        if node is not None:
+            self.buffer_hits += 1
+            self._buffer.move_to_end(node_id)
+            return node
+        node = decode_node(self._read_page(self._node_offsets[node_id]))
+        if self.buffer_pages:
+            self._buffer[node_id] = node
+            while len(self._buffer) > self.buffer_pages:
+                self._buffer.popitem(last=False)
+        return node
+
+    def _read_page(self, offset: int) -> bytes:
+        if self._handle is None:
+            raise StorageError(f"{self.path}: backend is closed")
+        self.file_reads += 1
+        self._handle.seek(offset)
+        return self._handle.read(self._page_size)
+
+    def load_objects(self) -> Dict[int, ObjectRecord]:
+        """Decode the object-record region into an id-keyed dict."""
+        objects: Dict[int, ObjectRecord] = {}
+        for slot, object_id in enumerate(self.header["object_ids"]):
+            record = decode_object(self._read_page(
+                self._object_region_start + slot * self._page_size))
+            if record.object_id != object_id:
+                raise StorageError(
+                    f"{self.path}: object slot {slot} holds id "
+                    f"{record.object_id}, directory says {object_id}")
+            objects[record.object_id] = record
+        return objects
+
+
+def load_tree(path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES) -> RTree:
+    """Reconstruct the R-tree saved at ``path`` over a paged file backend.
+
+    Node pages are fetched lazily through the backend's LRU buffer; object
+    records are decoded eagerly (see the module docstring).  The returned
+    tree is read-only: structural mutations raise
+    :class:`~repro.storage.backend.ReadOnlyStorageError`.
+    """
+    backend = PagedFileBackend(path, buffer_pages=buffer_pages)
+    header = backend.header
+    size_model = SizeModel(**header["size_model"])
+    tree = RTree.from_storage(
+        store=backend, objects=backend.load_objects(),
+        root_id=header["root_id"], height=header["height"],
+        size_model=size_model, max_entries=header["max_entries"],
+        min_entries=header["min_entries"])
+    # The eager object decode above is startup I/O, not query I/O: start
+    # the physical counters from zero so io_stats() measures the workload.
+    backend.reset_io_stats()
+    return tree

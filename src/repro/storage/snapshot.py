@@ -1,0 +1,65 @@
+"""Cache-snapshot files: persisting a client's proactive cache across restarts.
+
+A mobile client that reconnects after a crash (or an overnight shutdown)
+should not start cold: its proactive cache — index-node snapshots, data
+objects, EBRS/replacement metadata — is exactly the state the paper's cost
+model rewards keeping.  This module writes
+:meth:`repro.core.cache.ProactiveCache.state_dict` (and the session-level
+superset from :meth:`repro.sim.sessions.ProactiveSession.state_dict`) to
+canonical JSON files and reads them back.
+
+The JSON is dumped *without* key sorting: the cache state embeds two
+orderings the replacement policies are sensitive to (items insertion order
+and leaf-set order), and Python floats round-trip exactly through JSON, so
+``save → load → save`` reproduces the file byte for byte — asserted by the
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.cache import ProactiveCache
+from repro.rtree.sizes import SizeModel
+from repro.storage.backend import StorageError
+
+_CANONICAL = {"sort_keys": False, "separators": (",", ":")}
+
+
+def dumps_state(state: dict) -> str:
+    """Canonical JSON text of a state dict (order-preserving, compact)."""
+    return json.dumps(state, **_CANONICAL)
+
+
+def save_state(state: dict, path: str) -> None:
+    """Write any state dict to ``path`` as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_state(state))
+        handle.write("\n")
+
+
+def load_state(path: str) -> dict:
+    """Read a state dict previously written by :func:`save_state`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_cache_snapshot(cache: ProactiveCache, path: str) -> None:
+    """Persist a proactive cache for a later warm restart."""
+    save_state(cache.state_dict(), path)
+
+
+def load_cache_snapshot(path: str, size_model: Optional[SizeModel] = None,
+                        replacement_policy=None) -> ProactiveCache:
+    """Rebuild a proactive cache from a snapshot file.
+
+    ``replacement_policy`` (an instance) overrides the recorded policy name;
+    by default the recorded name is re-instantiated.
+    """
+    state = load_state(path)
+    if state.get("format") != 1:
+        raise StorageError(f"{path}: unsupported cache snapshot format "
+                           f"{state.get('format')!r}")
+    return ProactiveCache.from_state_dict(state, size_model=size_model,
+                                          replacement_policy=replacement_policy)

@@ -156,3 +156,28 @@ def test_bench_cli_writes_report_and_gates(tmp_path, capsys):
         main(["bench", "--scenario", "fig6_models", "--scale", "smoke",
               "--repeats", "1", "--no-alloc", "--baseline", str(fast), "--check"])
     capsys.readouterr()
+
+
+def test_storage_scenarios_registered():
+    assert {"storage_paged", "warm_restart"} <= set(SCENARIOS)
+
+
+def test_storage_paged_scenario_asserts_backend_match():
+    measurement = run_scenario("storage_paged", scale_name="smoke", repeats=1,
+                               measure_allocations=False)
+    assert measurement.fingerprint["backend_match"] == 1.0
+    assert measurement.fingerprint["logical_page_reads"] > 0
+    assert measurement.fingerprint["file_reads"] > 0
+    # Deterministic (the fingerprint must be gateable):
+    again = run_scenario("storage_paged", scale_name="smoke", repeats=1,
+                         measure_allocations=False)
+    assert again.fingerprint == measurement.fingerprint
+
+
+def test_warm_restart_scenario_asserts_digest_match():
+    measurement = run_scenario("warm_restart", scale_name="smoke", repeats=1,
+                               measure_allocations=False)
+    assert measurement.fingerprint["digest_match"] == 1.0
+    again = run_scenario("warm_restart", scale_name="smoke", repeats=1,
+                         measure_allocations=False)
+    assert again.fingerprint == measurement.fingerprint

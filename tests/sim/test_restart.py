@@ -1,0 +1,144 @@
+"""Warm-restart fleet sessions: killed-and-resumed must equal uninterrupted."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import ClientGroupSpec, FleetConfig, default_fleet, run_fleet
+from repro.sim.restart import (
+    SESSION_FILE,
+    fleet_from_dict,
+    fleet_to_dict,
+    resume_fleet,
+    run_fleet_interrupted,
+)
+from repro.storage import save_tree
+from repro.sim.runner import build_tree
+from repro.workload.generator import QueryMix
+
+BASE = SimulationConfig.tiny(query_count=12, object_count=400)
+
+
+def small_fleet():
+    return FleetConfig.make(BASE, [
+        ClientGroupSpec(name="walkers", clients=2, mobility_model="RAN"),
+        ClientGroupSpec(name="drivers", clients=2, mobility_model="DIR",
+                        speed_factor=6.0, cache_fraction=0.005,
+                        query_mix=QueryMix(range_=2.0, knn=1.0, join=0.5),
+                        replacement_policy="LRU"),
+    ], fleet_seed=77)
+
+
+def _digests(result):
+    return {client.client_id: client.final_cache_digest
+            for client in result.clients}
+
+
+# --------------------------------------------------------------------------- #
+# fleet config round trip
+# --------------------------------------------------------------------------- #
+def test_fleet_config_roundtrips_through_json():
+    fleet = small_fleet()
+    assert fleet_from_dict(fleet_to_dict(fleet)) == fleet
+
+
+# --------------------------------------------------------------------------- #
+# the headline equality
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("halt_fraction", [0.25, 0.5, 0.9])
+def test_killed_and_resumed_equals_uninterrupted(tmp_path, halt_fraction):
+    fleet = small_fleet()
+    uninterrupted = run_fleet(fleet)
+    total_events = sum(len(client.costs) for client in uninterrupted.clients)
+    directory = str(tmp_path / f"halt{halt_fraction}")
+    run_fleet_interrupted(fleet, halt_after=int(total_events * halt_fraction),
+                          directory=directory)
+    resumed, _ = resume_fleet(directory)
+    # Final cache contents — items, replacement metadata, orderings — are
+    # identical client by client.
+    assert _digests(resumed) == _digests(uninterrupted)
+    assert all(digest for digest in _digests(resumed).values())
+    # And so are all deterministic metrics of the combined run.
+    assert (resumed.deterministic_group_summary()
+            == uninterrupted.deterministic_group_summary())
+
+
+def test_restart_over_disk_backed_store(tmp_path):
+    """Warm restart composes with the paged file backend."""
+    fleet = small_fleet()
+    store_path = str(tmp_path / "server.rpro")
+    save_tree(build_tree(fleet.base), store_path)
+    uninterrupted = run_fleet(fleet, store_path=store_path)
+    total_events = sum(len(client.costs) for client in uninterrupted.clients)
+    directory = str(tmp_path / "session")
+    run_fleet_interrupted(fleet, halt_after=total_events // 2,
+                          directory=directory, store_path=store_path)
+    resumed, state = resume_fleet(directory)
+    assert state["store_path"] == store_path
+    assert _digests(resumed) == _digests(uninterrupted)
+    # In-memory and disk-backed runs agree with each other as well.
+    assert _digests(uninterrupted) == _digests(run_fleet(fleet))
+
+
+def test_default_fleet_is_resumable(tmp_path):
+    fleet = default_fleet(4, base=BASE)
+    uninterrupted = run_fleet(fleet)
+    directory = str(tmp_path / "session")
+    run_fleet_interrupted(fleet, halt_after=10, directory=directory)
+    resumed, _ = resume_fleet(directory)
+    assert _digests(resumed) == _digests(uninterrupted)
+
+
+# --------------------------------------------------------------------------- #
+# session file mechanics and guard rails
+# --------------------------------------------------------------------------- #
+def test_session_file_contents(tmp_path):
+    fleet = small_fleet()
+    directory = str(tmp_path / "session")
+    state = run_fleet_interrupted(fleet, halt_after=7, directory=directory)
+    assert os.path.exists(os.path.join(directory, SESSION_FILE))
+    assert state["processed_events"] == 7
+    assert state["total_events"] == 4 * BASE.query_count
+    assert len(state["clients"]) == fleet.total_clients
+    processed = sum(len(client["costs"]) for client in state["clients"])
+    assert processed == 7
+    for client in state["clients"]:
+        assert client["session"]["kind"] == "proactive-session"
+
+
+def test_halt_after_zero_resumes_from_cold(tmp_path):
+    fleet = small_fleet()
+    directory = str(tmp_path / "session")
+    run_fleet_interrupted(fleet, halt_after=0, directory=directory)
+    resumed, _ = resume_fleet(directory)
+    assert _digests(resumed) == _digests(run_fleet(fleet))
+
+
+def test_halt_after_beyond_end_is_clamped(tmp_path):
+    fleet = small_fleet()
+    directory = str(tmp_path / "session")
+    state = run_fleet_interrupted(fleet, halt_after=10**6, directory=directory)
+    assert state["processed_events"] == state["total_events"]
+    resumed, _ = resume_fleet(directory)
+    assert _digests(resumed) == _digests(run_fleet(fleet))
+
+
+def test_negative_halt_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        run_fleet_interrupted(small_fleet(), halt_after=-1,
+                              directory=str(tmp_path))
+
+
+def test_non_proactive_fleets_are_rejected(tmp_path):
+    fleet = FleetConfig.make(BASE, [
+        ClientGroupSpec(name="legacy", clients=1, model="PAG")])
+    with pytest.raises(ValueError, match="warm restart"):
+        run_fleet_interrupted(fleet, halt_after=2, directory=str(tmp_path))
+
+
+def test_resume_rejects_non_session_directory(tmp_path):
+    with pytest.raises((OSError, ValueError)):
+        resume_fleet(str(tmp_path))

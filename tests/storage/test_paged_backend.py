@@ -1,0 +1,135 @@
+"""Behavioural tests for the paged file backend itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtree import SizeModel, bulk_load_str
+from repro.rtree.tree import PageStore
+from repro.storage import (
+    MemoryBackend,
+    PagedFileBackend,
+    ReadOnlyStorageError,
+    StorageBackend,
+    StorageError,
+    load_tree,
+    save_tree,
+)
+
+from tests.conftest import make_records
+
+
+@pytest.fixture()
+def store_file(tmp_path):
+    tree = bulk_load_str(make_records(200, seed=21),
+                         size_model=SizeModel(page_bytes=256))
+    path = tmp_path / "tree.rpro"
+    save_tree(tree, str(path))
+    return str(path), tree
+
+
+def test_memory_backend_is_the_page_store():
+    assert MemoryBackend is PageStore
+    assert isinstance(PageStore(), StorageBackend)
+
+
+def test_paged_backend_satisfies_the_contract(store_file):
+    path, tree = store_file
+    backend = PagedFileBackend(path)
+    assert isinstance(backend, StorageBackend)
+    assert len(backend) == len(tree.store)
+    assert set(backend.node_ids()) == set(tree.store.node_ids())
+    assert tree.root_id in backend
+    assert 10**9 not in backend
+
+
+def test_logical_read_counter_semantics(store_file):
+    path, tree = store_file
+    backend = PagedFileBackend(path)
+    root_id = tree.root_id
+    backend.get(root_id)
+    backend.get(root_id)
+    assert backend.reads == 2
+    backend.peek(root_id)
+    assert backend.reads == 2  # peek never counts a logical read
+
+
+def test_lru_buffer_caps_decoded_pages(store_file):
+    path, tree = store_file
+    backend = PagedFileBackend(path, buffer_pages=2)
+    ids = backend.node_ids()[:4]
+    for node_id in ids:
+        backend.get(node_id)
+    assert backend.io_stats()["file_reads"] == 4
+    # The two most recent stay buffered; re-reading them is free.
+    backend.get(ids[-1])
+    backend.get(ids[-2])
+    assert backend.io_stats()["file_reads"] == 4
+    assert backend.io_stats()["buffer_hits"] == 2
+    # The first one was evicted: reading it again hits the file.
+    backend.get(ids[0])
+    assert backend.io_stats()["file_reads"] == 5
+
+
+def test_zero_buffer_reads_the_file_every_time(store_file):
+    path, tree = store_file
+    backend = PagedFileBackend(path, buffer_pages=0)
+    for _ in range(3):
+        backend.get(tree.root_id)
+    assert backend.io_stats() == {"file_reads": 3, "file_writes": 0,
+                                  "buffer_hits": 0}
+
+
+def test_backend_is_read_only(store_file):
+    path, _ = store_file
+    backend = PagedFileBackend(path)
+    with pytest.raises(ReadOnlyStorageError):
+        backend.allocate(level=0)
+    with pytest.raises(ReadOnlyStorageError):
+        backend.free(1)
+
+
+def test_loaded_tree_rejects_mutation(store_file):
+    path, _ = store_file
+    loaded = load_tree(path)
+    record = make_records(1, seed=99)[0]
+    with pytest.raises(ReadOnlyStorageError):
+        loaded.insert(ObjectRecordWithFreshId(record))
+    with pytest.raises(ReadOnlyStorageError):
+        loaded.delete(next(iter(loaded.objects)))
+
+
+def ObjectRecordWithFreshId(record):
+    """A copy of ``record`` with an id no store-backed tree contains."""
+    from repro.rtree.entry import ObjectRecord
+    return ObjectRecord(object_id=10**9, mbr=record.mbr,
+                        size_bytes=record.size_bytes)
+
+
+def test_closed_backend_raises(store_file):
+    path, tree = store_file
+    backend = PagedFileBackend(path, buffer_pages=0)
+    backend.close()
+    with pytest.raises(StorageError):
+        backend.get(tree.root_id)
+    backend.close()  # idempotent
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.rpro"
+    path.write_bytes(b"definitely not a page store")
+    with pytest.raises(StorageError):
+        PagedFileBackend(str(path))
+
+
+def test_buffer_pages_must_be_non_negative(store_file):
+    path, _ = store_file
+    with pytest.raises(ValueError):
+        PagedFileBackend(path, buffer_pages=-1)
+
+
+def test_rtree_rejects_populated_store_in_init(store_file):
+    path, _ = store_file
+    from repro.rtree import RTree
+    with pytest.raises(ValueError):
+        RTree(store=PagedFileBackend(path))

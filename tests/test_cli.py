@@ -60,3 +60,87 @@ def test_figure_6_command_tiny(capsys):
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "42"])
+
+
+# --------------------------------------------------------------------------- #
+# persistence: repro persist / --store / --halt-after / --resume
+# --------------------------------------------------------------------------- #
+TINY = ["--queries", "8", "--objects", "200"]
+
+
+def test_persist_save_info_verify_roundtrip(tmp_path, capsys):
+    store = str(tmp_path / "server.rpro")
+    assert main(["persist", "save-tree", "--out", store] + TINY) == 0
+    assert "node pages" in capsys.readouterr().out
+
+    assert main(["persist", "info", store]) == 0
+    output = capsys.readouterr().out
+    assert "rtree page store" in output and "meta.dataset: NE" in output
+
+    assert main(["persist", "verify", store] + TINY) == 0
+    output = capsys.readouterr().out
+    assert output.startswith("OK") and "physical file reads" in output
+
+
+def test_persist_info_rejects_garbage(tmp_path):
+    path = tmp_path / "junk.rpro"
+    path.write_bytes(b"nope")
+    with pytest.raises(SystemExit, match="persist"):
+        main(["persist", "info", str(path)])
+
+
+def test_compare_with_store_matches_memory(tmp_path, capsys):
+    store = str(tmp_path / "server.rpro")
+    assert main(["persist", "save-tree", "--out", store] + TINY) == 0
+    capsys.readouterr()
+    assert main(["compare", "--models", "APRO"] + TINY) == 0
+    memory_output = capsys.readouterr().out
+    assert main(["compare", "--models", "APRO", "--store", store] + TINY) == 0
+    store_output = capsys.readouterr().out
+
+    def deterministic_rows(text):
+        # Drop the wall-clock CPU row; everything else is seed-deterministic.
+        return [line for line in text.splitlines() if "cpu" not in line]
+
+    assert deterministic_rows(store_output) == deterministic_rows(memory_output)
+
+
+def test_fleet_halt_and_resume(tmp_path, capsys):
+    session_dir = str(tmp_path / "session")
+    fleet_args = ["fleet", "--clients", "3", "--queries", "4",
+                  "--objects", "200"]
+    assert main(fleet_args + ["--halt-after", "5",
+                              "--session-dir", session_dir]) == 0
+    output = capsys.readouterr().out
+    assert "halted after 5" in output
+    assert main(["fleet", "--resume", session_dir]) == 0
+    resumed_output = capsys.readouterr().out
+    assert "resumed from" in resumed_output
+
+    # The combined metrics equal an uninterrupted run's.
+    assert main(fleet_args) == 0
+    uninterrupted_output = capsys.readouterr().out
+    for line in ("uplink_bytes", "downlink_bytes", "cache_hit_rate"):
+        resumed_line = next(l for l in resumed_output.splitlines()
+                            if l.startswith(line))
+        plain_line = next(l for l in uninterrupted_output.splitlines()
+                          if l.startswith(line))
+        assert resumed_line == plain_line
+
+
+def test_fleet_halt_requires_session_dir():
+    with pytest.raises(SystemExit, match="session-dir"):
+        main(["fleet", "--clients", "2", "--queries", "2", "--objects", "150",
+              "--halt-after", "3"])
+
+
+def test_fleet_resume_bad_directory(tmp_path):
+    with pytest.raises(SystemExit, match="resume"):
+        main(["fleet", "--resume", str(tmp_path / "missing")])
+
+
+def test_help_epilogs_show_examples(capsys):
+    for command in ("compare", "fleet", "bench", "persist"):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        assert "examples:" in capsys.readouterr().out
