@@ -132,6 +132,12 @@ def parse_group_spec(text: str) -> ClientGroupSpec:
 def _run_fleet(args: argparse.Namespace) -> str:
     from repro.storage import StorageError
     if args.resume:
+        if args.update_rate or args.consistency != "none":
+            # The session file is authoritative for a resumed fleet; the
+            # dynamic flags would be silently dropped otherwise.
+            raise SystemExit(
+                "repro fleet: error: --update-rate/--consistency cannot be "
+                "combined with --resume (dynamic fleets are not resumable)")
         from repro.sim.restart import resume_fleet
         try:
             result, state = resume_fleet(args.resume)
@@ -152,6 +158,11 @@ def _run_fleet(args: argparse.Namespace) -> str:
             fleet = FleetConfig.make(base, args.group, fleet_seed=args.fleet_seed)
         else:
             fleet = default_fleet(args.clients, base=base, fleet_seed=args.fleet_seed)
+        if args.update_rate or args.consistency != "none":
+            import dataclasses
+            fleet = dataclasses.replace(fleet, update_rate=args.update_rate,
+                                        consistency=args.consistency,
+                                        ttl_seconds=args.ttl)
     except ValueError as error:
         # Cross-group validation (duplicate names, non-positive totals) that
         # parse_group_spec cannot see: fail like an argparse error, not a
@@ -176,15 +187,26 @@ def _run_fleet(args: argparse.Namespace) -> str:
 
     try:
         result = run_fleet(fleet, max_workers=args.workers, store_path=args.store)
-    except (OSError, StorageError) as error:
+    except (OSError, ValueError, StorageError) as error:
         raise SystemExit(f"repro fleet: error: {error}")
     mode = f"{args.workers} worker processes" if args.workers and args.workers > 1 \
         else "serial"
     if args.store:
         mode += f", tree served from {args.store}"
-    return format_fleet_report(
+    if fleet.is_dynamic:
+        mode += (f", {fleet.consistency} consistency, "
+                 f"{fleet.update_rate:g} updates/s")
+    report = format_fleet_report(
         result, title=f"Fleet simulation — {fleet.total_clients} clients, "
                       f"{len(fleet.groups)} groups, 1 shared server ({mode})")
+    if result.update_summary:
+        summary = result.update_summary
+        report += ("\nserver updates: "
+                   f"{summary['applied']} applied "
+                   f"({summary['inserts']} insert / {summary['deletes']} "
+                   f"delete / {summary['modifies']} modify), "
+                   f"{summary['live_objects']} live objects")
+    return report
 
 
 def _run_figure(args: argparse.Namespace) -> str:
@@ -320,6 +342,8 @@ examples:
   repro fleet --group walkers:30:RAN:APRO --group vans:20:DIR:APRO:0.005:8
   repro fleet --clients 8 --halt-after 100 --session-dir ./session
   repro fleet --resume ./session
+  repro fleet --clients 8 --update-rate 0.05 --consistency versioned
+  repro fleet --clients 8 --update-rate 0.05 --consistency ttl --ttl 200
 """,
     "figure": """\
 examples:
@@ -395,6 +419,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes; >1 shards the fleet (default: 1)")
     fleet.add_argument("--store", default=None, metavar="PATH",
                        help="serve the shared R-tree from this .rpro page store")
+    fleet.add_argument("--update-rate", type=float, default=0.0, metavar="RATE",
+                       help="server-side dataset updates per simulated second "
+                            "(insert/delete/modify mix; default: 0 = static)")
+    fleet.add_argument("--consistency", choices=("versioned", "ttl", "none"),
+                       default="none",
+                       help="cache-consistency protocol for dynamic fleets: "
+                            "version-stamped lazy validation, a TTL baseline "
+                            "or none (default: none)")
+    fleet.add_argument("--ttl", type=float, default=120.0, metavar="SECONDS",
+                       help="item lifetime for --consistency ttl, in "
+                            "simulated seconds (default: 120)")
     fleet.add_argument("--halt-after", type=int, default=None, metavar="N",
                        help="stop after N global events and persist the "
                             "session (requires --session-dir)")

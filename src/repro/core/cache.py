@@ -94,6 +94,12 @@ class ProactiveCache:
         self.clock = 0
         self.evictions = 0
         self.rejected_inserts = 0
+        # Consistency-protocol counters (repro.updates): items dropped
+        # because the server-side original changed / expired, and payloads
+        # refreshed in place.  Deliberately NOT part of state_dict(), so a
+        # zero-update run's digest is byte-identical to a static run's.
+        self.invalidations = 0
+        self.refreshes = 0
         # Incremental aggregates: the set of evictable (childless) items as an
         # insertion-ordered dict-backed set, plus the index/object byte split.
         self._leaf_keys: Dict[str, None] = {}
@@ -321,6 +327,45 @@ class ProactiveCache:
             self.evict(current)
             removed.append(current)
         return removed
+
+    def invalidate_subtree(self, key: str) -> List[str]:
+        """Drop an item and its cached descendants because it went stale.
+
+        Same structural walk as :meth:`evict_subtree` (the incremental leaf
+        set, byte split and eviction heaps all stay coherent), but tracked
+        separately in :attr:`invalidations` so consistency-protocol drops
+        can be told apart from capacity evictions in reports.
+        """
+        removed = self.evict_subtree(key)
+        self.invalidations += len(removed)
+        return removed
+
+    def refresh_item(self, key: str, payload: Payload, size_bytes: int,
+                     context: Optional[dict] = None) -> None:
+        """Replace a cached item's payload with freshly shipped content.
+
+        Used by the versioned consistency protocol when the server says a
+        cached page or object changed in place.  Replacement metadata (hit
+        count, insert time, hierarchy links) survives — a refresh is not a
+        query hit.  When the fresh payload is bigger, the policy tries to
+        make room first; like the snapshot-merge path, an overrun is
+        accepted rather than dropping a just-validated item.
+        """
+        state = self.items[key]
+        if type(payload) is not type(state.payload):
+            raise ValueError(f"cannot refresh {key} with a "
+                             f"{type(payload).__name__} payload")
+        delta = size_bytes - state.size_bytes
+        if delta > 0:
+            self._make_room(delta, context, protect={key})
+        state.payload = payload
+        state.size_bytes = size_bytes
+        self.used_bytes += delta
+        if state.is_index_item:
+            self._index_bytes += delta
+        else:
+            self._object_bytes += delta
+        self.refreshes += 1
 
     def restore_item(self, state: CacheItemState) -> None:
         """Re-admit a previously evicted item (GRD3's step-(6) correction).

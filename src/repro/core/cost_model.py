@@ -77,6 +77,14 @@ class QueryCost:
     # Backend-invariant: the paged file store reports the same counts as
     # the in-memory store by construction.
     server_page_reads: int = 0
+    # Cache-consistency traffic (repro.updates): bytes of the pre-query
+    # validation handshake, counted inside uplink/downlink totals as well,
+    # plus the number of items refreshed in place / invalidated.  All zero
+    # on static runs.
+    sync_uplink_bytes: int = 0
+    sync_downlink_bytes: int = 0
+    refreshed_items: int = 0
+    invalidated_items: int = 0
 
     @property
     def false_miss_bytes(self) -> float:

@@ -179,6 +179,15 @@ class ServerQueryProcessor:
             return [(root_target, root_target)]
         return [(root_target,)]
 
+    def partition_tree_for(self, node_id: int) -> PartitionTree:
+        """The node's (memoised) partition tree, building it on first use.
+
+        Public contract point for collaborators outside the query path —
+        the consistency protocols build refresh snapshots through it after
+        the dataset updater dropped a mutated node's stale tree.
+        """
+        return self._partition_tree(node_id)
+
     def _partition_tree(self, node_id: int) -> PartitionTree:
         pt = self.partition_trees.get(node_id)
         if pt is None:
@@ -196,13 +205,21 @@ class ServerQueryProcessor:
         Returns ``(owner_node_id, element)`` pairs where ``element`` is an
         :class:`Entry` or :class:`SuperEntry`.
         """
-        record = self._record(recorder, node_id)
-        record.bases.add(base)
         node = self.tree.node(node_id)
         if not policy.uses_partition_trees and base == "":
+            record = self._record(recorder, node_id)
+            record.bases.add(base)
             record.full_access = True
             return [(node_id, entry) for entry in node.entries]
         pt = self._partition_tree(node_id)
+        if base and base not in pt.subsets:
+            # A stale super-entry code from an outdated client snapshot:
+            # the node's content (and hence its partition tree) changed
+            # after the snapshot was shipped.  Fall back to processing the
+            # whole node — a conservative superset of the stale region.
+            base = ""
+        record = self._record(recorder, node_id)
+        record.bases.add(base)
         if pt.is_leaf_code(base):
             return [(node_id, pt.entry_at(base))]
         record.expanded.add(base)
@@ -235,7 +252,10 @@ class ServerQueryProcessor:
                 if target.node_id in self.tree.store:
                     stack.append(("start", (target.node_id, "")))
             else:
-                stack.append(("start", (target.node_id, target.code)))
+                # Super targets of since-freed pages (stale client state)
+                # reference nothing the current tree can answer from.
+                if target.node_id in self.tree.store:
+                    stack.append(("start", (target.node_id, target.code)))
 
         while stack:
             tag, payload = stack.pop()
@@ -277,14 +297,18 @@ class ServerQueryProcessor:
         for item in frontier:
             target = item[0]
             if target.kind is TargetKind.OBJECT:
-                push("object", (target.object_id, target.parent_node_id),
-                     target.mbr.min_dist_to_point(point))
+                # Skip targets for objects deleted since the client cached
+                # them — there is nothing to confirm or deliver.
+                if target.object_id in self.tree.objects:
+                    push("object", (target.object_id, target.parent_node_id),
+                         target.mbr.min_dist_to_point(point))
             elif target.kind is TargetKind.NODE:
                 if target.node_id in self.tree.store:
                     push("start", (target.node_id, ""), target.mbr.min_dist_to_point(point))
             else:
-                push("start", (target.node_id, target.code),
-                     target.mbr.min_dist_to_point(point))
+                if target.node_id in self.tree.store:
+                    push("start", (target.node_id, target.code),
+                         target.mbr.min_dist_to_point(point))
 
         while heap and len(results) < k_needed:
             priority, _, tag, payload = heapq.heappop(heap)
@@ -391,13 +415,22 @@ class ServerQueryProcessor:
         # only pushed after passing the pair predicate, so re-evaluating it
         # on pop would always succeed — the flag skips that redundant check
         # while `examined` still counts every popped pair, exactly as before.
+        def side_alive(side: Tuple) -> bool:
+            # Pairs naming since-deleted objects or freed pages (stale
+            # client state) are unanswerable; drop them.
+            if side[0] == "object":
+                return side[1] in self.tree.objects
+            return side[1] in self.tree.store
+
         stack: List[Tuple[Tuple, Tuple, bool]] = []
         for item in frontier:
-            if len(item) == 2:
-                stack.append((target_to_side(item[0]), target_to_side(item[1]), False))
+            sides = [target_to_side(target) for target in item]
+            if not all(side_alive(side) for side in sides):
+                continue
+            if len(sides) == 2:
+                stack.append((sides[0], sides[1], False))
             else:
-                side = target_to_side(item[0])
-                stack.append((side, side, False))
+                stack.append((sides[0], sides[0], False))
         seen: Set[Tuple] = set()
 
         while stack:

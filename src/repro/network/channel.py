@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.cost_model import ResponseTimeModel
+from repro.network.messages import as_int_bytes
 
 
 @dataclass
@@ -19,8 +20,10 @@ class WirelessChannel:
 
     bandwidth_bps: float = 384_000.0
     fixed_rtt_seconds: float = 0.0
-    uplink_bytes_total: float = 0.0
-    downlink_bytes_total: float = 0.0
+    # Exact int byte counters — same unit as TrafficLog entries, so channel
+    # and log totals for the same message stream are equal with ==.
+    uplink_bytes_total: int = 0
+    downlink_bytes_total: int = 0
 
     @property
     def timing(self) -> ResponseTimeModel:
@@ -28,21 +31,17 @@ class WirelessChannel:
         return ResponseTimeModel(bandwidth_bps=self.bandwidth_bps,
                                  fixed_rtt_seconds=self.fixed_rtt_seconds)
 
-    def send_uplink(self, num_bytes: float) -> float:
+    def send_uplink(self, num_bytes: int) -> float:
         """Account for an uplink transmission; returns its delay in seconds."""
-        if num_bytes < 0:
-            raise ValueError("num_bytes must be non-negative")
-        self.uplink_bytes_total += num_bytes
+        self.uplink_bytes_total += as_int_bytes(num_bytes)
         return self.timing.uplink_delay(num_bytes)
 
-    def send_downlink(self, num_bytes: float) -> float:
+    def send_downlink(self, num_bytes: int) -> float:
         """Account for a downlink transmission; returns its delay in seconds."""
-        if num_bytes < 0:
-            raise ValueError("num_bytes must be non-negative")
-        self.downlink_bytes_total += num_bytes
+        self.downlink_bytes_total += as_int_bytes(num_bytes)
         return num_bytes * self.timing.seconds_per_byte
 
     def reset(self) -> None:
         """Zero the cumulative counters."""
-        self.uplink_bytes_total = 0.0
-        self.downlink_bytes_total = 0.0
+        self.uplink_bytes_total = 0
+        self.downlink_bytes_total = 0

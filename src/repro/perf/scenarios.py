@@ -40,12 +40,16 @@ SCALES: Dict[str, Dict[str, int]] = {
                 "fleet_clients": 24, "fleet_queries": 40,
                 "pressure_queries": 150, "pressure_objects": 3_000,
                 "storage_queries": 120, "storage_objects": 3_000,
-                "restart_clients": 8, "restart_queries": 20},
+                "restart_clients": 8, "restart_queries": 20,
+                "churn_clients": 8, "churn_queries": 25,
+                "churn_objects": 2_000, "churn_rate_milli": 50},
     "smoke": {"queries": 60, "objects": 1_200,
               "fleet_clients": 6, "fleet_queries": 12,
               "pressure_queries": 40, "pressure_objects": 800,
               "storage_queries": 40, "storage_objects": 900,
-              "restart_clients": 4, "restart_queries": 10},
+              "restart_clients": 4, "restart_queries": 10,
+              "churn_clients": 4, "churn_queries": 10,
+              "churn_objects": 600, "churn_rate_milli": 40},
 }
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
@@ -183,12 +187,54 @@ def warm_restart(scale: Dict[str, int]) -> Fingerprint:
     return fingerprint
 
 
+def update_churn(scale: Dict[str, int]) -> Fingerprint:
+    """A dynamic fleet under all three cache-consistency protocols.
+
+    One shared server mutates mid-run (Zipf-skewed insert / delete /
+    modify stream); the same fleet runs under ``versioned``, ``ttl`` and
+    ``none`` consistency.  The fingerprint captures, per mode, the
+    deterministic group metrics plus the protocol's own counters (applied
+    updates, refreshes, invalidations and handshake bytes), so a change in
+    either the mutation machinery or the protocols' verdicts shows up as a
+    fingerprint mismatch.
+    """
+    import dataclasses
+
+    base = SimulationConfig.scaled(
+        query_count=scale["churn_queries"], object_count=scale["churn_objects"])
+    static = default_fleet(scale["churn_clients"], base=base)
+    fingerprint: Fingerprint = {}
+    for mode in ("versioned", "ttl", "none"):
+        fleet = dataclasses.replace(static,
+                                    update_rate=scale["churn_rate_milli"] / 1000.0,
+                                    consistency=mode)
+        result = run_fleet(fleet)
+        for group, summary in sorted(result.deterministic_group_summary().items()):
+            for metric in DETERMINISTIC_METRICS:
+                fingerprint[f"{mode}.{group}.{metric}"] = _round(summary[metric])
+        costs = [cost for client in result.clients for cost in client.costs]
+        fingerprint[f"{mode}.applied_updates"] = float(
+            result.update_summary["applied"])
+        fingerprint[f"{mode}.live_objects"] = float(
+            result.update_summary["live_objects"])
+        fingerprint[f"{mode}.refreshed_items"] = float(
+            sum(c.refreshed_items for c in costs))
+        fingerprint[f"{mode}.invalidated_items"] = float(
+            sum(c.invalidated_items for c in costs))
+        fingerprint[f"{mode}.sync_uplink_bytes"] = float(
+            sum(c.sync_uplink_bytes for c in costs))
+        fingerprint[f"{mode}.sync_downlink_bytes"] = float(
+            sum(c.sync_downlink_bytes for c in costs))
+    return fingerprint
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
     "cache_pressure": cache_pressure,
     "storage_paged": storage_paged,
     "warm_restart": warm_restart,
+    "update_churn": update_churn,
 }
 
 

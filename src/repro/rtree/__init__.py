@@ -27,8 +27,10 @@ from repro.rtree.range_search import range_search
 from repro.rtree.knn import knn_search
 from repro.rtree.join import rtree_join, bfrj_join
 from repro.rtree.partition_tree import PartitionTree, SuperEntry
+from repro.rtree.validation import assert_tree_valid
 
 __all__ = [
+    "assert_tree_valid",
     "Entry",
     "ObjectRecord",
     "Node",

@@ -56,6 +56,16 @@ class PageStore:
         """Fetch a node without counting a read (used by maintenance code)."""
         return self.pages[node_id]
 
+    def edit(self, node_id: int) -> Node:
+        """Fetch a node for in-place structural mutation (no logical read).
+
+        For the in-memory store this is :meth:`peek` — nodes are mutated in
+        place.  Copy-on-write backends override it to pin a private mutable
+        copy of the page, which is why every mutation path of the tree goes
+        through ``edit`` rather than ``peek``.
+        """
+        return self.pages[node_id]
+
     def free(self, node_id: int) -> None:
         """Remove a node from the store."""
         del self.pages[node_id]
@@ -231,8 +241,9 @@ class RTree:
         if not getattr(self.store, "writable", True):
             from repro.storage.backend import ReadOnlyStorageError
             raise ReadOnlyStorageError(
-                "this tree is backed by a read-only store; rebuild it in "
-                "memory and re-save it to mutate")
+                "this tree is backed by a read-only store; reload it with "
+                "copy_on_write=True (or rebuild it in memory and re-save it) "
+                "to mutate")
 
     def insert(self, record: ObjectRecord) -> None:
         """Insert a data object into the tree."""
@@ -253,15 +264,17 @@ class RTree:
         leaf = self._choose_subtree(entry.mbr, target_level)
         leaf.add(entry)
         if entry.child_id is not None:
-            self.store.peek(entry.child_id).parent_id = leaf.node_id
+            self.store.edit(entry.child_id).parent_id = leaf.node_id
         self._handle_overflow(leaf)
         self._adjust_upwards(leaf)
 
     def _choose_subtree(self, mbr: Rect, target_level: int) -> Node:
-        node = self.store.peek(self.root_id)
+        # Every node on the chosen path is mutated later (entry added at the
+        # bottom, MBRs adjusted upwards), so fetch the whole path with edit.
+        node = self.store.edit(self.root_id)
         while node.level > target_level:
             best_entry = self._pick_child(node, mbr)
-            node = self.store.peek(best_entry.child_id)
+            node = self.store.edit(best_entry.child_id)
         return node
 
     def _pick_child(self, node: Node, mbr: Rect) -> Entry:
@@ -320,7 +333,7 @@ class RTree:
         sibling.entries = list(right_entries)
         for entry in sibling.entries:
             if entry.child_id is not None:
-                self.store.peek(entry.child_id).parent_id = sibling.node_id
+                self.store.edit(entry.child_id).parent_id = sibling.node_id
 
         if node.node_id == self.root_id:
             new_root = self.store.allocate(level=node.level + 1)
@@ -332,7 +345,7 @@ class RTree:
             self.height += 1
             return
 
-        parent = self.store.peek(node.parent_id)
+        parent = self.store.edit(node.parent_id)
         parent.replace_entry_for_child(node.node_id,
                                        Entry(mbr=node.mbr(), child_id=node.node_id))
         parent.add(Entry(mbr=sibling.mbr(), child_id=sibling.node_id))
@@ -342,7 +355,7 @@ class RTree:
     def _adjust_upwards(self, node: Node) -> None:
         current = node
         while current.parent_id is not None and current.node_id in self.store:
-            parent = self.store.peek(current.parent_id)
+            parent = self.store.edit(current.parent_id)
             if not current.entries:
                 break
             try:
@@ -364,6 +377,7 @@ class RTree:
         leaf = self._find_leaf(self.store.peek(self.root_id), record)
         if leaf is None:
             return True
+        leaf = self.store.edit(leaf.node_id)
         leaf.entries = [e for e in leaf.entries if e.object_id != object_id]
         self._condense(leaf)
         return True
@@ -384,7 +398,7 @@ class RTree:
         orphaned: List[Tuple[int, Entry]] = []
         current = node
         while current.node_id != self.root_id:
-            parent = self.store.peek(current.parent_id)
+            parent = self.store.edit(current.parent_id)
             if current.fanout < self.min_entries:
                 parent.remove_entry_for_child(current.node_id)
                 for entry in current.entries:
@@ -397,7 +411,7 @@ class RTree:
         # Shrink the root if it has a single child.
         root = self.store.peek(self.root_id)
         while not root.is_leaf and root.fanout == 1:
-            only_child = self.store.peek(root.entries[0].child_id)
+            only_child = self.store.edit(root.entries[0].child_id)
             only_child.parent_id = None
             self.store.free(root.node_id)
             self.root_id = only_child.node_id

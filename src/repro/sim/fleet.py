@@ -77,11 +77,24 @@ class FleetConfig:
     everything the one shared server is built from — while the groups define
     the client population.  ``fleet_seed`` decorrelates the per-client
     mobility / workload seeds between fleets that share a base config.
+
+    The dynamic-dataset knobs make the fleet's object set churn:
+    ``update_rate`` server-side mutations per simulated second (one shared
+    mutation history every client observes), reconciled client-side by the
+    ``consistency`` protocol (``versioned`` / ``ttl`` / ``none``, see
+    :mod:`repro.updates.protocol`; ``ttl_seconds`` parameterises the TTL
+    baseline and ``update_seed`` the update stream).  The defaults —
+    ``update_rate=0, consistency="none"`` — are decision-identical to a
+    static fleet, down to byte-identical cache digests.
     """
 
     base: SimulationConfig
     groups: Tuple[ClientGroupSpec, ...]
     fleet_seed: int = 101
+    update_rate: float = 0.0
+    consistency: str = "none"
+    ttl_seconds: float = 120.0
+    update_seed: int = 4242
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -89,6 +102,20 @@ class FleetConfig:
         names = [group.name for group in self.groups]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate group names in {names}")
+        if self.update_rate < 0:
+            raise ValueError("update_rate must be non-negative")
+        from repro.updates.stream import CONSISTENCY_MODES
+        if self.consistency not in CONSISTENCY_MODES:
+            raise ValueError(f"unknown consistency mode "
+                             f"{self.consistency!r}; expected one of "
+                             f"{', '.join(CONSISTENCY_MODES)}")
+        if self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the run needs the dynamic-dataset machinery at all."""
+        return self.update_rate > 0 or self.consistency != "none"
 
     @staticmethod
     def make(base: SimulationConfig, groups: Sequence[ClientGroupSpec],
@@ -211,7 +238,19 @@ def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
     ``.rpro`` page store instead of an in-memory tree (every shard opens
     its own read-only handle); all deterministic metrics are identical to
     the in-memory run.
+
+    A *dynamic* fleet (``update_rate`` > 0 or a real consistency protocol)
+    replays one shared mutation history against the live server between
+    queries, so clients are no longer independent: such fleets run
+    serially (``max_workers`` > 1 is rejected) via
+    :func:`run_dynamic_fleet`, with a disk store opened copy-on-write.
     """
+    if fleet.is_dynamic:
+        if max_workers is not None and max_workers > 1:
+            raise ValueError(
+                "a dynamic fleet shares one mutating server, so clients "
+                "cannot be sharded over workers; run it serially")
+        return run_dynamic_fleet(fleet, store_path=store_path)
     specs = fleet.client_specs()
     if max_workers is not None and max_workers > 1 and len(specs) > 1:
         shard_count = min(max_workers, len(specs))
@@ -295,3 +334,105 @@ def _run_clients(shared: SharedServerState,
     replay_fleet_events(sessions, results, build_fleet_events(specs))
     finalize_fleet_results(sessions, results)
     return [results[spec.client_id] for spec in specs]
+
+
+# --------------------------------------------------------------------------- #
+# dynamic fleets: one shared mutation history
+# --------------------------------------------------------------------------- #
+_PROACTIVE_MODELS = ("APRO", "FPRO", "CPRO")
+
+
+def build_dynamic_events(fleet: FleetConfig,
+                         specs: Sequence[FleetClientSpec]) -> List[Tuple]:
+    """The merged, arrival-ordered query + update event list of a fleet.
+
+    Query events keep exactly the relative order of
+    :func:`build_fleet_events`; update events from the fleet's seeded
+    stream (see :mod:`repro.updates.stream`) slot in by arrival time, an
+    update winning ties so a mutation at time *t* is visible to every
+    query at time *t*.  Each element is ``("query", t, client_id, record)``
+    or ``("update", t, None, event)``.
+    """
+    from repro.updates.stream import UpdateStreamConfig, generate_update_stream
+    query_events = build_fleet_events(specs)
+    merged: List[Tuple] = [("query", t, client_id, record)
+                           for t, client_id, record in query_events]
+    if fleet.update_rate > 0 and query_events:
+        horizon = query_events[-1][0]
+        stream_config = UpdateStreamConfig(
+            update_rate=fleet.update_rate,
+            mean_object_bytes=fleet.base.mean_object_bytes,
+            zipf_theta=fleet.base.zipf_theta,
+            seed=fleet.update_seed)
+        initial_ids = _initial_object_ids(fleet.base)
+        updates = generate_update_stream(initial_ids, horizon, stream_config)
+        merged.extend(("update", event.arrival_time, None, event)
+                      for event in updates)
+        merged.sort(key=lambda item: (
+            item[1],                                     # arrival time
+            0 if item[0] == "update" else 1,             # updates first
+            item[2] if item[2] is not None else -1,      # client id
+            item[3].index))                              # issue order
+    return merged
+
+
+def _initial_object_ids(base: SimulationConfig) -> List[int]:
+    """The deterministic time-zero object id population of the base config.
+
+    The dataset generators assign consecutive ids starting at 0, so the
+    population is known without building the tree — asserted against the
+    real tree by the fleet tests.
+    """
+    return list(range(base.object_count))
+
+
+def run_dynamic_fleet(fleet: FleetConfig,
+                      store_path: Optional[str] = None) -> FleetResult:
+    """Run a fleet whose shared server mutates mid-run.
+
+    All clients observe one mutation history: update events apply to the
+    single live tree (a disk store is opened through its copy-on-write
+    overlay) strictly interleaved with the query events, and every
+    proactive session reconciles its cache through the fleet's consistency
+    protocol.  Only proactive models participate — PAG and SEM have no
+    consistency story and are rejected up front.
+    """
+    from repro.updates import DatasetUpdater, make_protocol
+    for group in fleet.groups:
+        if group.model.upper() not in _PROACTIVE_MODELS:
+            raise ValueError(
+                f"group {group.name!r} runs {group.model}, which cannot "
+                f"join a dynamic fleet; supported models: "
+                f"{', '.join(_PROACTIVE_MODELS)}")
+    specs = fleet.client_specs()
+    shared = build_shared_state(fleet.base, store_path=store_path,
+                                store_writable=fleet.update_rate > 0)
+    try:
+        updater = DatasetUpdater(shared.tree, shared.server,
+                                 ground_truth=shared.ground_truth)
+        sessions = {spec.client_id: make_session(
+            spec.model, shared.tree, spec.config, server=shared.server,
+            replacement_policy=spec.replacement_policy,
+            ground_truth=shared.ground_truth,
+            consistency=make_protocol(fleet.consistency, updater=updater,
+                                      size_model=shared.size_model,
+                                      ttl_seconds=fleet.ttl_seconds))
+            for spec in specs}
+        results = {spec.client_id: ClientResult(client_id=spec.client_id,
+                                                group=spec.group,
+                                                model=spec.model)
+                   for spec in specs}
+        for kind, arrival_time, client_id, payload in build_dynamic_events(
+                fleet, specs):
+            if kind == "update":
+                updater.apply(payload)
+            else:
+                cost = sessions[client_id].process(payload)
+                results[client_id].record(cost, arrival_time)
+        finalize_fleet_results(sessions, results)
+    finally:
+        shared.tree.store.close()
+    result = FleetResult(clients=[results[spec.client_id] for spec in specs])
+    result.update_summary = dict(updater.summary())
+    result.update_summary["consistency"] = fleet.consistency
+    return result

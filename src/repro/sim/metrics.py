@@ -208,6 +208,9 @@ class FleetResult:
     """The outcome of one fleet simulation: per-client, per-group, server."""
 
     clients: List[ClientResult] = field(default_factory=list)
+    # Dynamic fleets only: the shared server's applied-update counters and
+    # the consistency mode (see repro.updates); None for static fleets.
+    update_summary: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         self.clients.sort(key=lambda client: client.client_id)

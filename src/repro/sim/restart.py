@@ -70,11 +70,19 @@ def fleet_to_dict(fleet: FleetConfig) -> dict:
     """JSON-serialisable form of a :class:`FleetConfig`."""
     return {"base": _config_dict(fleet.base),
             "groups": [dataclasses.asdict(group) for group in fleet.groups],
-            "fleet_seed": fleet.fleet_seed}
+            "fleet_seed": fleet.fleet_seed,
+            "update_rate": fleet.update_rate,
+            "consistency": fleet.consistency,
+            "ttl_seconds": fleet.ttl_seconds,
+            "update_seed": fleet.update_seed}
 
 
 def fleet_from_dict(data: dict) -> FleetConfig:
-    """Rebuild a :class:`FleetConfig` from :func:`fleet_to_dict` output."""
+    """Rebuild a :class:`FleetConfig` from :func:`fleet_to_dict` output.
+
+    Session files written before the dynamic-dataset subsystem carry no
+    update fields; they resume as the static fleets they were.
+    """
     groups = []
     for entry in data["groups"]:
         entry = dict(entry)
@@ -82,7 +90,11 @@ def fleet_from_dict(data: dict) -> FleetConfig:
             entry["query_mix"] = QueryMix(**entry["query_mix"])
         groups.append(ClientGroupSpec(**entry))
     return FleetConfig(base=_config_from_dict(data["base"]),
-                       groups=tuple(groups), fleet_seed=data["fleet_seed"])
+                       groups=tuple(groups), fleet_seed=data["fleet_seed"],
+                       update_rate=data.get("update_rate", 0.0),
+                       consistency=data.get("consistency", "none"),
+                       ttl_seconds=data.get("ttl_seconds", 120.0),
+                       update_seed=data.get("update_seed", 4242))
 
 
 def _cost_dict(cost: QueryCost) -> dict:
@@ -108,6 +120,11 @@ def run_fleet_interrupted(fleet: FleetConfig, halt_after: int, directory: str,
     """
     if halt_after < 0:
         raise ValueError("halt_after must be non-negative")
+    if fleet.is_dynamic:
+        raise ValueError(
+            "dynamic fleets (--update-rate / --consistency) cannot be "
+            "halted and resumed: the mutated server tree is not part of "
+            "the session snapshot yet")
     for group in fleet.groups:
         if group.model.upper() not in _RESUMABLE_MODELS:
             raise ValueError(

@@ -121,7 +121,8 @@ def _check_store_meta(config: SimulationConfig, meta: dict, store_path: str) -> 
 def build_shared_state(config: SimulationConfig,
                        store_path: Optional[str] = None,
                        store_buffer_pages: Optional[int] = None,
-                       tree: Optional[RTree] = None) -> SharedServerState:
+                       tree: Optional[RTree] = None,
+                       store_writable: bool = False) -> SharedServerState:
     """Build the dataset, the R-tree and the server (no trace).
 
     With ``store_path`` the tree is not rebuilt from the dataset seeds but
@@ -129,8 +130,11 @@ def build_shared_state(config: SimulationConfig,
     the server then performs actual file reads for page accesses, with
     visited-page accounting identical to the in-memory backend.  A store
     whose recorded generating configuration contradicts ``config`` is
-    rejected.  Physical I/O counters start at zero once the state is built,
-    so ``tree.store.io_stats()`` afterwards measures query-driven I/O only.
+    rejected.  ``store_writable`` opens the store through its copy-on-write
+    overlay so the dynamic-dataset subsystem can mutate the tree (the file
+    itself stays untouched).  Physical I/O counters start at zero once the
+    state is built, so ``tree.store.io_stats()`` afterwards measures
+    query-driven I/O only.
 
     A prebuilt ``tree`` (matching ``config``) skips the dataset rebuild —
     used by callers that already hold the deterministic tree, e.g. right
@@ -145,7 +149,8 @@ def build_shared_state(config: SimulationConfig,
         tree = load_tree(store_path,
                          buffer_pages=(store_buffer_pages
                                        if store_buffer_pages is not None
-                                       else DEFAULT_BUFFER_PAGES))
+                                       else DEFAULT_BUFFER_PAGES),
+                         copy_on_write=store_writable)
     elif tree is None:
         tree = build_tree(config)
     partition_trees = build_partition_trees(tree.all_nodes())

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.updates.protocol import ConsistencyProtocol
 
 from repro.baselines.page import PageCache
 from repro.baselines.semantic import SemanticCache
@@ -90,6 +93,10 @@ class GroundTruthCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    def clear(self) -> None:
+        """Forget every memoised result (a server-side update made them stale)."""
+        self._store.clear()
+
     def results_for(self, query: Query) -> Tuple[List[int], float]:
         """``(result_ids, charged_cpu_seconds)`` for ``query``."""
         entry = self._store.get(query)
@@ -148,14 +155,24 @@ class ClientSession(abc.ABC):
 # proactive caching (FPRO / CPRO / APRO)
 # --------------------------------------------------------------------------- #
 class ProactiveSession(ClientSession):
-    """Proactive caching with a configurable supporting-index form."""
+    """Proactive caching with a configurable supporting-index form.
+
+    ``consistency`` (a protocol from :mod:`repro.updates.protocol`) makes
+    the session dynamic-dataset aware: before every query the protocol
+    reconciles the cache with the live server (billing its handshake bytes
+    into the query cost) and the client refreshes its root catalogue
+    information, so server-side inserts and deletes are observed rather
+    than silently served stale.  ``None`` (the default) is the untouched
+    static behaviour.
+    """
 
     def __init__(self, tree: RTree, config: SimulationConfig,
                  server: Optional[ServerQueryProcessor] = None,
                  index_form: Optional[str] = None,
                  replacement_policy: Optional[str] = None,
                  name: Optional[str] = None,
-                 ground_truth: Optional[GroundTruthCache] = None) -> None:
+                 ground_truth: Optional[GroundTruthCache] = None,
+                 consistency: Optional["ConsistencyProtocol"] = None) -> None:
         form = (index_form or config.index_form).lower()
         default_names = {"full": "FPRO", "compact": "CPRO", "adaptive": "APRO"}
         super().__init__(name or default_names.get(form, "APRO"), tree, config,
@@ -178,10 +195,23 @@ class ProactiveSession(ClientSession):
                                     replacement_policy=make_policy(policy_name))
         self.client = ClientQueryProcessor(self.cache, root_id=self.server.root_id,
                                            root_mbr=self.server.root_mbr)
+        self.consistency = consistency
+        # Result ids of the most recent query (the differential property
+        # harness compares these against a linear-scan oracle).
+        self.last_result_ids: Set[int] = set()
 
     def process(self, record: TraceRecord) -> QueryCost:
         query = record.query
         self.cache.tick()
+        sync = None
+        if self.consistency is not None:
+            sync = self.consistency.sync(
+                self.cache, now=record.arrival_time,
+                context={"client_position": record.position})
+            # Refresh the root catalogue info: splits and condenses can
+            # move the server's root between queries.
+            self.client.root_id = self.server.root_id
+            self.client.root_mbr = self.server.root_mbr
         cached_before = self.cache.cached_object_ids()
 
         execution = self.client.execute(query)
@@ -235,17 +265,34 @@ class ProactiveSession(ClientSession):
                                              size_bytes=delivery.record.size_bytes)
                 self.cache.insert_object(cached_object, delivery.parent_node_id, context)
             cost.client_cpu_seconds += time.perf_counter() - insert_start
+            if self.consistency is not None:
+                self.consistency.note_response(self.cache, response,
+                                               now=record.arrival_time)
             result_ids = saved_ids | delivered_ids
 
+        self.last_result_ids = set(result_ids)
         result_bytes = self._object_bytes(result_ids)
         cached_result_bytes = self._object_bytes(result_ids & cached_before)
         cost.result_bytes = result_bytes
         cost.cached_result_bytes = cached_result_bytes
+        # Response time models the *query* round trip (Eq. 1); the
+        # consistency handshake is a separate pre-query exchange, so its
+        # bytes join the uplink/downlink totals below without inflating
+        # the query's t_qr term.
         cost.response_time = self.timing.response_time(
             uplink_bytes=cost.uplink_bytes,
             downloaded_result_bytes=cost.downloaded_result_bytes,
             confirmed_cached_bytes=cost.confirmed_cached_bytes,
             total_result_bytes=result_bytes)
+        if sync is not None:
+            cost.sync_uplink_bytes = sync.uplink_bytes
+            cost.sync_downlink_bytes = sync.downlink_bytes
+            cost.refreshed_items = sync.refreshed_items
+            cost.invalidated_items = sync.dropped_items
+            cost.uplink_bytes += sync.uplink_bytes
+            cost.downlink_bytes += sync.downlink_bytes
+            if sync.contacted_server:
+                cost.contacted_server = True
         self.controller.record_query(cached_result_bytes, saved_bytes)
         return cost
 
@@ -458,14 +505,20 @@ class SemanticCachingSession(ClientSession):
 def make_session(model: str, tree: RTree, config: SimulationConfig,
                  server: Optional[ServerQueryProcessor] = None,
                  replacement_policy: Optional[str] = None,
-                 ground_truth: Optional[GroundTruthCache] = None) -> ClientSession:
+                 ground_truth: Optional[GroundTruthCache] = None,
+                 consistency: Optional["ConsistencyProtocol"] = None) -> ClientSession:
     """Create a session by the paper's model name.
 
     Supported names: ``PAG``, ``SEM``, ``APRO``, ``FPRO``, ``CPRO``.
     Passing a shared :class:`GroundTruthCache` lets several sessions over the
-    same tree reuse each other's ground-truth computations.
+    same tree reuse each other's ground-truth computations.  ``consistency``
+    attaches a cache-consistency protocol (dynamic-dataset fleets); it is
+    only supported by the proactive models.
     """
     key = model.upper()
+    if consistency is not None and key not in ("APRO", "FPRO", "CPRO"):
+        raise ValueError(f"model {key} does not support a consistency "
+                         f"protocol; use APRO, FPRO or CPRO")
     if key == "PAG":
         return PageCachingSession(tree, config, ground_truth=ground_truth)
     if key == "SEM":
@@ -474,6 +527,7 @@ def make_session(model: str, tree: RTree, config: SimulationConfig,
         form = {"APRO": "adaptive", "FPRO": "full", "CPRO": "compact"}[key]
         return ProactiveSession(tree, config, server=server, index_form=form,
                                 replacement_policy=replacement_policy, name=key,
-                                ground_truth=ground_truth)
+                                ground_truth=ground_truth,
+                                consistency=consistency)
     raise ValueError(f"unknown caching model {model!r}; "
                      "expected one of PAG, SEM, APRO, FPRO, CPRO")

@@ -70,6 +70,17 @@ class StorageBackend(abc.ABC):
     def peek(self, node_id: int) -> "Node":
         """Fetch a node without counting a logical read."""
 
+    def edit(self, node_id: int) -> "Node":
+        """Fetch a node for in-place structural mutation.
+
+        Counts no logical read.  The default is :meth:`peek` (in-memory
+        stores hand out the one live object); copy-on-write backends
+        override it to pin a private mutable copy so the mutation survives
+        buffer eviction.  Every mutation path of
+        :class:`~repro.rtree.tree.RTree` fetches through ``edit``.
+        """
+        return self.peek(node_id)
+
     @abc.abstractmethod
     def free(self, node_id: int) -> None:
         """Remove a node from the store."""

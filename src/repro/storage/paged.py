@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import io
 import json
+import struct
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -135,7 +136,16 @@ def read_header(path: str) -> Dict:
 
 
 class PagedFileBackend(StorageBackend):
-    """Read-only :class:`StorageBackend` over a ``.rpro`` page file.
+    """:class:`StorageBackend` over a ``.rpro`` page file.
+
+    By default the backend is frozen (checkpoint-then-read-only).  With
+    ``copy_on_write=True`` the file stays untouched but the backend accepts
+    structural mutation: pages fetched through :meth:`edit` (and every page
+    created by :meth:`allocate`) live in an in-memory *overlay* that shadows
+    the file, and :meth:`free` records tombstones.  That is what lets the
+    dynamic-dataset subsystem (:mod:`repro.updates`) mutate a tree served
+    from disk without rewriting the checkpoint; re-checkpoint with
+    :func:`save_tree` to make the mutations durable.
 
     Parameters
     ----------
@@ -144,16 +154,18 @@ class PagedFileBackend(StorageBackend):
     buffer_pages:
         Capacity of the LRU buffer of decoded node pages.  ``0`` disables
         buffering entirely (every logical read is a file read).
+    copy_on_write:
+        Accept mutations through an in-memory page overlay (see above).
     """
 
-    #: The backend is frozen; RTree refuses structural mutation over it.
-    writable = False
-
-    def __init__(self, path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES) -> None:
+    def __init__(self, path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES,
+                 copy_on_write: bool = False) -> None:
         if buffer_pages < 0:
             raise ValueError("buffer_pages must be >= 0")
         self.path = path
         self.buffer_pages = buffer_pages
+        #: RTree consults this before mutating; COW backends accept writes.
+        self.writable = copy_on_write
         self.header, data_start = _read_header_raw(path)
         self._page_size: int = self.header["page_size"]
         self._node_offsets: Dict[int, int] = {
@@ -162,6 +174,11 @@ class PagedFileBackend(StorageBackend):
         self._object_region_start = data_start + len(self._node_offsets) * self._page_size
         self._handle: Optional[io.BufferedReader] = open(path, "rb")
         self._buffer: "OrderedDict[int, Node]" = OrderedDict()
+        # Copy-on-write state: pinned mutable pages, freed file pages and
+        # the id counter for freshly allocated pages.
+        self._overlay: Dict[int, Node] = {}
+        self._freed: set = set()
+        self._next_id = (max(self._node_offsets) + 1) if self._node_offsets else 1
         self.reads = 0
         self.writes = 0
         self.file_reads = 0
@@ -171,14 +188,31 @@ class PagedFileBackend(StorageBackend):
     # StorageBackend contract
     # ------------------------------------------------------------------ #
     def allocate(self, level: int) -> Node:
-        raise ReadOnlyStorageError(
-            "the paged file backend is read-only; build the tree in memory "
-            "and checkpoint it with repro.storage.paged.save_tree")
+        """Create a fresh overlay page (copy-on-write mode only)."""
+        if not self.writable:
+            raise ReadOnlyStorageError(
+                "the paged file backend is read-only; reopen it with "
+                "copy_on_write=True or checkpoint a new file with "
+                "repro.storage.paged.save_tree")
+        node = Node(node_id=self._next_id, level=level)
+        self._next_id += 1
+        self._overlay[node.node_id] = node
+        self.writes += 1
+        return node
 
     def free(self, node_id: int) -> None:
-        raise ReadOnlyStorageError(
-            "the paged file backend is read-only; build the tree in memory "
-            "and checkpoint it with repro.storage.paged.save_tree")
+        """Drop a page (copy-on-write mode only); file pages get tombstones."""
+        if not self.writable:
+            raise ReadOnlyStorageError(
+                "the paged file backend is read-only; reopen it with "
+                "copy_on_write=True or checkpoint a new file with "
+                "repro.storage.paged.save_tree")
+        if node_id not in self:
+            raise KeyError(node_id)
+        self._overlay.pop(node_id, None)
+        self._buffer.pop(node_id, None)
+        if node_id in self._node_offsets:
+            self._freed.add(node_id)
 
     def get(self, node_id: int) -> Node:
         """Fetch a node; one logical read, physically served buffer-first."""
@@ -189,15 +223,39 @@ class PagedFileBackend(StorageBackend):
         """Fetch a node without counting a logical read."""
         return self._fetch(node_id)
 
+    def edit(self, node_id: int) -> Node:
+        """Fetch a node for mutation, pinning it into the page overlay.
+
+        The pinned object shadows the file page for every later fetch, so
+        in-place mutations can never be lost to LRU-buffer eviction.
+        """
+        if not self.writable:
+            raise ReadOnlyStorageError(
+                "the paged file backend is read-only; reopen it with "
+                "copy_on_write=True to mutate its pages")
+        node = self._overlay.get(node_id)
+        if node is not None:
+            return node
+        node = self._fetch(node_id)
+        self._buffer.pop(node_id, None)
+        self._overlay[node_id] = node
+        return node
+
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._node_offsets
+        if node_id in self._overlay:
+            return True
+        return node_id in self._node_offsets and node_id not in self._freed
 
     def __len__(self) -> int:
-        return len(self._node_offsets)
+        return len(self.node_ids())
 
     def node_ids(self) -> List[int]:
-        """All stored page ids (sorted — the file's slot order)."""
-        return list(self._node_offsets)
+        """All live page ids: file slot order, then overlay allocations."""
+        ids = [node_id for node_id in self._node_offsets
+               if node_id not in self._freed]
+        ids.extend(sorted(node_id for node_id in self._overlay
+                          if node_id not in self._node_offsets))
+        return ids
 
     def io_stats(self) -> Dict[str, int]:
         """Physical counters: real file reads and LRU buffer hits."""
@@ -223,16 +281,37 @@ class PagedFileBackend(StorageBackend):
     # internals
     # ------------------------------------------------------------------ #
     def _fetch(self, node_id: int) -> Node:
+        node = self._overlay.get(node_id)
+        if node is not None:
+            # Pinned mutable page: served without file I/O, like a buffer hit.
+            self.buffer_hits += 1
+            return node
+        if node_id in self._freed:
+            raise KeyError(node_id)
         node = self._buffer.get(node_id)
         if node is not None:
             self.buffer_hits += 1
             self._buffer.move_to_end(node_id)
             return node
-        node = decode_node(self._read_page(self._node_offsets[node_id]))
+        node = self._decode_page(node_id)
         if self.buffer_pages:
             self._buffer[node_id] = node
             while len(self._buffer) > self.buffer_pages:
                 self._buffer.popitem(last=False)
+        return node
+
+    def _decode_page(self, node_id: int) -> Node:
+        """Read and decode one node page, mapping corruption to StorageError."""
+        try:
+            node = decode_node(self._read_page(self._node_offsets[node_id]))
+        except (ValueError, struct.error) as error:
+            raise StorageError(
+                f"{self.path}: node page {node_id} is corrupt or truncated "
+                f"({error})")
+        if node.node_id != node_id:
+            raise StorageError(
+                f"{self.path}: node page slot for id {node_id} holds id "
+                f"{node.node_id}")
         return node
 
     def _read_page(self, offset: int) -> bytes:
@@ -246,8 +325,13 @@ class PagedFileBackend(StorageBackend):
         """Decode the object-record region into an id-keyed dict."""
         objects: Dict[int, ObjectRecord] = {}
         for slot, object_id in enumerate(self.header["object_ids"]):
-            record = decode_object(self._read_page(
-                self._object_region_start + slot * self._page_size))
+            try:
+                record = decode_object(self._read_page(
+                    self._object_region_start + slot * self._page_size))
+            except (ValueError, struct.error) as error:
+                raise StorageError(
+                    f"{self.path}: object page {object_id} is corrupt or "
+                    f"truncated ({error})")
             if record.object_id != object_id:
                 raise StorageError(
                     f"{self.path}: object slot {slot} holds id "
@@ -256,15 +340,19 @@ class PagedFileBackend(StorageBackend):
         return objects
 
 
-def load_tree(path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES) -> RTree:
+def load_tree(path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES,
+              copy_on_write: bool = False) -> RTree:
     """Reconstruct the R-tree saved at ``path`` over a paged file backend.
 
     Node pages are fetched lazily through the backend's LRU buffer; object
-    records are decoded eagerly (see the module docstring).  The returned
-    tree is read-only: structural mutations raise
-    :class:`~repro.storage.backend.ReadOnlyStorageError`.
+    records are decoded eagerly (see the module docstring).  By default the
+    returned tree is read-only: structural mutations raise
+    :class:`~repro.storage.backend.ReadOnlyStorageError`.  With
+    ``copy_on_write=True`` the tree accepts inserts and deletes through the
+    backend's in-memory page overlay while the file stays untouched.
     """
-    backend = PagedFileBackend(path, buffer_pages=buffer_pages)
+    backend = PagedFileBackend(path, buffer_pages=buffer_pages,
+                               copy_on_write=copy_on_write)
     header = backend.header
     size_model = SizeModel(**header["size_model"])
     tree = RTree.from_storage(

@@ -1,0 +1,184 @@
+"""Applying update events to the live server: tree mutation + dirty tracking.
+
+:class:`DatasetUpdater` is the server-side half of the dynamic-dataset
+subsystem.  It owns the shared R-tree (in memory or on a copy-on-write
+paged backend), mutates it through the ordinary R* insert / delete paths,
+and — the part everything downstream depends on — works out exactly which
+pages the mutation touched by diffing cheap per-node content fingerprints
+before and after.  Dirty pages get their versions bumped in the
+:class:`~repro.updates.registry.VersionRegistry` and their memoised
+partition trees dropped (the server lazily rebuilds them); the shared
+ground-truth memo is cleared because its cached result sets are stale.
+
+Dirty detection is funnel-based: while an event applies, the updater wraps
+the store's ``edit`` / ``allocate`` / ``free`` methods — the only paths a
+structural mutation can take — and afterwards re-fingerprints exactly the
+touched pages.  That handles every mutation shape (splits, forced
+reinsertion, condense cascades, root growth and shrink) in O(touched
+pages), and on a copy-on-write paged backend never re-decodes untouched
+file pages.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+from repro.core.server import ServerQueryProcessor
+from repro.rtree.entry import ObjectRecord
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.updates.registry import VersionRegistry
+from repro.updates.stream import UpdateEvent
+
+
+def _node_fingerprint(node: Node) -> Tuple:
+    """A content tuple that changes iff the shipped form of the page changes."""
+    return (node.level, node.parent_id,
+            tuple((entry.child_id, entry.object_id,
+                   entry.mbr.min_x, entry.mbr.min_y,
+                   entry.mbr.max_x, entry.mbr.max_y)
+                  for entry in node.entries))
+
+
+class DatasetUpdater:
+    """Mutates the live tree and keeps the server's derived state coherent.
+
+    Parameters
+    ----------
+    tree:
+        The server's R-tree; must be writable (in-memory, or a paged
+        backend opened with ``copy_on_write=True``).
+    server:
+        The query processor whose memoised partition trees must track the
+        mutations.
+    ground_truth:
+        Optional shared ground-truth memo to clear on every mutation.
+    registry:
+        Version registry to stamp; a fresh one is created when omitted.
+    """
+
+    def __init__(self, tree: RTree, server: ServerQueryProcessor,
+                 ground_truth=None,
+                 registry: Optional[VersionRegistry] = None) -> None:
+        self.tree = tree
+        self.server = server
+        self.ground_truth = ground_truth
+        self.registry = registry or VersionRegistry()
+        self.applied = 0
+        self.skipped = 0
+        self.counts = {"insert": 0, "delete": 0, "modify": 0}
+        self._fingerprints = self._snapshot()
+
+    def _snapshot(self) -> Dict[int, Tuple]:
+        return {node.node_id: _node_fingerprint(node)
+                for node in self.tree.all_nodes()}
+
+    # ------------------------------------------------------------------ #
+    # applying events
+    # ------------------------------------------------------------------ #
+    def apply(self, event: UpdateEvent) -> bool:
+        """Apply one update event; returns False when it was a no-op.
+
+        A delete or modify of an id that no longer exists, or an insert of
+        an id that already does, is skipped (counted in :attr:`skipped`) —
+        this keeps replaying *subsets* of a logged event list legal, which
+        the property harness's shrink loop relies on.
+        """
+        touched, freed = set(), set()
+        mutated = False
+        with self._watch_store(touched, freed):
+            if event.kind == "insert":
+                if event.object_id not in self.tree.objects:
+                    self.tree.insert(ObjectRecord(object_id=event.object_id,
+                                                  mbr=event.mbr,
+                                                  size_bytes=event.size_bytes))
+                    self.registry.bump_object(event.object_id)
+                    mutated = True
+            elif event.kind == "delete":
+                if self.tree.delete(event.object_id):
+                    self.registry.drop_object(event.object_id)
+                    mutated = True
+            else:  # modify: atomic delete + reinsert under the same id
+                if self.tree.delete(event.object_id):
+                    self.tree.insert(ObjectRecord(object_id=event.object_id,
+                                                  mbr=event.mbr,
+                                                  size_bytes=event.size_bytes))
+                    self.registry.bump_object(event.object_id)
+                    mutated = True
+        if not mutated:
+            self.skipped += 1
+            return False
+        self.applied += 1
+        self.counts[event.kind] += 1
+        self._propagate_dirty(touched, freed)
+        return True
+
+    @contextmanager
+    def _watch_store(self, touched: set, freed: set):
+        """Record which pages a mutation touches, via the store's own funnel.
+
+        Every structural change flows through ``edit`` / ``allocate`` /
+        ``free`` (the RTree mutation paths fetch mutable nodes exclusively
+        with ``edit``), so wrapping the three methods for the duration of
+        one event yields the exact candidate set to re-fingerprint — no
+        whole-tree sweep, and on a copy-on-write paged backend no
+        re-decode of untouched file pages.
+        """
+        store = self.tree.store
+        original_edit = store.edit
+        original_allocate = store.allocate
+        original_free = store.free
+
+        def edit(node_id):
+            touched.add(node_id)
+            return original_edit(node_id)
+
+        def allocate(level):
+            node = original_allocate(level)
+            touched.add(node.node_id)
+            return node
+
+        def free(node_id):
+            freed.add(node_id)
+            return original_free(node_id)
+
+        store.edit, store.allocate, store.free = edit, allocate, free
+        try:
+            yield
+        finally:
+            store.edit = original_edit
+            store.allocate = original_allocate
+            store.free = original_free
+
+    def _propagate_dirty(self, touched: set, freed: set) -> None:
+        """Re-fingerprint the touched pages; stamp versions, drop derived state."""
+        partition_trees = self.server.partition_trees
+        for node_id in freed:
+            self.registry.drop_node(node_id)
+            partition_trees.pop(node_id, None)
+            self._fingerprints.pop(node_id, None)
+        for node_id in touched - freed:
+            fingerprint = _node_fingerprint(self.tree.store.peek(node_id))
+            if self._fingerprints.get(node_id) != fingerprint:
+                self._fingerprints[node_id] = fingerprint
+                self.registry.bump_node(node_id)
+                partition_trees.pop(node_id, None)
+        self.registry.dataset_version += 1
+        if self.ground_truth is not None:
+            self.ground_truth.clear()
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, int]:
+        """Deterministic counters for reports and perf fingerprints."""
+        return {
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "inserts": self.counts["insert"],
+            "deletes": self.counts["delete"],
+            "modifies": self.counts["modify"],
+            "dataset_version": self.registry.dataset_version,
+            "live_objects": len(self.tree.objects),
+        }

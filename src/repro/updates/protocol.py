@@ -1,0 +1,312 @@
+"""Client-side cache-consistency protocols for dynamic datasets.
+
+Three protocols, selected per fleet with ``--consistency``:
+
+``versioned`` — version-stamped nodes with lazy (pull-based) validation.
+    Before each query the client piggybacks the ids and version stamps of
+    every cached item on the uplink; the server answers with a per-item
+    verdict — *valid* (unchanged), *refresh* (content changed in place:
+    fresh bytes ship and are billed on the downlink) or *drop* (the page
+    or object is gone, or moved so its cached position in the hierarchy is
+    wrong: the item and its cached descendants are invalidated).  After the
+    handshake the cache is coherent with the current tree, so query results
+    are exact; the price is per-query validation traffic.
+
+``ttl`` — the classic time-to-live baseline.  Items expire ``ttl_seconds``
+    of simulated time after they were last shipped; expired subtrees are
+    invalidated before the query runs.  No validation traffic, but results
+    may be stale for up to one TTL window.
+
+``none`` — the staleness baseline: never validate, never expire.  With
+    ``update_rate == 0`` this is *decision-identical* to a static (PR 3)
+    fleet — byte-identical cache digests — because no protocol code path
+    touches the cache at all.
+
+All wire traffic is modelled in exact bytes through the shared
+:class:`~repro.rtree.sizes.SizeModel` and lands in the per-query
+:class:`~repro.core.cost_model.QueryCost` (``sync_uplink_bytes`` /
+``sync_downlink_bytes``), so staleness-vs-traffic trade-offs show up in the
+ordinary headline metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.cache import ProactiveCache
+from repro.core.items import CachedIndexNode, CachedObject, CacheEntry
+from repro.core.server import ServerQueryProcessor, ServerResponse
+from repro.rtree.sizes import SizeModel
+from repro.updates.applier import DatasetUpdater
+from repro.updates.stream import CONSISTENCY_MODES
+
+#: Wire bytes of one version stamp (a 32-bit counter).
+VERSION_BYTES = 4
+
+
+@dataclass
+class CacheSyncReport:
+    """What one pre-query consistency handshake cost and did."""
+
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    refreshed_items: int = 0
+    dropped_items: int = 0
+
+    @property
+    def contacted_server(self) -> bool:
+        """True when the handshake involved a round trip."""
+        return self.uplink_bytes > 0
+
+
+def full_node_snapshot(server: ServerQueryProcessor,
+                       node_id: int) -> CachedIndexNode:
+    """The full (all-real-entries) cached form of a node's current content.
+
+    This is what the server ships when a validation verdict says *refresh*:
+    the node's complete entry set, coded through its (freshly rebuilt)
+    partition tree so later compact-form merges keep working.
+    """
+    node = server.tree.store.peek(node_id)
+    pt = server.partition_tree_for(node_id)
+    elements: Dict[str, CacheEntry] = {}
+    for entry in node.entries:
+        code = pt.entry_code(entry)
+        if entry.is_leaf_entry:
+            elements[code] = CacheEntry(mbr=entry.mbr, code=code,
+                                        object_id=entry.object_id)
+        else:
+            elements[code] = CacheEntry(mbr=entry.mbr, code=code,
+                                        child_id=entry.child_id)
+    return CachedIndexNode(node_id=node_id, level=node.level,
+                           elements=elements)
+
+
+class ConsistencyProtocol(abc.ABC):
+    """Per-session consistency state and the pre-query synchronisation hook."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def sync(self, cache: ProactiveCache, now: float,
+             context: Optional[dict] = None) -> CacheSyncReport:
+        """Reconcile the cache with the server before a query executes."""
+
+    def note_response(self, cache: ProactiveCache, response: ServerResponse,
+                      now: float) -> None:
+        """Record protocol metadata for items a query response just cached."""
+
+
+class TTLProtocol(ConsistencyProtocol):
+    """Expire cached items a fixed simulated-time budget after shipping."""
+
+    name = "ttl"
+
+    def __init__(self, ttl_seconds: float) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.ttl_seconds = ttl_seconds
+        self._shipped_at: Dict[str, float] = {}
+
+    def sync(self, cache: ProactiveCache, now: float,
+             context: Optional[dict] = None) -> CacheSyncReport:
+        """Invalidate every cached subtree older than the TTL (no traffic).
+
+        Dropping an expired ancestor drops its cached descendants with it
+        (the cache's structural constraint), even when those are younger.
+        """
+        report = CacheSyncReport()
+        self._shipped_at = {key: at for key, at in self._shipped_at.items()
+                            if key in cache.items}
+        expired = [key for key in cache.items
+                   if now - self._shipped_at.get(key, now) > self.ttl_seconds]
+        for key in expired:
+            if key in cache.items:
+                report.dropped_items += len(cache.invalidate_subtree(key))
+        return report
+
+    def note_response(self, cache: ProactiveCache, response: ServerResponse,
+                      now: float) -> None:
+        """Stamp (or re-stamp) the shipping time of every item now cached."""
+        from repro.core.items import item_key_for_node, item_key_for_object
+        for snapshot in response.index_snapshots:
+            if cache.has_node(snapshot.node_id):
+                self._shipped_at[item_key_for_node(snapshot.node_id)] = now
+        for delivery in response.deliveries:
+            if cache.has_object(delivery.record.object_id):
+                self._shipped_at[
+                    item_key_for_object(delivery.record.object_id)] = now
+
+
+class VersionedProtocol(ConsistencyProtocol):
+    """Version-stamped nodes with lazy validation against the live server."""
+
+    name = "versioned"
+
+    def __init__(self, updater: DatasetUpdater,
+                 size_model: Optional[SizeModel] = None) -> None:
+        self.updater = updater
+        self.size_model = size_model or updater.tree.size_model
+        self._node_versions: Dict[int, int] = {}
+        self._object_versions: Dict[int, int] = {}
+
+    # -- helpers --------------------------------------------------------- #
+    def _parent_matches(self, state, parent_id: Optional[int]) -> bool:
+        """Does the cached hierarchy position equal the live tree's?"""
+        if state.parent_key is None:
+            return parent_id is None
+        return state.parent_key == f"node:{parent_id}"
+
+    def _drop(self, cache: ProactiveCache, key: str,
+              report: CacheSyncReport) -> None:
+        for removed in cache.invalidate_subtree(key):
+            report.dropped_items += 1
+            state_kind, _, raw_id = removed.partition(":")
+            if state_kind == "node":
+                self._node_versions.pop(int(raw_id), None)
+            else:
+                self._object_versions.pop(int(raw_id), None)
+
+    # -- the handshake ---------------------------------------------------- #
+    def sync(self, cache: ProactiveCache, now: float,
+             context: Optional[dict] = None) -> CacheSyncReport:
+        """Validate every cached item against the server's version stamps.
+
+        The client cannot know whether the dataset changed without asking,
+        so every query with a non-empty cache pays the handshake — that
+        per-query validation traffic *is* the protocol's cost and is
+        exactly what the staleness-vs-traffic comparisons measure.  Only
+        an empty cache (nothing to validate) skips the round trip.
+        """
+        report = CacheSyncReport()
+        if not cache.items:
+            return report
+        # Stamps of items the replacement policy has since evicted are
+        # dead weight; prune them so the tables track the live cache.
+        self._node_versions = {
+            node_id: version for node_id, version in self._node_versions.items()
+            if f"node:{node_id}" in cache.items}
+        self._object_versions = {
+            object_id: version
+            for object_id, version in self._object_versions.items()
+            if f"obj:{object_id}" in cache.items}
+        keys = list(cache.items)
+        stamp_bytes = self.size_model.pointer_bytes + VERSION_BYTES
+        report.uplink_bytes = (self.size_model.query_header_bytes
+                               + stamp_bytes * len(keys))
+        # Verdict vector: one byte per validated item, plus the header.
+        report.downlink_bytes = self.size_model.query_header_bytes + len(keys)
+        for key in keys:
+            state = cache.items.get(key)
+            if state is None:  # removed with an ancestor's subtree
+                continue
+            if state.is_index_item:
+                self._validate_node(cache, key, state, report, context)
+            else:
+                self._validate_object(cache, key, state, report, context)
+        return report
+
+    def _validate_node(self, cache: ProactiveCache, key: str, state,
+                       report: CacheSyncReport,
+                       context: Optional[dict]) -> None:
+        registry = self.updater.registry
+        tree = self.updater.tree
+        node_id = state.payload.node_id
+        current = registry.node_version(node_id)
+        if current is None or node_id not in tree.store:
+            self._drop(cache, key, report)
+            return
+        if current == self._node_versions.get(node_id, 1):
+            return
+        node = tree.store.peek(node_id)
+        if not node.entries or not self._parent_matches(state, node.parent_id):
+            self._drop(cache, key, report)
+            return
+        snapshot = full_node_snapshot(self.updater.server, node_id)
+        size = snapshot.size_bytes(self.size_model)
+        report.downlink_bytes += size
+        cache.refresh_item(key, snapshot, size, context)
+        report.refreshed_items += 1
+        self._node_versions[node_id] = current
+        if node.is_leaf:
+            # Cached objects filed under this leaf must still be owned by
+            # it; a split may have moved them to a sibling page.
+            owned = {entry.object_id for entry in node.entries}
+            for child_key in list(state.cached_children):
+                child = cache.items.get(child_key)
+                if (child is not None and not child.is_index_item
+                        and child.payload.object_id not in owned):
+                    self._drop(cache, child_key, report)
+
+    def _validate_object(self, cache: ProactiveCache, key: str, state,
+                         report: CacheSyncReport,
+                         context: Optional[dict]) -> None:
+        registry = self.updater.registry
+        tree = self.updater.tree
+        object_id = state.payload.object_id
+        current = registry.object_version(object_id)
+        if current is None:
+            self._drop(cache, key, report)
+            return
+        if current == self._object_versions.get(object_id, 1):
+            return
+        record = tree.objects.get(object_id)
+        parent_key = state.parent_key
+        still_owned = False
+        if record is not None and parent_key is not None:
+            leaf_id = int(parent_key.partition(":")[2])
+            if leaf_id in tree.store:
+                still_owned = any(e.object_id == object_id
+                                  for e in tree.store.peek(leaf_id).entries)
+        if record is None or not still_owned:
+            self._drop(cache, key, report)
+            return
+        payload = CachedObject(object_id=object_id, mbr=record.mbr,
+                               size_bytes=record.size_bytes)
+        report.downlink_bytes += record.size_bytes
+        cache.refresh_item(key, payload, record.size_bytes, context)
+        report.refreshed_items += 1
+        self._object_versions[object_id] = current
+
+    # -- learning versions from responses --------------------------------- #
+    def note_response(self, cache: ProactiveCache, response: ServerResponse,
+                      now: float) -> None:
+        """Stamp the versions the server just shipped for cached items."""
+        registry = self.updater.registry
+        for snapshot in response.index_snapshots:
+            if cache.has_node(snapshot.node_id):
+                version = registry.node_version(snapshot.node_id)
+                if version is not None:
+                    self._node_versions[snapshot.node_id] = version
+        for delivery in response.deliveries:
+            object_id = delivery.record.object_id
+            if cache.has_object(object_id):
+                version = registry.object_version(object_id)
+                if version is not None:
+                    self._object_versions[object_id] = version
+
+
+def make_protocol(mode: str, updater: Optional[DatasetUpdater] = None,
+                  size_model: Optional[SizeModel] = None,
+                  ttl_seconds: float = 120.0) -> Optional[ConsistencyProtocol]:
+    """Instantiate a consistency protocol by CLI name.
+
+    Returns ``None`` for ``"none"``: the staleness baseline attaches no
+    protocol object at all, so the static code path stays literally
+    untouched — which is what makes the zero-update digest-identity
+    guarantee trivial to uphold.  ``versioned`` requires an ``updater``
+    (it validates against the updater's registry and live tree).
+    """
+    key = (mode or "none").lower()
+    if key not in CONSISTENCY_MODES:
+        raise ValueError(f"unknown consistency mode {mode!r}; expected one "
+                         f"of {', '.join(CONSISTENCY_MODES)}")
+    if key == "none":
+        return None
+    if key == "ttl":
+        return TTLProtocol(ttl_seconds=ttl_seconds)
+    if updater is None:
+        raise ValueError("versioned consistency needs a DatasetUpdater")
+    return VersionedProtocol(updater, size_model=size_model)

@@ -1,0 +1,68 @@
+"""Version stamps for node pages and object records.
+
+The versioned consistency protocol needs one fact per cached item: *has the
+server-side original changed since this copy was shipped?*  The registry
+answers it with monotonically increasing per-id version counters — every
+page whose content changes (entries added, removed, MBR adjusted) and every
+object record that is inserted, modified or deleted gets a bump from the
+:class:`~repro.updates.applier.DatasetUpdater`.  Versions start at 1 for
+anything that existed before the first update; page and object ids are
+never reused by either storage backend, so a dead id can simply be marked
+dead forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+
+class VersionRegistry:
+    """Per-id version counters for nodes and objects, plus death records."""
+
+    def __init__(self) -> None:
+        self.node_versions: Dict[int, int] = {}
+        self.object_versions: Dict[int, int] = {}
+        self.dead_nodes: Set[int] = set()
+        self.dead_objects: Set[int] = set()
+        #: Bumped once per applied update event; cheap "anything changed?" probe.
+        self.dataset_version = 0
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def node_version(self, node_id: int) -> Optional[int]:
+        """Current version of a node page; ``None`` when the page is dead."""
+        if node_id in self.dead_nodes:
+            return None
+        return self.node_versions.get(node_id, 1)
+
+    def object_version(self, object_id: int) -> Optional[int]:
+        """Current version of an object record; ``None`` when deleted."""
+        if object_id in self.dead_objects:
+            return None
+        return self.object_versions.get(object_id, 1)
+
+    # ------------------------------------------------------------------ #
+    # mutation (the updater drives these)
+    # ------------------------------------------------------------------ #
+    def bump_node(self, node_id: int) -> int:
+        """Record that a node page's content changed; returns the new version."""
+        self.dead_nodes.discard(node_id)
+        version = self.node_versions.get(node_id, 1) + 1
+        self.node_versions[node_id] = version
+        return version
+
+    def bump_object(self, object_id: int) -> int:
+        """Record that an object record changed; returns the new version."""
+        self.dead_objects.discard(object_id)
+        version = self.object_versions.get(object_id, 1) + 1
+        self.object_versions[object_id] = version
+        return version
+
+    def drop_node(self, node_id: int) -> None:
+        """Record that a node page was freed."""
+        self.dead_nodes.add(node_id)
+
+    def drop_object(self, object_id: int) -> None:
+        """Record that an object record was deleted."""
+        self.dead_objects.add(object_id)

@@ -1,0 +1,156 @@
+"""Seed-deterministic update streams: insert / delete / modify events.
+
+An update stream is generated once per run from a seed, exactly like the
+query traces, so paired experiments replay the *same* mutation history.
+Arrivals follow a Poisson process at ``update_rate`` events per simulated
+second over the fleet's query horizon; victims of deletes and modifies are
+drawn Zipf-skewed over the live id population (low ids are hot, matching the
+paper's skewed object popularity), and inserts mint fresh ids with uniform
+positions and Zipf-distributed payload sizes.
+
+The generator tracks its *own* view of the live id set while emitting
+events, so the stream is a pure function of its inputs — replaying a logged
+event list (the property harness's shrink loop does this) needs no access
+to the generator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.datasets.zipf import ZipfSizeGenerator
+from repro.geometry import Rect
+
+#: The cache-consistency modes the fleet / CLI accept.
+CONSISTENCY_MODES = ("versioned", "ttl", "none")
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One server-side mutation of the object set.
+
+    ``kind`` is ``"insert"`` (a new object appears), ``"delete"`` (an
+    existing object disappears) or ``"modify"`` (an existing object changes
+    its MBR and/or payload size — a moved POI or a re-priced listing).
+    ``mbr`` / ``size_bytes`` carry the new geometry and payload for inserts
+    and modifies; deletes leave them ``None``.
+    """
+
+    index: int
+    arrival_time: float
+    kind: str
+    object_id: int
+    mbr: Optional[Rect] = None
+    size_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete", "modify"):
+            raise ValueError(f"unknown update kind {self.kind!r}")
+        if self.kind in ("insert", "modify") and (self.mbr is None
+                                                  or self.size_bytes is None):
+            raise ValueError(f"{self.kind} events need mbr and size_bytes")
+
+
+@dataclass(frozen=True)
+class UpdateStreamConfig:
+    """Knobs of one update stream.
+
+    ``update_rate`` is in events per simulated second; the kind weights mix
+    inserts, deletes and modifies; ``zipf_theta`` skews victim selection
+    towards hot (low-rank) objects; ``min_live_objects`` floors the dataset
+    so deletes can never empty the tree under the query workload's feet.
+    """
+
+    update_rate: float = 0.0
+    insert_weight: float = 1.0
+    delete_weight: float = 1.0
+    modify_weight: float = 1.0
+    zipf_theta: float = 0.8
+    mean_object_bytes: int = 10_240
+    object_extent: float = 0.002
+    min_live_objects: int = 8
+    seed: int = 4242
+
+    def __post_init__(self) -> None:
+        if self.update_rate < 0:
+            raise ValueError("update_rate must be non-negative")
+        weights = (self.insert_weight, self.delete_weight, self.modify_weight)
+        if min(weights) < 0 or sum(weights) <= 0:
+            raise ValueError("update kind weights must be non-negative and "
+                             "not all zero")
+
+
+def _zipf_pick(rng: random.Random, ordered_ids: List[int], theta: float) -> int:
+    """Draw one id, rank-skewed: low-rank (old, hot) ids are more likely."""
+    count = len(ordered_ids)
+    if count == 1:
+        return ordered_ids[0]
+    # Inverse-CDF sampling of rank ~ r^-(theta) via the power transform:
+    # u^(1/(1-theta)) concentrates mass at small ranks for theta in (0, 1).
+    u = rng.random()
+    if theta <= 0:
+        rank = int(u * count)
+    else:
+        exponent = 1.0 / max(1e-9, 1.0 - min(theta, 0.999))
+        rank = int((u ** exponent) * count)
+    return ordered_ids[min(rank, count - 1)]
+
+
+def _random_mbr(rng: random.Random, extent: float) -> Rect:
+    """A small random object MBR inside the unit square."""
+    x, y = rng.random(), rng.random()
+    return Rect(x, y, min(1.0, x + extent), min(1.0, y + extent))
+
+
+def generate_update_stream(initial_ids: Iterable[int], horizon: float,
+                           config: UpdateStreamConfig) -> List[UpdateEvent]:
+    """The deterministic update event list for one run.
+
+    ``initial_ids`` is the object population at time zero; ``horizon`` is
+    the end of the simulated run (the last query arrival).  Events arrive
+    Poisson at ``config.update_rate`` per second and are returned in
+    arrival order.  The function is pure: the same inputs always produce
+    the same event list.
+    """
+    if config.update_rate <= 0 or horizon <= 0:
+        return []
+    rng = random.Random(config.seed)
+    sizes = ZipfSizeGenerator(mean_bytes=config.mean_object_bytes,
+                              theta=config.zipf_theta,
+                              rng=random.Random(config.seed + 1))
+    live = sorted(initial_ids)
+    next_id = (max(live) + 1) if live else 1
+    kinds = ("insert", "delete", "modify")
+    weights = [config.insert_weight, config.delete_weight, config.modify_weight]
+    events: List[UpdateEvent] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(config.update_rate)
+        if clock > horizon:
+            break
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind != "insert" and len(live) <= config.min_live_objects:
+            kind = "insert"
+        if kind == "insert":
+            object_id = next_id
+            next_id += 1
+            live.append(object_id)
+            events.append(UpdateEvent(index=len(events), arrival_time=clock,
+                                      kind="insert", object_id=object_id,
+                                      mbr=_random_mbr(rng, config.object_extent),
+                                      size_bytes=sizes.sample()))
+        elif kind == "delete":
+            object_id = _zipf_pick(rng, live, config.zipf_theta)
+            live.remove(object_id)
+            events.append(UpdateEvent(index=len(events), arrival_time=clock,
+                                      kind="delete", object_id=object_id))
+        else:
+            object_id = _zipf_pick(rng, live, config.zipf_theta)
+            events.append(UpdateEvent(index=len(events), arrival_time=clock,
+                                      kind="modify", object_id=object_id,
+                                      mbr=_random_mbr(rng, config.object_extent),
+                                      size_bytes=sizes.sample()))
+    return events

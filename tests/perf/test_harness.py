@@ -17,6 +17,9 @@ from repro.perf.harness import (
 )
 from repro.perf.scenarios import SCALES, SCENARIOS, scenario_names
 
+# Every test drives full perf scenarios (timed repeats): the slow lane.
+pytestmark = pytest.mark.slow
+
 
 def make_measurement(name, wall, fingerprint=None):
     return ScenarioMeasurement(name=name, wall_seconds=wall, repeats=1,
@@ -179,5 +182,24 @@ def test_warm_restart_scenario_asserts_digest_match():
                                measure_allocations=False)
     assert measurement.fingerprint["digest_match"] == 1.0
     again = run_scenario("warm_restart", scale_name="smoke", repeats=1,
+                         measure_allocations=False)
+    assert again.fingerprint == measurement.fingerprint
+
+
+def test_update_churn_scenario_fingerprint():
+    assert "update_churn" in SCENARIOS
+    measurement = run_scenario("update_churn", scale_name="smoke", repeats=1,
+                               measure_allocations=False)
+    fingerprint = measurement.fingerprint
+    for mode in ("versioned", "ttl", "none"):
+        assert fingerprint[f"{mode}.applied_updates"] > 0
+    # Only the versioned protocol pays handshake bytes; only the baselines
+    # never refresh in place.
+    assert fingerprint["versioned.sync_uplink_bytes"] > 0
+    assert fingerprint["ttl.sync_uplink_bytes"] == 0
+    assert fingerprint["none.sync_uplink_bytes"] == 0
+    assert fingerprint["none.refreshed_items"] == 0
+    # Deterministic (the fingerprint must be gateable):
+    again = run_scenario("update_churn", scale_name="smoke", repeats=1,
                          measure_allocations=False)
     assert again.fingerprint == measurement.fingerprint

@@ -1,0 +1,334 @@
+"""Property-based differential harness for the dynamic-dataset subsystem.
+
+A seed-deterministic driver interleaves random server-side updates
+(insert / delete / modify) with random queries through one proactive
+session, under every replacement policy × consistency protocol combination,
+and checks after every operation:
+
+(a) **oracle equality** — query results equal a naive linear-scan oracle
+    over the *current* object set.  Under ``versioned`` this holds for
+    every query (the pre-query handshake makes the cache coherent).  Under
+    ``ttl`` it holds whenever the last update is older than one TTL (every
+    surviving cache item was shipped after it); under ``none`` it holds
+    until the first update.  Outside those windows the baselines are
+    *allowed* to be stale — that is what they measure — and the harness
+    instead asserts the results are sane (only ids that ever existed).
+
+(b) **never-stale cache** — under ``versioned``, after every query each
+    cached item is byte-equal to the live tree: node snapshots' real
+    entries appear in the current node with identical MBRs, cached objects
+    match the current record, and all hierarchy links mirror the tree.
+
+(c) **digest determinism** — replaying the logged op list against a fresh
+    system reproduces the exact ``content_digest`` after every op.
+
+The R-tree's own structural invariants are asserted after every mutation
+via :func:`repro.rtree.assert_tree_valid`.
+
+On failure the driver *shrinks*: it greedily removes ops from the logged
+list while the failure reproduces, then reports the minimal op list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core.server import ServerQueryProcessor
+from repro.geometry import Point, Rect
+from repro.rtree import SizeModel, assert_tree_valid, bulk_load_str
+from repro.rtree.entry import ObjectRecord
+from repro.sim.config import SimulationConfig
+from repro.sim.sessions import ProactiveSession
+from repro.updates import DatasetUpdater, make_protocol, oracle_results
+from repro.updates.stream import UpdateEvent
+from repro.workload.queries import JoinQuery, KNNQuery, RangeQuery
+from repro.workload.trace import TraceRecord
+
+POLICIES = ("GRD3", "GRD2", "GRD1", "LRU", "MRU", "FAR")
+MODES = ("versioned", "ttl", "none")
+
+INITIAL_OBJECTS = 36
+OPS_PER_SEQUENCE = 12
+TTL_SECONDS = 6.0          # ops are 1 simulated second apart
+CACHE_BYTES = 9_000        # ~8 object payloads: eviction pressure is real
+SEQUENCES = 200            # per policy × consistency combo (the full lane)
+SMOKE_SEQUENCES = 25       # per combo in the fast (-m "not slow") lane
+
+
+# --------------------------------------------------------------------------- #
+# op generation (pure function of the seed — required for shrinking)
+# --------------------------------------------------------------------------- #
+def _random_mbr(rng: random.Random) -> Rect:
+    x, y = rng.random(), rng.random()
+    return Rect(x, y, min(1.0, x + 0.004), min(1.0, y + 0.004))
+
+
+def make_initial_records(seed: int) -> List[ObjectRecord]:
+    """The deterministic time-zero object population of one sequence."""
+    rng = random.Random(seed * 7919 + 11)
+    return [ObjectRecord(object_id=object_id, mbr=_random_mbr(rng),
+                         size_bytes=rng.randint(400, 1600))
+            for object_id in range(INITIAL_OBJECTS)]
+
+
+def generate_ops(seed: int, op_count: int = OPS_PER_SEQUENCE) -> List[Tuple]:
+    """A deterministic op list: ("update", event) / ("query", query, position).
+
+    The generator tracks its own view of the live id set, so the list is
+    replayable (and shrinkable to subsets: the updater skips no-ops).
+    """
+    rng = random.Random(seed * 6007 + 23)
+    live = set(range(INITIAL_OBJECTS))
+    next_id = INITIAL_OBJECTS
+    update_index = 0
+    ops: List[Tuple] = []
+    for _ in range(op_count):
+        if rng.random() < 0.30:
+            kind = rng.choice(("insert", "delete", "modify"))
+            if kind != "insert" and len(live) <= 15:
+                kind = "insert"
+            if kind == "insert":
+                object_id = next_id
+                next_id += 1
+                live.add(object_id)
+                event = UpdateEvent(index=update_index, arrival_time=0.0,
+                                    kind="insert", object_id=object_id,
+                                    mbr=_random_mbr(rng),
+                                    size_bytes=rng.randint(400, 1600))
+            else:
+                object_id = rng.choice(sorted(live))
+                if kind == "delete":
+                    live.remove(object_id)
+                    event = UpdateEvent(index=update_index, arrival_time=0.0,
+                                        kind="delete", object_id=object_id)
+                else:
+                    event = UpdateEvent(index=update_index, arrival_time=0.0,
+                                        kind="modify", object_id=object_id,
+                                        mbr=_random_mbr(rng),
+                                        size_bytes=rng.randint(400, 1600))
+            update_index += 1
+            ops.append(("update", event))
+            continue
+        position = Point(rng.random(), rng.random())
+        roll = rng.random()
+        if roll < 0.45:
+            side = rng.uniform(0.15, 0.35)
+            query = RangeQuery(window=Rect.from_center(
+                position, side, side).clamped_unit())
+        elif roll < 0.80:
+            query = KNNQuery(point=position, k=rng.randint(1, 3))
+        else:
+            query = JoinQuery(window=Rect.from_center(
+                position, 0.3, 0.3).clamped_unit(),
+                threshold=rng.uniform(0.02, 0.08))
+        ops.append(("query", query, position))
+    return ops
+
+
+# --------------------------------------------------------------------------- #
+# the system under test
+# --------------------------------------------------------------------------- #
+def build_system(seed: int, policy: str, consistency: str):
+    """One fresh server + updater + proactive session for a sequence."""
+    tree = bulk_load_str(make_initial_records(seed),
+                         size_model=SizeModel(page_bytes=256))
+    config = SimulationConfig.tiny().with_overrides(
+        explicit_cache_bytes=CACHE_BYTES, replacement_policy=policy)
+    server = ServerQueryProcessor(tree)
+    updater = DatasetUpdater(tree, server)
+    protocol = make_protocol(consistency, updater=updater,
+                             size_model=tree.size_model,
+                             ttl_seconds=TTL_SECONDS)
+    session = ProactiveSession(tree, config, server=server,
+                               replacement_policy=policy,
+                               consistency=protocol)
+    return tree, updater, session
+
+
+def assert_cache_fresh(cache, tree) -> None:
+    """Invariant (b): every cached item is consistent with the live tree."""
+    for key, state in cache.items.items():
+        payload = state.payload
+        if state.is_index_item:
+            assert payload.node_id in tree.store, f"{key}: page gone"
+            node = tree.store.peek(payload.node_id)
+            assert payload.level == node.level, f"{key}: level changed"
+            if state.parent_key is None:
+                assert node.parent_id is None, f"{key}: became non-root"
+            else:
+                assert state.parent_key == f"node:{node.parent_id}", (
+                    f"{key}: cached under node:{state.parent_key}, live "
+                    f"parent is {node.parent_id}")
+            current = {}
+            for entry in node.entries:
+                ref = (("child", entry.child_id) if entry.child_id is not None
+                       else ("object", entry.object_id))
+                current[ref] = entry.mbr
+            for element in payload.elements.values():
+                if element.is_super:
+                    continue
+                ref = (("child", element.child_id)
+                       if element.child_id is not None
+                       else ("object", element.object_id))
+                assert ref in current, f"{key}: stale entry {ref}"
+                assert current[ref] == element.mbr, f"{key}: stale MBR {ref}"
+        else:
+            record = tree.objects.get(payload.object_id)
+            assert record is not None, f"{key}: object deleted"
+            assert record.mbr == payload.mbr, f"{key}: object moved"
+            assert record.size_bytes == payload.size_bytes, f"{key}: resized"
+            if state.parent_key is not None:
+                leaf_id = int(state.parent_key.partition(":")[2])
+                assert leaf_id in tree.store, f"{key}: owning leaf gone"
+                assert any(e.object_id == payload.object_id
+                           for e in tree.store.peek(leaf_id).entries), (
+                    f"{key}: no longer owned by cached leaf {leaf_id}")
+
+
+def run_sequence(seed: int, policy: str, consistency: str,
+                 ops: Optional[List[Tuple]] = None,
+                 check: bool = True) -> List[str]:
+    """Execute one op sequence; returns the per-op cache digests.
+
+    ``check=True`` asserts invariants (a) and (b) plus the tree and cache
+    structural invariants after every op; ``check=False`` is the bare
+    replay used for invariant (c) and for shrinking probes.
+    """
+    if ops is None:
+        ops = generate_ops(seed)
+    tree, updater, session = build_system(seed, policy, consistency)
+    ever_live = set(tree.objects)
+    last_update_at: Optional[float] = None
+    digests: List[str] = []
+    now = 0.0
+    query_index = 0
+    for op in ops:
+        now += 1.0
+        if op[0] == "update":
+            event = op[1]
+            updater.apply(event)
+            ever_live.add(event.object_id)
+            last_update_at = now
+            if check:
+                assert_tree_valid(tree)
+        else:
+            _, query, position = op
+            record = TraceRecord(index=query_index, position=position,
+                                 think_time=1.0, query=query,
+                                 arrival_time=now)
+            query_index += 1
+            session.process(record)
+            got = set(session.last_result_ids)
+            if check:
+                want = set(oracle_results(tree.objects, query))
+                if consistency == "versioned":
+                    assert got == want, (
+                        f"versioned results diverge from the oracle: "
+                        f"extra={sorted(got - want)} "
+                        f"missing={sorted(want - got)}")
+                    assert_cache_fresh(session.cache, tree)
+                else:
+                    assert got <= ever_live, (
+                        f"fabricated ids {sorted(got - ever_live)}")
+                    quiet = (last_update_at is None
+                             or (consistency == "ttl"
+                                 and now - last_update_at > TTL_SECONDS))
+                    if quiet:
+                        assert got == want, (
+                            f"{consistency} results stale outside the "
+                            f"allowed window: extra={sorted(got - want)} "
+                            f"missing={sorted(want - got)}")
+                session.cache.validate()
+        digests.append(session.cache.content_digest())
+    return digests
+
+
+# --------------------------------------------------------------------------- #
+# shrink-on-failure
+# --------------------------------------------------------------------------- #
+def _fails(seed: int, policy: str, consistency: str, ops: List[Tuple]) -> bool:
+    try:
+        digests = run_sequence(seed, policy, consistency, ops=ops)
+        replay = run_sequence(seed, policy, consistency, ops=ops, check=False)
+        return digests != replay
+    except AssertionError:
+        return True
+
+
+def _format_ops(ops: List[Tuple]) -> str:
+    lines = []
+    for op in ops:
+        if op[0] == "update":
+            lines.append(f"  {op[1]!r}")
+        else:
+            lines.append(f"  query {op[1]!r} at {op[2]!r}")
+    return "\n".join(lines)
+
+
+def check_sequence(seed: int, policy: str, consistency: str) -> None:
+    """Run one sequence with all checks; shrink and re-raise on failure."""
+    ops = generate_ops(seed)
+    try:
+        digests = run_sequence(seed, policy, consistency, ops=ops)
+        # Invariant (c): a from-scratch rebuild of the same op sequence
+        # reproduces the cache digest after every op.
+        replay = run_sequence(seed, policy, consistency, ops=ops, check=False)
+        assert digests == replay, "cache digest diverged on replay"
+    except AssertionError as error:
+        shrunk = list(ops)
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(shrunk)):
+                trial = shrunk[:index] + shrunk[index + 1:]
+                if trial and _fails(seed, policy, consistency, trial):
+                    shrunk = trial
+                    changed = True
+                    break
+        raise AssertionError(
+            f"seed={seed} policy={policy} consistency={consistency}: {error}"
+            f"\nminimal failing op list ({len(shrunk)} ops):\n"
+            f"{_format_ops(shrunk)}") from error
+
+
+# --------------------------------------------------------------------------- #
+# the test matrix
+# --------------------------------------------------------------------------- #
+COMBOS = [(policy, mode) for policy in POLICIES for mode in MODES]
+
+
+@pytest.mark.parametrize("policy,consistency", COMBOS,
+                         ids=[f"{p}-{m}" for p, m in COMBOS])
+def test_random_ops_smoke(policy, consistency):
+    """Fast lane: a few dozen sequences per combo."""
+    for seed in range(SMOKE_SEQUENCES):
+        check_sequence(seed, policy, consistency)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy,consistency", COMBOS,
+                         ids=[f"{p}-{m}" for p, m in COMBOS])
+def test_random_ops_full(policy, consistency):
+    """Full lane: 200 sequences per combo (the acceptance bar)."""
+    for seed in range(SMOKE_SEQUENCES, SEQUENCES):
+        check_sequence(seed, policy, consistency)
+
+
+def test_shrinker_reports_a_minimal_op_list(monkeypatch):
+    """When an invariant breaks, the driver shrinks and logs the op list.
+
+    Sabotage the oracle so every query 'fails'; the shrink loop must then
+    reduce the sequence to a single op and report it.
+    """
+    import sys
+    module = sys.modules[__name__]
+    monkeypatch.setattr(module, "oracle_results",
+                        lambda objects, query: [-1])
+    with pytest.raises(AssertionError) as excinfo:
+        check_sequence(0, "LRU", "versioned")
+    message = str(excinfo.value)
+    assert "minimal failing op list" in message
+    assert "(1 ops)" in message

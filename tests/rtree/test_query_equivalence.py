@@ -15,7 +15,7 @@ import random
 import pytest
 
 from repro.geometry import Point, Rect
-from repro.rtree import bulk_load_str
+from repro.rtree import RTree, assert_tree_valid, bulk_load_str
 from repro.rtree.entry import Entry, ObjectRecord
 from repro.rtree.join import bfrj_join, distance_predicate, rtree_join
 from repro.rtree.knn import knn_search
@@ -34,7 +34,9 @@ def make_tree(count, seed, page_bytes=512):
             object_id=object_id,
             mbr=Rect(x, y, min(1.0, x + w), min(1.0, y + h)),
             size_bytes=1000))
-    return bulk_load_str(records, size_model=SizeModel(page_bytes=page_bytes)), records
+    tree = bulk_load_str(records, size_model=SizeModel(page_bytes=page_bytes))
+    assert_tree_valid(tree)
+    return tree, records
 
 
 # --------------------------------------------------------------------- #
@@ -201,3 +203,21 @@ def test_rstar_split_identical_to_seed_kernel(seed):
         got = rstar_split(entries, min_fill)
         assert got[0] == expected[0] and got[1] == expected[1], (
             f"trial {trial}: split decision diverged")
+
+
+@pytest.mark.parametrize("seed", (5, 12))
+def test_rstar_split_preserves_tree_invariants_under_mutation(seed):
+    """The split decisions above, exercised in situ: every insert-driven
+    split and delete-driven condense must leave a structurally valid tree
+    (checked with the shared assert_tree_valid helper after each mutation).
+    """
+    _, records = make_tree(120, seed)
+    tree = RTree(size_model=SizeModel(page_bytes=256))
+    for record in records:
+        tree.insert(record)
+        assert_tree_valid(tree)
+    rng = random.Random(seed)
+    for object_id in rng.sample(range(120), 60):
+        assert tree.delete(object_id)
+        assert_tree_valid(tree)
+    assert len(tree) == 60

@@ -6,7 +6,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry import Rect
-from repro.rtree.entry import Entry
+from repro.rtree import RTree, SizeModel, assert_tree_valid
+from repro.rtree.entry import Entry, ObjectRecord
 from repro.rtree.split import quadratic_split, rstar_split
 
 
@@ -68,3 +69,19 @@ def test_rstar_split_property(count, seed):
     left, right = rstar_split(entries, min_fill=min_fill)
     assert len(left) + len(right) == count
     assert min(len(left), len(right)) >= min(min_fill, count - min_fill)
+
+
+@pytest.mark.parametrize("splitter", [rstar_split, quadratic_split])
+def test_split_driven_tree_build_keeps_invariants(splitter):
+    """Splits exercised through the tree itself: every overflow the build
+    triggers must leave a structurally valid tree (assert_tree_valid)."""
+    rng = random.Random(8)
+    tree = RTree(size_model=SizeModel(page_bytes=256), splitter=splitter)
+    for object_id in range(80):
+        x, y = rng.random(), rng.random()
+        tree.insert(ObjectRecord(object_id=object_id,
+                                 mbr=Rect(x, y, min(1.0, x + 0.01),
+                                          min(1.0, y + 0.01)),
+                                 size_bytes=1000))
+        assert_tree_valid(tree)
+    assert tree.height >= 2

@@ -19,6 +19,9 @@ from repro.storage import save_tree
 from repro.sim.runner import build_tree
 from repro.workload.generator import QueryMix
 
+# Whole-fleet runs, twice per test (interrupted + reference): the slow lane.
+pytestmark = pytest.mark.slow
+
 BASE = SimulationConfig.tiny(query_count=12, object_count=400)
 
 

@@ -144,3 +144,88 @@ def test_help_epilogs_show_examples(capsys):
         with pytest.raises(SystemExit):
             main([command, "--help"])
         assert "examples:" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# error paths: corrupted stores, missing sessions, bad flags
+# --------------------------------------------------------------------------- #
+def test_persist_verify_rejects_garbage_file(tmp_path):
+    path = tmp_path / "junk.rpro"
+    path.write_bytes(b"not a page store at all")
+    with pytest.raises(SystemExit, match="repro persist: error"):
+        main(["persist", "verify", str(path)] + TINY)
+
+
+def test_persist_verify_rejects_truncated_store(tmp_path, capsys):
+    store = tmp_path / "server.rpro"
+    assert main(["persist", "save-tree", "--out", str(store)] + TINY) == 0
+    capsys.readouterr()
+    data = store.read_bytes()
+    store.write_bytes(data[:len(data) // 2])
+    with pytest.raises(SystemExit, match="corrupt or truncated"):
+        main(["persist", "verify", str(store)] + TINY)
+
+
+def test_persist_verify_rejects_corrupted_page(tmp_path, capsys):
+    store = tmp_path / "server.rpro"
+    assert main(["persist", "save-tree", "--out", str(store)] + TINY) == 0
+    capsys.readouterr()
+    from repro.storage import read_header
+    page_size = read_header(str(store))["page_size"]
+    data = bytearray(store.read_bytes())
+    # Overwrite the head of the last object page: its record now decodes
+    # to an id that contradicts the directory.
+    start = len(data) - page_size
+    data[start:start + 16] = b"\xff" * 16
+    store.write_bytes(bytes(data))
+    with pytest.raises(SystemExit, match="repro persist: error"):
+        main(["persist", "verify", str(store)] + TINY)
+
+
+def test_fleet_resume_missing_session_dir(tmp_path):
+    missing = tmp_path / "no-such-session"
+    with pytest.raises(SystemExit, match="cannot resume"):
+        main(["fleet", "--resume", str(missing)])
+
+
+def test_fleet_resume_corrupt_session_file(tmp_path):
+    session_dir = tmp_path / "session"
+    session_dir.mkdir()
+    (session_dir / "session.json").write_text("{\"kind\": \"something-else\"}")
+    with pytest.raises(SystemExit, match="cannot resume"):
+        main(["fleet", "--resume", str(session_dir)])
+
+
+def test_fleet_rejects_unknown_consistency_value(capsys):
+    with pytest.raises(SystemExit):
+        main(["fleet", "--clients", "2", "--consistency", "eventually"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_fleet_rejects_workers_with_updates():
+    with pytest.raises(SystemExit, match="sharded"):
+        main(["fleet", "--clients", "2", "--queries", "2", "--objects", "150",
+              "--update-rate", "0.5", "--workers", "2"])
+
+
+def test_fleet_rejects_resume_with_update_flags(tmp_path):
+    with pytest.raises(SystemExit, match="not resumable"):
+        main(["fleet", "--resume", str(tmp_path), "--update-rate", "0.5"])
+    with pytest.raises(SystemExit, match="not resumable"):
+        main(["fleet", "--resume", str(tmp_path), "--consistency", "ttl"])
+
+
+def test_fleet_rejects_halt_with_updates(tmp_path):
+    with pytest.raises(SystemExit, match="dynamic"):
+        main(["fleet", "--clients", "2", "--queries", "2", "--objects", "150",
+              "--update-rate", "0.5", "--halt-after", "2",
+              "--session-dir", str(tmp_path / "s")])
+
+
+def test_fleet_update_run_reports_server_updates(capsys):
+    assert main(["fleet", "--clients", "3", "--queries", "4", "--objects",
+                 "200", "--update-rate", "0.2", "--consistency",
+                 "versioned"]) == 0
+    output = capsys.readouterr().out
+    assert "versioned consistency" in output
+    assert "server updates:" in output

@@ -1,0 +1,78 @@
+"""Tests for the update-stream generator and the version registry."""
+
+import pytest
+
+from repro.updates import UpdateStreamConfig, VersionRegistry, generate_update_stream
+from repro.updates.stream import UpdateEvent
+
+
+def _stream(rate=0.1, horizon=500.0, seed=1, **overrides):
+    config = UpdateStreamConfig(update_rate=rate, seed=seed, **overrides)
+    return generate_update_stream(range(50), horizon, config)
+
+
+def test_stream_is_deterministic():
+    assert _stream() == _stream()
+    assert _stream(seed=2) != _stream(seed=3)
+
+
+def test_stream_rate_zero_or_empty_horizon_is_empty():
+    assert _stream(rate=0.0) == []
+    assert _stream(horizon=0.0) == []
+
+
+def test_stream_arrivals_ordered_and_within_horizon():
+    events = _stream()
+    assert events, "expected a non-empty stream at this rate"
+    times = [event.arrival_time for event in events]
+    assert times == sorted(times)
+    assert 0.0 < times[0] and times[-1] <= 500.0
+    assert [event.index for event in events] == list(range(len(events)))
+
+
+def test_stream_respects_live_floor_and_mints_fresh_ids():
+    config = UpdateStreamConfig(update_rate=1.0, insert_weight=0.0,
+                                delete_weight=1.0, modify_weight=0.0,
+                                min_live_objects=48, seed=5)
+    events = generate_update_stream(range(50), 100.0, config)
+    assert any(e.kind == "delete" for e in events)
+    assert any(e.kind == "insert" for e in events), \
+        "the floor must convert deletes into inserts"
+    live = set(range(50))
+    for event in events:
+        if event.kind == "insert":
+            live.add(event.object_id)
+        elif event.kind == "delete":
+            assert event.object_id in live
+            live.remove(event.object_id)
+        assert len(live) >= 48, "the live floor was breached"
+    inserted = [e.object_id for e in events if e.kind == "insert"]
+    assert inserted == sorted(inserted)
+    assert all(object_id >= 50 for object_id in inserted)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError, match="unknown update kind"):
+        UpdateEvent(index=0, arrival_time=0.0, kind="replace", object_id=1)
+    with pytest.raises(ValueError, match="need mbr"):
+        UpdateEvent(index=0, arrival_time=0.0, kind="insert", object_id=1)
+    with pytest.raises(ValueError, match="non-negative"):
+        UpdateStreamConfig(update_rate=-1.0)
+    with pytest.raises(ValueError, match="weights"):
+        UpdateStreamConfig(insert_weight=0, delete_weight=0, modify_weight=0)
+
+
+def test_registry_versions_and_death():
+    registry = VersionRegistry()
+    assert registry.node_version(7) == 1
+    assert registry.bump_node(7) == 2
+    assert registry.node_version(7) == 2
+    registry.drop_node(7)
+    assert registry.node_version(7) is None
+
+    assert registry.object_version(3) == 1
+    registry.drop_object(3)
+    assert registry.object_version(3) is None
+    # Reusing the id after a fresh insert resurrects it at a newer version.
+    assert registry.bump_object(3) == 2
+    assert registry.object_version(3) == 2
