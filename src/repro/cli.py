@@ -138,6 +138,10 @@ def _run_fleet(args: argparse.Namespace) -> str:
             raise SystemExit(
                 "repro fleet: error: --update-rate/--consistency cannot be "
                 "combined with --resume (dynamic fleets are not resumable)")
+        if args.shards is not None:
+            raise SystemExit(
+                "repro fleet: error: --shards cannot be combined with "
+                "--resume (sharded fleets are not resumable)")
         from repro.sim.restart import resume_fleet
         try:
             result, state = resume_fleet(args.resume)
@@ -163,6 +167,10 @@ def _run_fleet(args: argparse.Namespace) -> str:
             fleet = dataclasses.replace(fleet, update_rate=args.update_rate,
                                         consistency=args.consistency,
                                         ttl_seconds=args.ttl)
+        if args.shards is not None:
+            import dataclasses
+            fleet = dataclasses.replace(fleet, shards=args.shards,
+                                        partitioner=args.partitioner)
     except ValueError as error:
         # Cross-group validation (duplicate names, non-positive totals) that
         # parse_group_spec cannot see: fail like an argparse error, not a
@@ -196,9 +204,14 @@ def _run_fleet(args: argparse.Namespace) -> str:
     if fleet.is_dynamic:
         mode += (f", {fleet.consistency} consistency, "
                  f"{fleet.update_rate:g} updates/s")
+    if fleet.is_sharded:
+        server_side = (f"{fleet.shards} shard(s) "
+                       f"[{fleet.partitioner} partitioner]")
+    else:
+        server_side = "1 shared server"
     report = format_fleet_report(
         result, title=f"Fleet simulation — {fleet.total_clients} clients, "
-                      f"{len(fleet.groups)} groups, 1 shared server ({mode})")
+                      f"{len(fleet.groups)} groups, {server_side} ({mode})")
     if result.update_summary:
         summary = result.update_summary
         report += ("\nserver updates: "
@@ -228,8 +241,13 @@ def _run_params(args: argparse.Namespace) -> str:
 def _run_bench(args: argparse.Namespace) -> str:
     from repro.perf import (
         compare_to_baseline, format_report, load_report, run_suite,
-        scenario_names, write_report,
+        scenario_descriptions, scenario_names, write_report,
     )
+    if args.list:
+        descriptions = scenario_descriptions()
+        width = max(len(name) for name in descriptions)
+        return "\n".join(f"{name.ljust(width)}  {description}"
+                         for name, description in descriptions.items())
     if args.check and not args.baseline:
         # A gate that never ran must not look like a gate that passed.
         raise SystemExit("repro bench: error: --check requires --baseline")
@@ -280,6 +298,26 @@ def _run_persist_save_tree(args: argparse.Namespace) -> str:
     return (f"saved {header['node_count']} node pages and "
             f"{header['object_count']} object pages "
             f"({header['page_size']} B each) to {args.out}")
+
+
+def _run_persist_save_shards(args: argparse.Namespace) -> str:
+    from repro.sharding import build_sharded_state, config_meta, save_sharded_state
+    from repro.storage import StorageError
+    config = config_from_args(args)
+    try:
+        state = build_sharded_state(config, args.shards,
+                                    partitioner=args.partitioner)
+        try:
+            manifest = save_sharded_state(state, args.out,
+                                          meta=config_meta(config))
+        finally:
+            state.close()
+    except (OSError, ValueError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    counts = ", ".join(str(count) for count in manifest["objects_per_shard"])
+    return (f"saved {manifest['shards']} shard store(s) "
+            f"({manifest['partitioner']} partitioner; objects per shard: "
+            f"{counts}) to {args.out}")
 
 
 def _run_persist_info(args: argparse.Namespace) -> str:
@@ -344,6 +382,8 @@ examples:
   repro fleet --resume ./session
   repro fleet --clients 8 --update-rate 0.05 --consistency versioned
   repro fleet --clients 8 --update-rate 0.05 --consistency ttl --ttl 200
+  repro fleet --clients 12 --shards 4 --partitioner grid
+  repro persist save-shards --out ./shards --shards 4 && repro fleet --shards 4 --store ./shards
 """,
     "figure": """\
 examples:
@@ -359,6 +399,7 @@ examples:
     "bench": """\
 examples:
   repro bench
+  repro bench --list
   repro bench --scale smoke --repeats 1
   repro bench --baseline BENCH_PR2.json --check
   repro bench --scenario storage_paged --scenario warm_restart --scale smoke
@@ -366,6 +407,7 @@ examples:
     "persist": """\
 examples:
   repro persist save-tree --out server.rpro --objects 4000
+  repro persist save-shards --out ./shards --shards 4 --partitioner kd
   repro persist info server.rpro
   repro persist verify server.rpro --queries 100
 """,
@@ -418,7 +460,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--workers", type=int, default=1,
                        help="worker processes; >1 shards the fleet (default: 1)")
     fleet.add_argument("--store", default=None, metavar="PATH",
-                       help="serve the shared R-tree from this .rpro page store")
+                       help="serve the shared R-tree from this .rpro page "
+                            "store (with --shards: a shard-store directory "
+                            "from 'repro persist save-shards')")
+    fleet.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run the fleet against N spatial shards behind "
+                            "the scatter-gather router (default: one "
+                            "unsharded server; --shards 1 is byte-identical "
+                            "to it)")
+    fleet.add_argument("--partitioner", choices=("grid", "kd"), default="grid",
+                       help="spatial partitioner for --shards: uniform grid "
+                            "cells or kd median splits (default: grid)")
     fleet.add_argument("--update-rate", type=float, default=0.0, metavar="RATE",
                        help="server-side dataset updates per simulated second "
                             "(insert/delete/modify mix; default: 0 = static)")
@@ -469,6 +521,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(save_tree)
     save_tree.set_defaults(handler=_run_persist_save_tree)
 
+    save_shards = persist_actions.add_parser(
+        "save-shards",
+        help="partition the configured dataset and save one .rpro per shard")
+    save_shards.add_argument("--out", required=True, metavar="DIR",
+                             help="output shard-store directory")
+    save_shards.add_argument("--shards", type=int, required=True, metavar="N",
+                             help="number of spatial shards")
+    save_shards.add_argument("--partitioner", choices=("grid", "kd"),
+                             default="grid",
+                             help="spatial partitioner (default: grid)")
+    _add_config_arguments(save_shards)
+    save_shards.set_defaults(handler=_run_persist_save_shards)
+
     info = persist_actions.add_parser("info", help="print a page store's header")
     info.add_argument("path", help="an .rpro file")
     info.set_defaults(handler=_run_persist_info)
@@ -483,6 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the perf-regression scenario suite",
         epilog=_EXAMPLES["bench"],
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    bench.add_argument("--list", action="store_true",
+                       help="list the registered scenarios with one-line "
+                            "descriptions and exit")
     bench.add_argument("--scenario", action="append", default=[],
                        help="scenario to run (repeatable; default: all)")
     bench.add_argument("--scale", choices=("default", "smoke"), default="default",

@@ -340,6 +340,9 @@ class ServerQueryProcessor:
     def _process_join(self, query: JoinQuery, frontier: List[FrontierItem],
                       recorder: Dict[int, _AccessRecord],
                       policy: SupportingIndexPolicy) -> Tuple[Dict[int, Optional[int]], int]:
+        # The shard router keeps a shard-aware twin of this traversal
+        # (repro.sharding.router.ShardRouter._scatter_join); a semantic
+        # change here must be mirrored there.
         window = query.window
         threshold = query.threshold
         results: Dict[int, Optional[int]] = {}

@@ -46,11 +46,23 @@ def format_fleet_report(result, title: str = "Fleet simulation") -> str:
     groups = result.group_summary()
     rows = [[metric] + [groups[name][metric] for name in groups]
             for metric in FLEET_METRICS]
-    return "\n".join([
+    blocks = [
         format_table(["metric"] + list(groups), rows, title=title),
         "",
         format_kv("Server load", result.server_load().as_dict()),
-    ])
+    ]
+    shard_rows = result.shard_rows()
+    if shard_rows:
+        columns = ("shard", "objects", "queries_routed", "shards_pruned",
+                   "pages_read")
+        blocks.extend([
+            "",
+            format_table(list(columns),
+                         [[int(row[column]) for column in columns]
+                          for row in shard_rows],
+                         title="Shard routing"),
+        ])
+    return "\n".join(blocks)
 
 
 def format_kv(title: str, values: Mapping[str, object]) -> str:

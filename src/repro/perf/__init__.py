@@ -21,7 +21,12 @@ from repro.perf.harness import (
     run_suite,
     write_report,
 )
-from repro.perf.scenarios import SCENARIOS, SCALES, scenario_names
+from repro.perf.scenarios import (
+    SCENARIOS,
+    SCALES,
+    scenario_descriptions,
+    scenario_names,
+)
 
 __all__ = [
     "BenchReport",
@@ -32,6 +37,7 @@ __all__ = [
     "format_report",
     "load_report",
     "run_suite",
+    "scenario_descriptions",
     "scenario_names",
     "write_report",
 ]

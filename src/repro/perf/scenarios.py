@@ -51,6 +51,10 @@ SCALES: Dict[str, Dict[str, int]] = {
               "churn_clients": 4, "churn_queries": 10,
               "churn_objects": 600, "churn_rate_milli": 40},
 }
+SCALES["default"].update({"shard_clients": 10, "shard_queries": 25,
+                          "shard_objects": 3_000, "shard_count": 4})
+SCALES["smoke"].update({"shard_clients": 4, "shard_queries": 10,
+                        "shard_objects": 900, "shard_count": 3})
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
                         "byte_hit_rate", "false_miss_rate", "response_time")
@@ -228,6 +232,45 @@ def update_churn(scale: Dict[str, int]) -> Fingerprint:
     return fingerprint
 
 
+def sharded_fleet(scale: Dict[str, int]) -> Fingerprint:
+    """A grid-sharded fleet vs the single-server reference run.
+
+    The same fleet runs unsharded and against ``shard_count`` grid shards
+    behind the scatter-gather router.  The fingerprint carries an explicit
+    ``results_match`` bit (per-query result bytes of every client pinned to
+    the single-server reference — the subsystem's equivalence contract),
+    the sharded run's deterministic group metrics, and the router's
+    per-shard routing counters, so a change in the partitioner, the
+    pruning rules or the merge logic shows up as a fingerprint mismatch.
+    """
+    import dataclasses
+
+    base = SimulationConfig.scaled(
+        query_count=scale["shard_queries"], object_count=scale["shard_objects"])
+    fleet = default_fleet(scale["shard_clients"], base=base)
+    reference = run_fleet(fleet)
+    sharded = run_fleet(dataclasses.replace(
+        fleet, shards=scale["shard_count"], partitioner="grid"))
+    results_match = all(
+        [cost.result_bytes for cost in ref_client.costs]
+        == [cost.result_bytes for cost in sharded_client.costs]
+        for ref_client, sharded_client in zip(reference.clients,
+                                              sharded.clients))
+    fingerprint: Fingerprint = {
+        "results_match": 1.0 if results_match else 0.0,
+        "shards": float(scale["shard_count"]),
+    }
+    for group, summary in sorted(sharded.deterministic_group_summary().items()):
+        for metric in DETERMINISTIC_METRICS:
+            fingerprint[f"{group}.{metric}"] = _round(summary[metric])
+    for row in sharded.shard_rows():
+        shard = int(row["shard"])
+        fingerprint[f"shard{shard}.queries_routed"] = row["queries_routed"]
+        fingerprint[f"shard{shard}.shards_pruned"] = row["shards_pruned"]
+        fingerprint[f"shard{shard}.pages_read"] = row["pages_read"]
+    return fingerprint
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
@@ -235,9 +278,23 @@ SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "storage_paged": storage_paged,
     "warm_restart": warm_restart,
     "update_churn": update_churn,
+    "sharded_fleet": sharded_fleet,
 }
 
 
 def scenario_names() -> List[str]:
     """All registered scenario names, in registry order."""
     return list(SCENARIOS)
+
+
+def scenario_descriptions() -> Dict[str, str]:
+    """Scenario name -> one-line description (from each docstring).
+
+    Backs ``repro bench --list``: the first docstring line of every
+    registered scenario, so the registry stays self-documenting.
+    """
+    descriptions: Dict[str, str] = {}
+    for name, function in SCENARIOS.items():
+        doc = (function.__doc__ or "").strip()
+        descriptions[name] = doc.splitlines()[0].strip() if doc else ""
+    return descriptions

@@ -22,7 +22,8 @@ from repro.rtree.tree import RTree
 def bulk_load_str(records: Iterable[ObjectRecord],
                   size_model: Optional[SizeModel] = None,
                   max_entries: Optional[int] = None,
-                  fill_factor: float = 0.9) -> RTree:
+                  fill_factor: float = 0.9,
+                  store=None) -> RTree:
     """Bulk-load an R-tree with the STR algorithm.
 
     Parameters
@@ -35,6 +36,10 @@ def bulk_load_str(records: Iterable[ObjectRecord],
         Optional explicit fanout.
     fill_factor:
         Fraction of the node capacity actually used per node (0 < f <= 1).
+    store:
+        Optional empty storage backend to build the tree on; the sharding
+        layer passes stores whose id counter starts at the shard's offset so
+        every shard's page ids live in a disjoint global range.
 
     Returns
     -------
@@ -42,7 +47,7 @@ def bulk_load_str(records: Iterable[ObjectRecord],
         A fully-built, height-balanced tree.
     """
     records = list(records)
-    tree = RTree(size_model=size_model, max_entries=max_entries)
+    tree = RTree(size_model=size_model, max_entries=max_entries, store=store)
     if not records:
         return tree
     if not 0.0 < fill_factor <= 1.0:

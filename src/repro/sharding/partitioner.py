@@ -1,0 +1,202 @@
+"""Spatial partitioners: split one object set into per-shard slices.
+
+A partitioner takes the full dataset (the same deterministic record list a
+single server would bulk-load) and emits a :class:`ShardPlan`: one record
+slice per shard plus a disjoint *region* rectangle per shard.  The regions
+drive two things downstream:
+
+* **insert routing** — a dynamically inserted object goes to the shard whose
+  region contains its centre, so ownership stays deterministic while the
+  dataset churns;
+* **documentation of the split** — the region list is persisted in the shard
+  manifest so a saved shard set can be reopened with the same routing rule.
+
+Query pruning deliberately does *not* use the static regions: the router
+prunes against each shard's live R-tree root MBR, which tracks inserts and
+deletes exactly (a region is where objects are *assigned*, a root MBR is
+where the shard's objects actually *are*).
+
+Two methods are provided:
+
+``grid``
+    A uniform ``rows × cols`` grid over the unit square with exactly one
+    cell per shard (``rows`` is the largest divisor of the shard count not
+    exceeding its square root, so 4 shards form a 2×2 grid and a prime
+    count degrades to vertical strips).  Objects are assigned by MBR centre.
+``kd``
+    A kd-split: the record set is recursively median-split along the wider
+    axis of the current region, shard counts divided as evenly as possible,
+    so shards get near-equal object counts even on skewed data.
+
+Both are pure functions of their inputs — the same records and shard count
+always produce the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.rtree.entry import ObjectRecord
+
+#: Partitioner names accepted by the fleet / CLI.
+PARTITIONER_METHODS = ("grid", "kd")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The outcome of partitioning: per-shard record slices and regions."""
+
+    method: str
+    shard_records: Tuple[Tuple[ObjectRecord, ...], ...]
+    regions: Tuple[Rect, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shard_records) != len(self.regions):
+            raise ValueError("one region per shard slice is required")
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards the plan prescribes."""
+        return len(self.shard_records)
+
+    def region_index_for(self, point: Point) -> int:
+        """The shard whose region owns ``point`` (insert routing).
+
+        Region edges are shared between neighbouring cells; the first
+        containing region in shard order wins, so the rule is deterministic.
+        Points outside every region (possible after aggressive kd splits of
+        a sparse corner) fall back to the region with the nearest centre.
+        """
+        for index, region in enumerate(self.regions):
+            if region.contains_point(point):
+                return index
+        distances = [(region.center().distance_to(point), index)
+                     for index, region in enumerate(self.regions)]
+        return min(distances)[1]
+
+    def summary(self) -> dict:
+        """Deterministic description of the plan (manifest / reports)."""
+        return {
+            "method": self.method,
+            "shards": self.shard_count,
+            "objects_per_shard": [len(slice_) for slice_ in self.shard_records],
+            "regions": [region.as_tuple() for region in self.regions],
+        }
+
+
+def make_plan(records: Sequence[ObjectRecord], shards: int,
+              method: str = "grid") -> ShardPlan:
+    """Partition ``records`` into ``shards`` slices with the named method.
+
+    ``shards == 1`` short-circuits to a single whole-space shard holding the
+    records in their original order — the byte-identity anchor: a one-shard
+    plan bulk-loads into exactly the tree a single server would build.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    key = (method or "grid").lower()
+    if key not in PARTITIONER_METHODS:
+        raise ValueError(f"unknown partitioner {method!r}; expected one of "
+                         f"{', '.join(PARTITIONER_METHODS)}")
+    records = list(records)
+    if shards == 1:
+        return ShardPlan(method=key, shard_records=(tuple(records),),
+                         regions=(Rect.unit(),))
+    if key == "grid":
+        slices, regions = _grid_partition(records, shards)
+    else:
+        slices, regions = _kd_partition(records, shards)
+    return ShardPlan(method=key,
+                     shard_records=tuple(tuple(slice_) for slice_ in slices),
+                     regions=tuple(regions))
+
+
+# --------------------------------------------------------------------------- #
+# uniform grid
+# --------------------------------------------------------------------------- #
+def _grid_shape(shards: int) -> Tuple[int, int]:
+    """``(rows, cols)`` with ``rows * cols == shards`` and rows <= cols."""
+    rows = 1
+    candidate = int(shards ** 0.5)
+    while candidate >= 1:
+        if shards % candidate == 0:
+            rows = candidate
+            break
+        candidate -= 1
+    return rows, shards // rows
+
+
+def _grid_partition(records: Sequence[ObjectRecord],
+                    shards: int) -> Tuple[List[List[ObjectRecord]], List[Rect]]:
+    """Equal-size grid cells over the unit square, assignment by MBR centre."""
+    rows, cols = _grid_shape(shards)
+    regions = []
+    for row in range(rows):
+        for col in range(cols):
+            regions.append(Rect(col / cols, row / rows,
+                                (col + 1) / cols, (row + 1) / rows))
+    slices: List[List[ObjectRecord]] = [[] for _ in range(shards)]
+    for record in records:
+        center = record.mbr.center()
+        col = min(cols - 1, max(0, int(center.x * cols)))
+        row = min(rows - 1, max(0, int(center.y * rows)))
+        slices[row * cols + col].append(record)
+    return slices, regions
+
+
+# --------------------------------------------------------------------------- #
+# kd split
+# --------------------------------------------------------------------------- #
+def _kd_partition(records: Sequence[ObjectRecord],
+                  shards: int) -> Tuple[List[List[ObjectRecord]], List[Rect]]:
+    """Recursive median splits along the wider axis of the current region."""
+    slices: List[List[ObjectRecord]] = []
+    regions: List[Rect] = []
+
+    def split(subset: List[ObjectRecord], count: int, region: Rect) -> None:
+        if count == 1:
+            slices.append(subset)
+            regions.append(region)
+            return
+        left_count = count // 2
+        right_count = count - left_count
+        horizontal = region.width >= region.height
+        if horizontal:
+            ordered = sorted(subset,
+                             key=lambda r: (r.mbr.center().x, r.object_id))
+        else:
+            ordered = sorted(subset,
+                             key=lambda r: (r.mbr.center().y, r.object_id))
+        cut = round(len(ordered) * left_count / count)
+        cut = min(max(cut, 0), len(ordered))
+        if not ordered:
+            boundary_value = (region.min_x + region.max_x) / 2 if horizontal \
+                else (region.min_y + region.max_y) / 2
+        elif cut == 0:
+            boundary_value = region.min_x if horizontal else region.min_y
+        elif cut == len(ordered):
+            boundary_value = region.max_x if horizontal else region.max_y
+        else:
+            before = ordered[cut - 1].mbr.center()
+            after = ordered[cut].mbr.center()
+            boundary_value = ((before.x + after.x) / 2 if horizontal
+                              else (before.y + after.y) / 2)
+        if horizontal:
+            boundary_value = min(max(boundary_value, region.min_x), region.max_x)
+            left_region = Rect(region.min_x, region.min_y,
+                               boundary_value, region.max_y)
+            right_region = Rect(boundary_value, region.min_y,
+                                region.max_x, region.max_y)
+        else:
+            boundary_value = min(max(boundary_value, region.min_y), region.max_y)
+            left_region = Rect(region.min_x, region.min_y,
+                               region.max_x, boundary_value)
+            right_region = Rect(region.min_x, boundary_value,
+                                region.max_x, region.max_y)
+        split(ordered[:cut], left_count, left_region)
+        split(ordered[cut:], right_count, right_region)
+
+    split(list(records), shards, Rect.unit())
+    return slices, regions

@@ -1,0 +1,698 @@
+"""The scatter-gather query router: one logical server over many shards.
+
+:class:`ShardRouter` presents exactly the ``ServerQueryProcessor`` surface
+the client tiers consume — ``root_id`` / ``root_mbr`` /
+``execute(query, remainder, policy)`` / ``partition_tree_for`` — so
+:class:`~repro.sim.sessions.ProactiveSession`, the proactive cache and the
+consistency protocols run unchanged against a sharded deployment.
+
+Routing model
+-------------
+* **One shard** — every call delegates wholesale to the shard's own server.
+  Shard 0 allocates the single-server id sequence (see
+  :mod:`repro.sharding.shard`), so a one-shard router is byte-identical to
+  the unsharded system: same responses, same page counts, same snapshots.
+* **Many shards** — the router interposes a *virtual root*: a synthetic
+  directory page (id ``shards * NODE_ID_STRIDE + 1``) whose entries point at
+  the live shard roots.  Clients cache it like any other node snapshot, so
+  after the first contact they walk straight into per-shard subtrees and
+  the client-side pruning of Algorithm 1 prunes whole shards for free.
+
+Per query type:
+
+* **range** — frontier items are routed to their owning shard (node ids by
+  id range, object ids through the owner table); a virtual-root item
+  scatters to every shard whose live root MBR intersects the window, and
+  non-overlapping shards are pruned without being contacted.
+* **kNN** — shards are visited best-first by the MINDIST of their nearest
+  routed frontier target; once ``k`` candidates are in hand, any shard
+  whose MINDIST exceeds the global k-th-best distance is pruned without a
+  visit.  Per-shard top-``k`` frontiers merge into the global top-``k``.
+* **join** — pairs may span shards, so the router runs the server's
+  pairwise traversal itself, expanding node sides through the owning
+  shard's partition-tree machinery (per-shard access recorders feed the
+  ordinary snapshot builder), which handles intra- and cross-shard pairs
+  uniformly.
+
+Every response rolls the per-shard page accounting up into one
+``accessed_node_count`` (and :class:`RouterStats` keeps the per-shard
+split), so ``QueryCost.server_page_reads`` stays meaningful unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.items import CacheEntry, FrontierTarget, TargetKind
+from repro.core.remainder import FrontierItem, RemainderQuery
+from repro.core.server import (
+    IndexNodeSnapshot,
+    ObjectDelivery,
+    ServerResponse,
+)
+from repro.core.supporting_index import SupportingIndexPolicy
+from repro.geometry import Rect
+from repro.rtree.node import Node
+from repro.rtree.partition_tree import PartitionTree, SuperEntry
+from repro.rtree.entry import Entry
+from repro.rtree.sizes import SizeModel
+from repro.sharding.partitioner import ShardPlan
+from repro.sharding.shard import NODE_ID_STRIDE, ShardServer, shard_index_for_node
+from repro.workload.queries import JoinQuery, KNNQuery, Query, RangeQuery
+
+
+class RouterStats:
+    """Deterministic per-shard routing counters of one router instance."""
+
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self.queries = 0
+        self.queries_routed = [0] * shard_count
+        self.pages_read = [0] * shard_count
+        self.shards_pruned = [0] * shard_count
+
+    def record_visit(self, shard_index: int, pages: int) -> None:
+        """One query reached ``shard_index`` and read ``pages`` pages there."""
+        self.queries_routed[shard_index] += 1
+        self.pages_read[shard_index] += pages
+
+    def record_prune(self, shard_index: int) -> None:
+        """One *router-level* prune of ``shard_index``.
+
+        Counts virtual-root scatters that skipped the shard (root-MBR /
+        k-th-best-bound pruning).  Clients that cached the virtual root
+        prune shards on their own side instead — those queries simply
+        never route anything to the shard, so a mostly-irrelevant shard
+        shows a low ``queries_routed``, not a high ``shards_pruned``.
+        """
+        self.shards_pruned[shard_index] += 1
+
+    def summary(self) -> Dict:
+        """Roll-up for fleet reports and perf fingerprints."""
+        return {
+            "queries": self.queries,
+            "queries_routed": list(self.queries_routed),
+            "shards_pruned": list(self.shards_pruned),
+            "pages_read": list(self.pages_read),
+            "total_routed": sum(self.queries_routed),
+            "total_pruned": sum(self.shards_pruned),
+            "total_pages_read": sum(self.pages_read),
+        }
+
+
+class ShardedObjectView(Mapping):
+    """A live, read-only mapping view over every shard's object table."""
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    def __getitem__(self, object_id: int):
+        owner = self._router.owner_of(object_id)
+        if owner is None:
+            raise KeyError(object_id)
+        return self._router.shards[owner].tree.objects[object_id]
+
+    def __iter__(self):
+        for shard in self._router.shards:
+            yield from shard.tree.objects
+
+    def __len__(self) -> int:
+        return sum(shard.object_count for shard in self._router.shards)
+
+
+class ShardedStoreView:
+    """Read-only page-store facade routing ids to their owning shard.
+
+    Serves the virtual root as a synthetic page so the consistency
+    protocols can validate and refresh it exactly like a real node.
+    """
+
+    #: The view never accepts mutations; shards mutate through their own
+    #: stores (see :class:`~repro.sharding.updater.ShardedUpdater`).
+    writable = False
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    def _shard_for(self, node_id: int) -> Optional[ShardServer]:
+        index = shard_index_for_node(node_id)
+        if 0 <= index < len(self._router.shards):
+            return self._router.shards[index]
+        return None
+
+    def __contains__(self, node_id: int) -> bool:
+        router = self._router
+        if not router.is_single and node_id == router.virtual_root_id:
+            return router.virtual_node is not None
+        shard = self._shard_for(node_id)
+        return shard is not None and node_id in shard.tree.store
+
+    def peek(self, node_id: int) -> Node:
+        router = self._router
+        if not router.is_single and node_id == router.virtual_root_id:
+            node = router.virtual_node
+            if node is None:
+                raise KeyError(node_id)
+            return node
+        shard = self._shard_for(node_id)
+        if shard is None:
+            raise KeyError(node_id)
+        return shard.tree.store.peek(node_id)
+
+    def get(self, node_id: int) -> Node:
+        router = self._router
+        if not router.is_single and node_id == router.virtual_root_id:
+            return self.peek(node_id)
+        shard = self._shard_for(node_id)
+        if shard is None:
+            raise KeyError(node_id)
+        return shard.tree.store.get(node_id)
+
+
+class ShardedTreeView:
+    """Duck-types the read-side ``RTree`` surface the client tiers use.
+
+    Sessions take a *tree* for its ``size_model`` and ``objects`` table,
+    the consistency protocols peek pages through ``store``, and the
+    ground-truth kernels (:func:`~repro.rtree.range_search.range_search`,
+    :func:`~repro.rtree.knn.knn_search`) traverse from ``root`` through
+    ``node`` — this view routes all of it across the shard set (for N > 1
+    the traversal enters through the virtual root and crosses shard
+    boundaries transparently).  It is read-only by design: mutation flows
+    through the per-shard updaters.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+        self.size_model = router.size_model
+        self.store = ShardedStoreView(router)
+        self.objects = ShardedObjectView(router)
+
+    @property
+    def root_id(self) -> int:
+        """The deployment-wide traversal entry point (see the router)."""
+        return self._router.root_id
+
+    @property
+    def root(self) -> Node:
+        """The root page (the virtual root for N > 1; empty when no data)."""
+        root_id = self._router.root_id
+        if root_id in self.store:
+            return self.store.peek(root_id)
+        # Every shard is empty: serve an entryless page so traversals
+        # terminate immediately, like an empty single-server tree.
+        return Node(node_id=root_id, level=1)
+
+    def node(self, node_id: int) -> Node:
+        """Fetch a page by id (counts a logical read on the owning shard)."""
+        return self.store.get(node_id)
+
+    def object(self, object_id: int):
+        """Fetch an object record by id (any shard)."""
+        return self.objects[object_id]
+
+
+class ShardRouter:
+    """Plans and executes scatter-gather queries over a set of shards."""
+
+    def __init__(self, shards: List[ShardServer], plan: ShardPlan,
+                 size_model: Optional[SizeModel] = None) -> None:
+        if not shards:
+            raise ValueError("a router needs at least one shard")
+        self.shards = list(shards)
+        self.plan = plan
+        self.size_model = size_model or shards[0].tree.size_model
+        self.stats = RouterStats(len(shards))
+        #: object id -> owning shard index, maintained across updates.
+        self._owner: Dict[int, int] = {
+            object_id: index
+            for index, shard in enumerate(self.shards)
+            for object_id in shard.tree.objects}
+        #: Version registry the virtual root reports content changes to
+        #: (attached by the sharded updater of dynamic runs).
+        self.registry = None
+        self.virtual_root_id = len(self.shards) * NODE_ID_STRIDE + 1
+        self._virtual_node: Optional[Node] = None
+        self._virtual_pt: Optional[PartitionTree] = None
+        self._virtual_fingerprint: Optional[Tuple] = None
+        if not self.is_single:
+            self.refresh_virtual_root()
+        self.tree = ShardedTreeView(self)
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    @property
+    def is_single(self) -> bool:
+        """True for the degenerate one-shard deployment (pure delegation)."""
+        return len(self.shards) == 1
+
+    @property
+    def virtual_node(self) -> Optional[Node]:
+        """The synthetic directory page over the live shard roots."""
+        return self._virtual_node
+
+    def owner_of(self, object_id: int) -> Optional[int]:
+        """The shard currently owning ``object_id`` (``None`` when dead)."""
+        return self._owner.get(object_id)
+
+    def adopt_object(self, object_id: int, shard_index: int) -> None:
+        """Record that ``shard_index`` now owns ``object_id``."""
+        self._owner[object_id] = shard_index
+
+    def release_object(self, object_id: int) -> None:
+        """Drop a deleted object from the owner table."""
+        self._owner.pop(object_id, None)
+
+    def live_shards(self) -> List[Tuple[int, ShardServer]]:
+        """The non-empty shards, in shard order."""
+        return [(index, shard) for index, shard in enumerate(self.shards)
+                if not shard.is_empty]
+
+    def refresh_virtual_root(self) -> bool:
+        """Rebuild the virtual root from the live shard roots.
+
+        Returns True when the directory content changed; the change is
+        reported to the attached version registry so cached copies of the
+        virtual root are refreshed by the versioned consistency protocol
+        exactly like any mutated page.
+        """
+        if self.is_single:
+            return False
+        live = self.live_shards()
+        entries = [Entry(mbr=shard.root_mbr, child_id=shard.root_id)
+                   for _, shard in live]
+        level = 1 + max((shard.tree.store.peek(shard.root_id).level
+                         for _, shard in live), default=0)
+        fingerprint = (level, tuple((entry.child_id, entry.mbr.as_tuple())
+                                    for entry in entries))
+        if fingerprint == self._virtual_fingerprint:
+            return False
+        changed_after_build = self._virtual_fingerprint is not None
+        node = Node(node_id=self.virtual_root_id, level=level)
+        node.entries = entries
+        self._virtual_node = node if entries else None
+        self._virtual_pt = PartitionTree(node) if entries else None
+        self._virtual_fingerprint = fingerprint
+        if changed_after_build and self.registry is not None:
+            self.registry.bump_node(self.virtual_root_id)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # ServerQueryProcessor surface
+    # ------------------------------------------------------------------ #
+    @property
+    def root_id(self) -> int:
+        """The id clients start their traversals from."""
+        if self.is_single:
+            return self.shards[0].server.root_id
+        return self.virtual_root_id
+
+    @property
+    def root_mbr(self) -> Rect:
+        """Live MBR of the whole deployment's data."""
+        if self.is_single:
+            return self.shards[0].server.root_mbr
+        live = [shard.root_mbr for _, shard in self.live_shards()]
+        return Rect.bounding(live) if live else Rect.unit()
+
+    def partition_tree_for(self, node_id: int) -> PartitionTree:
+        """The partition tree of any page, including the virtual root."""
+        if not self.is_single and node_id == self.virtual_root_id:
+            if self._virtual_pt is None:
+                raise KeyError(node_id)
+            return self._virtual_pt
+        index = shard_index_for_node(node_id)
+        if not 0 <= index < len(self.shards):
+            raise KeyError(node_id)
+        return self.shards[index].server.partition_tree_for(node_id)
+
+    def execute(self, query: Query, remainder: Optional[RemainderQuery] = None,
+                policy: Optional[SupportingIndexPolicy] = None) -> ServerResponse:
+        """Process ``query`` across the shard set and merge one response."""
+        policy = policy or SupportingIndexPolicy.adaptive()
+        self.stats.queries += 1
+        if self.is_single:
+            response = self.shards[0].server.execute(query, remainder, policy)
+            self.stats.record_visit(0, response.accessed_node_count)
+            return response
+        start = time.perf_counter()
+        frontier = (remainder.frontier if remainder is not None
+                    else self._default_frontier(query))
+        if isinstance(query, RangeQuery):
+            response = self._scatter_range(query, frontier, policy)
+        elif isinstance(query, KNNQuery):
+            response = self._scatter_knn(query, remainder, frontier, policy)
+        elif isinstance(query, JoinQuery):
+            # Range / kNN confirm-only handling happens inside the shard
+            # servers (the routed frontier items carry the flags); only the
+            # router-level join traversal needs the set up front.
+            client_held = {target.object_id for item in frontier
+                           for target in item
+                           if target.kind is TargetKind.OBJECT
+                           and target.confirm_only}
+            response = self._scatter_join(query, frontier, policy, client_held)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported query type {type(query)!r}")
+        response.index_snapshots.sort(key=lambda snapshot: -snapshot.level)
+        response.deliveries.sort(key=lambda delivery: delivery.record.object_id)
+        response.cpu_seconds = time.perf_counter() - start
+        return response
+
+    # ------------------------------------------------------------------ #
+    # routing helpers
+    # ------------------------------------------------------------------ #
+    def _default_frontier(self, query: Query) -> List[FrontierItem]:
+        root_target = FrontierTarget.for_node(self.virtual_root_id, self.root_mbr)
+        if isinstance(query, JoinQuery):
+            return [(root_target, root_target)]
+        return [(root_target,)]
+
+    def _is_virtual_target(self, target: FrontierTarget) -> bool:
+        return (target.kind is not TargetKind.OBJECT
+                and target.node_id == self.virtual_root_id)
+
+    def _route_target(self, target: FrontierTarget) -> Optional[int]:
+        """The shard a frontier target belongs to; ``None`` drops it.
+
+        Dropped targets mirror the single server's stale-state handling:
+        object targets of since-deleted objects and node targets of empty
+        shards (whose pages have nothing left to answer from) are
+        unanswerable and are skipped.
+        """
+        if target.kind is TargetKind.OBJECT:
+            return self._owner.get(target.object_id)
+        index = shard_index_for_node(target.node_id)
+        if not 0 <= index < len(self.shards):
+            return None
+        if self.shards[index].is_empty:
+            return None
+        return index
+
+    def _virtual_snapshot(self) -> Optional[IndexNodeSnapshot]:
+        """The full-form shippable snapshot of the virtual root."""
+        node, pt = self._virtual_node, self._virtual_pt
+        if node is None or pt is None:
+            return None
+        elements = [CacheEntry(mbr=entry.mbr, code=code, child_id=entry.child_id)
+                    for code, entry in pt.full_form()]
+        return IndexNodeSnapshot(node_id=node.node_id, level=node.level,
+                                 parent_id=None, elements=elements)
+
+    def _attach_virtual(self, response: ServerResponse) -> None:
+        """Account for (and ship) one access to the virtual directory page."""
+        snapshot = self._virtual_snapshot()
+        if snapshot is not None:
+            response.index_snapshots.append(snapshot)
+            response.accessed_node_count += 1
+            response.examined_elements += 1
+
+    def _merge_shard_response(self, merged: ServerResponse, shard_index: int,
+                              response: ServerResponse) -> None:
+        self.stats.record_visit(shard_index, response.accessed_node_count)
+        merged.deliveries.extend(response.deliveries)
+        merged.index_snapshots.extend(response.index_snapshots)
+        merged.accessed_node_count += response.accessed_node_count
+        merged.examined_elements += response.examined_elements
+
+    # ------------------------------------------------------------------ #
+    # range
+    # ------------------------------------------------------------------ #
+    def _scatter_range(self, query: RangeQuery, frontier: List[FrontierItem],
+                       policy: SupportingIndexPolicy) -> ServerResponse:
+        window = query.window
+        shard_items: Dict[int, List[FrontierItem]] = {}
+        virtual_hit = False
+        for item in frontier:
+            target = item[0]
+            if self._is_virtual_target(target):
+                virtual_hit = True
+                for index, shard in self.live_shards():
+                    if shard.root_mbr.intersects(window):
+                        shard_items.setdefault(index, []).append(
+                            (FrontierTarget.for_node(shard.root_id,
+                                                     shard.root_mbr),))
+                    else:
+                        self.stats.record_prune(index)
+                continue
+            index = self._route_target(target)
+            if index is None:
+                continue
+            shard_items.setdefault(index, []).append(item)
+        merged = ServerResponse()
+        if virtual_hit:
+            self._attach_virtual(merged)
+        for index in sorted(shard_items):
+            shard = self.shards[index]
+            response = shard.server.execute(
+                query, RemainderQuery(query=query, frontier=shard_items[index]),
+                policy)
+            self._merge_shard_response(merged, index, response)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # kNN
+    # ------------------------------------------------------------------ #
+    def _scatter_knn(self, query: KNNQuery,
+                     remainder: Optional[RemainderQuery],
+                     frontier: List[FrontierItem],
+                     policy: SupportingIndexPolicy) -> ServerResponse:
+        k_needed = (remainder.k_remaining
+                    if remainder is not None and remainder.k_remaining
+                    else query.k)
+        point = query.point
+        shard_items: Dict[int, List[FrontierItem]] = {}
+        shard_min: Dict[int, float] = {}
+
+        def add_item(index: int, item: FrontierItem, distance: float) -> None:
+            shard_items.setdefault(index, []).append(item)
+            previous = shard_min.get(index)
+            if previous is None or distance < previous:
+                shard_min[index] = distance
+
+        virtual_hit = False
+        for item in frontier:
+            target = item[0]
+            if self._is_virtual_target(target):
+                virtual_hit = True
+                for index, shard in self.live_shards():
+                    distance = shard.root_mbr.min_dist_to_point(point)
+                    add_item(index,
+                             (FrontierTarget.for_node(shard.root_id,
+                                                      shard.root_mbr,
+                                                      priority=distance),),
+                             distance)
+                continue
+            index = self._route_target(target)
+            if index is None:
+                continue
+            add_item(index, item, target.mbr.min_dist_to_point(point))
+
+        merged = ServerResponse()
+        if virtual_hit:
+            self._attach_virtual(merged)
+        # Visit shards best-first by the MINDIST of their nearest routed
+        # target; once k candidates are in hand, shards whose MINDIST
+        # exceeds the global k-th-best distance cannot contribute and are
+        # pruned without a visit (no pages read, no bytes shipped).
+        # Ties at the k-th distance are broken by object id, which is
+        # deterministic but can differ from the single server's
+        # traversal-order tie-break: both answers are correct k-nearest
+        # sets, and exact ties never arise on the continuous synthetic
+        # datasets (see docs/sharding.md "Equivalence guarantees").
+        candidates: List[Tuple[float, int, ObjectDelivery]] = []
+        for index in sorted(shard_items, key=lambda i: (shard_min[i], i)):
+            if len(candidates) >= k_needed \
+                    and shard_min[index] > candidates[k_needed - 1][0]:
+                self.stats.record_prune(index)
+                continue
+            shard = self.shards[index]
+            response = shard.server.execute(
+                query, RemainderQuery(query=query, frontier=shard_items[index],
+                                      k_remaining=k_needed),
+                policy)
+            self._merge_shard_response(merged, index, response)
+            for delivery in response.deliveries:
+                candidates.append(
+                    (delivery.record.mbr.min_dist_to_point(point),
+                     delivery.record.object_id, delivery))
+            candidates.sort(key=lambda item: (item[0], item[1]))
+            del candidates[k_needed:]
+        merged.deliveries = [candidate[2] for candidate in candidates]
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # distance self-join
+    # ------------------------------------------------------------------ #
+    def _scatter_join(self, query: JoinQuery, frontier: List[FrontierItem],
+                      policy: SupportingIndexPolicy,
+                      client_held: set) -> ServerResponse:
+        """The server's pairwise join traversal, shard-aware.
+
+        Qualifying pairs may span shards, so no single shard can resume an
+        arbitrary pair: the router walks the pair space itself, expanding
+        node sides through the owning shard's ``_start_node`` (which keeps
+        that shard's access recorder, so the ordinary supporting-index
+        builder ships exactly the node regions this query touched).
+
+        This is a shard-aware twin of
+        :meth:`repro.core.server.ServerQueryProcessor._process_join` (same
+        side tuples plus an owning-shard slot, same inlined predicate,
+        same seen-pair dedup); a semantic fix to either copy — predicate,
+        dedup, stale-pair handling — must be mirrored in the other.
+        """
+        window = query.window
+        threshold_sq = query.threshold * query.threshold
+        w_min_x, w_min_y = window.min_x, window.min_y
+        w_max_x, w_max_y = window.max_x, window.max_y
+        recorders: Dict[int, Dict] = {}
+        virtual_hit = False
+        results: Dict[int, Optional[int]] = {}
+        examined = 0
+
+        # Sides mirror the single server's layout with the owning shard
+        # appended: ("node", node_id, code, mbr, shard) and
+        # ("object", object_id, mbr, parent_node_id, shard).
+        def target_to_side(target: FrontierTarget) -> Optional[Tuple]:
+            if target.kind is TargetKind.OBJECT:
+                owner = self._owner.get(target.object_id)
+                if owner is None:
+                    return None
+                return ("object", target.object_id, target.mbr,
+                        target.parent_node_id, owner)
+            if self._is_virtual_target(target):
+                return ("node", self.virtual_root_id, "", self.root_mbr, None)
+            index = self._route_target(target)
+            if index is None or target.node_id not in self.shards[index].tree.store:
+                return None
+            return ("node", target.node_id, target.code or "", target.mbr, index)
+
+        def side_key(side: Tuple) -> Tuple:
+            if side[0] == "node":
+                return ("n", side[1], side[2])
+            return ("o", side[1])
+
+        def qualifies(a: Tuple, b: Tuple) -> bool:
+            mbr_a = a[3] if a[0] == "node" else a[2]
+            mbr_b = b[3] if b[0] == "node" else b[2]
+            if (mbr_a.min_x > w_max_x or mbr_a.max_x < w_min_x
+                    or mbr_a.min_y > w_max_y or mbr_a.max_y < w_min_y):
+                return False
+            if (mbr_b.min_x > w_max_x or mbr_b.max_x < w_min_x
+                    or mbr_b.min_y > w_max_y or mbr_b.max_y < w_min_y):
+                return False
+            dx = mbr_a.min_x - mbr_b.max_x
+            if dx < 0.0:
+                dx = mbr_b.min_x - mbr_a.max_x
+                if dx < 0.0:
+                    dx = 0.0
+            dy = mbr_a.min_y - mbr_b.max_y
+            if dy < 0.0:
+                dy = mbr_b.min_y - mbr_a.max_y
+                if dy < 0.0:
+                    dy = 0.0
+            return dx * dx + dy * dy <= threshold_sq
+
+        expand_cache: Dict[Tuple[int, str], List[Tuple]] = {}
+
+        def expand(side: Tuple) -> List[Tuple]:
+            nonlocal virtual_hit
+            if side[1] == self.virtual_root_id:
+                virtual_hit = True
+                return [("node", shard.root_id, "", shard.root_mbr, index)
+                        for index, shard in self.live_shards()]
+            cache_key = (side[1], side[2])
+            cached = expand_cache.get(cache_key)
+            if cached is not None:
+                return cached
+            index = side[4]
+            recorder = recorders.setdefault(index, {})
+            sides: List[Tuple] = []
+            for owner, element in self.shards[index].server._start_node(
+                    side[1], side[2], recorder, policy):
+                if isinstance(element, SuperEntry):
+                    sides.append(("node", owner, element.code, element.mbr, index))
+                elif element.is_leaf_entry:
+                    sides.append(("object", element.object_id, element.mbr,
+                                  owner, index))
+                else:
+                    sides.append(("node", element.child_id, "", element.mbr,
+                                  index))
+            expand_cache[cache_key] = sides
+            return sides
+
+        stack: List[Tuple[Tuple, Tuple, bool]] = []
+        for item in frontier:
+            sides = [target_to_side(target) for target in item]
+            if any(side is None for side in sides):
+                continue
+            if len(sides) == 2:
+                stack.append((sides[0], sides[1], False))
+            else:
+                stack.append((sides[0], sides[0], False))
+        seen: set = set()
+
+        while stack:
+            side_a, side_b, prequalified = stack.pop()
+            examined += 1
+            if not prequalified and not qualifies(side_a, side_b):
+                continue
+            key_a, key_b = side_key(side_a), side_key(side_b)
+            pair_key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+            if pair_key in seen:
+                continue
+            seen.add(pair_key)
+
+            a_is_object = side_a[0] == "object"
+            b_is_object = side_b[0] == "object"
+            if a_is_object and b_is_object:
+                if side_a[1] == side_b[1]:
+                    continue
+                for side in (side_a, side_b):
+                    if side[1] not in results:
+                        results[side[1]] = side[3]
+                continue
+            if not a_is_object:
+                children, other = expand(side_a), side_b
+            else:
+                children, other = expand(side_b), side_a
+            o_mbr = other[3] if other[0] == "node" else other[2]
+            o_min_x, o_min_y = o_mbr.min_x, o_mbr.min_y
+            o_max_x, o_max_y = o_mbr.max_x, o_mbr.max_y
+            push = stack.append
+            for child in children:
+                c_mbr = child[3] if child[0] == "node" else child[2]
+                if (c_mbr.min_x > w_max_x or c_mbr.max_x < w_min_x
+                        or c_mbr.min_y > w_max_y or c_mbr.max_y < w_min_y):
+                    continue
+                dx = c_mbr.min_x - o_max_x
+                if dx < 0.0:
+                    dx = o_min_x - c_mbr.max_x
+                    if dx < 0.0:
+                        dx = 0.0
+                dy = c_mbr.min_y - o_max_y
+                if dy < 0.0:
+                    dy = o_min_y - c_mbr.max_y
+                    if dy < 0.0:
+                        dy = 0.0
+                if dx * dx + dy * dy <= threshold_sq:
+                    push((child, other, True))
+
+        merged = ServerResponse(
+            deliveries=[ObjectDelivery(self.tree.objects[object_id], parent,
+                                       confirm_only=object_id in client_held)
+                        for object_id, parent in sorted(results.items())],
+            examined_elements=examined)
+        if virtual_hit:
+            self._attach_virtual(merged)
+        for index in sorted(recorders):
+            recorder = recorders[index]
+            if not recorder:
+                continue
+            merged.index_snapshots.extend(
+                self.shards[index].server._build_snapshots(recorder, policy))
+            merged.accessed_node_count += len(recorder)
+            self.stats.record_visit(index, len(recorder))
+        return merged

@@ -1,0 +1,100 @@
+"""One shard: a slice of the dataset behind its own R-tree and server.
+
+A :class:`ShardServer` is the sharded deployment's unit of scale: one
+R*-tree over the shard's object slice, one
+:class:`~repro.core.server.ServerQueryProcessor` with its own partition-tree
+machinery, and one storage backend (in-memory page store, or a per-shard
+``.rpro`` file from :mod:`repro.sharding.storage`).
+
+**Global id discipline.**  Every layer above the server addresses pages by
+integer id — client caches, remainder frontiers, version registries.  To
+keep those ids meaningful across shards without any translation layer, each
+shard allocates its page ids from a disjoint range: shard *i* starts at
+``i * NODE_ID_STRIDE + 1``.  Shard 0 therefore allocates exactly the ids a
+single server would, which is what makes ``--shards 1`` byte-identical to
+the unsharded system, and ``node_id // NODE_ID_STRIDE`` recovers the owning
+shard of any page id in O(1).  Object ids are already globally unique (the
+dataset mints them), so they keep their values and are routed through the
+router's owner table instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from repro.geometry import Rect
+from repro.rtree.bulk import bulk_load_str
+from repro.rtree.entry import ObjectRecord
+from repro.rtree.sizes import SizeModel
+from repro.rtree.tree import PageStore, RTree
+from repro.core.server import ServerQueryProcessor
+from repro.sharding.partitioner import ShardPlan
+
+#: Width of each shard's page-id range.  Far larger than any reachable page
+#: count, so shard ranges can never collide; shard 0's range starts at 1,
+#: matching the single-server id sequence exactly.
+NODE_ID_STRIDE = 1 << 40
+
+
+def shard_index_for_node(node_id: int) -> int:
+    """The shard whose id range contains ``node_id``."""
+    return node_id // NODE_ID_STRIDE
+
+
+class ShardServer:
+    """One shard's tree, query processor and static assignment region."""
+
+    def __init__(self, shard_index: int, tree: RTree, region: Rect) -> None:
+        self.shard_index = shard_index
+        self.tree = tree
+        self.region = region
+        self.server = ServerQueryProcessor(tree, size_model=tree.size_model)
+
+    # ------------------------------------------------------------------ #
+    # live geometry (queried by the router for pruning)
+    # ------------------------------------------------------------------ #
+    @property
+    def root_id(self) -> int:
+        """Page id of this shard's current R-tree root."""
+        return self.tree.root_id
+
+    @property
+    def root_mbr(self) -> Rect:
+        """Live MBR of the shard's root (unit square when empty)."""
+        return self.server.root_mbr
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the shard currently holds no objects."""
+        return not self.tree.objects
+
+    @property
+    def object_count(self) -> int:
+        """Number of objects this shard currently owns."""
+        return len(self.tree.objects)
+
+    def close(self) -> None:
+        """Release the shard's storage backend."""
+        self.tree.store.close()
+
+
+def offset_page_store(shard_index: int) -> PageStore:
+    """An empty in-memory page store allocating from the shard's id range."""
+    return PageStore(_next_id=itertools.count(shard_index * NODE_ID_STRIDE + 1))
+
+
+def build_shard(shard_index: int, records: Sequence[ObjectRecord],
+                region: Rect, size_model: Optional[SizeModel] = None) -> ShardServer:
+    """Bulk-load one shard's records into a fresh in-memory shard server."""
+    tree = bulk_load_str(records, size_model=size_model,
+                         store=offset_page_store(shard_index))
+    return ShardServer(shard_index, tree, region)
+
+
+def build_shards(plan: ShardPlan,
+                 size_model: Optional[SizeModel] = None) -> List[ShardServer]:
+    """Build every shard of ``plan`` in memory (deterministic from inputs)."""
+    return [build_shard(index, records, region, size_model=size_model)
+            for index, (records, region)
+            in enumerate(zip(plan.shard_records, plan.regions))]

@@ -1,0 +1,129 @@
+"""Building (or reopening) a whole sharded deployment from a configuration.
+
+:func:`build_sharded_state` is the sharded sibling of
+:func:`repro.sim.runner.build_shared_state`: it generates the deterministic
+dataset once, partitions it, builds one :class:`ShardServer` per slice (or
+reopens a saved shard-store directory) and wires the
+:class:`~repro.sharding.router.ShardRouter` over them.  The configuration
+object is duck-typed (``dataset_name`` / ``object_count`` / ``dataset_seed``
+/ ``mean_object_bytes`` / ``zipf_theta`` / ``page_bytes``), so this module
+stays below the simulation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datasets import make_dataset
+from repro.rtree.sizes import SizeModel
+from repro.sharding.partitioner import ShardPlan, make_plan
+from repro.sharding.router import ShardRouter, ShardedTreeView
+from repro.sharding.shard import ShardServer, build_shards
+from repro.sharding.storage import load_shards, save_shards
+from repro.storage.backend import StorageError
+
+#: Manifest meta key -> configuration attribute it must match on reopen.
+_MANIFEST_META_FIELDS = {
+    "dataset": "dataset_name",
+    "object_count": "object_count",
+    "dataset_seed": "dataset_seed",
+    "page_bytes": "page_bytes",
+    "mean_object_bytes": "mean_object_bytes",
+    "zipf_theta": "zipf_theta",
+}
+
+
+def config_meta(config) -> Dict:
+    """The dataset-identity meta block stored in shard manifests."""
+    return {key: getattr(config, attribute)
+            for key, attribute in _MANIFEST_META_FIELDS.items()}
+
+
+def _check_manifest(config, shards: int, partitioner: str,
+                    manifest: Dict, directory: str) -> None:
+    """Reject a shard store that contradicts the requested configuration."""
+    problems = []
+    if manifest["shards"] != shards:
+        problems.append(f"shards: store={manifest['shards']} "
+                        f"requested={shards}")
+    if manifest["partitioner"] != partitioner:
+        problems.append(f"partitioner: store={manifest['partitioner']!r} "
+                        f"requested={partitioner!r}")
+    meta = manifest.get("meta", {})
+    problems.extend(
+        f"{key}: store={meta[key]!r} config={getattr(config, attribute)!r}"
+        for key, attribute in _MANIFEST_META_FIELDS.items()
+        if key in meta and meta[key] != getattr(config, attribute))
+    if problems:
+        raise StorageError(
+            f"{directory} was written for a different sharded configuration "
+            f"({'; '.join(problems)}); rerun with matching flags or re-save "
+            f"the shards")
+
+
+@dataclass
+class ShardedServerState:
+    """Everything one sharded deployment consists of."""
+
+    shards: List[ShardServer]
+    plan: ShardPlan
+    router: ShardRouter
+
+    @property
+    def view(self) -> ShardedTreeView:
+        """The client-facing tree facade (``objects`` / ``store`` routing)."""
+        return self.router.tree
+
+    @property
+    def size_model(self) -> SizeModel:
+        return self.router.size_model
+
+    def close(self) -> None:
+        """Release every shard's storage backend."""
+        for shard in self.shards:
+            shard.close()
+
+
+def dataset_records(config):
+    """The deterministic record list of ``config`` (single dataset build)."""
+    return make_dataset(config.dataset_name, config.object_count,
+                        seed=config.dataset_seed,
+                        mean_object_bytes=config.mean_object_bytes,
+                        zipf_theta=config.zipf_theta)
+
+
+def build_sharded_state(config, shards: int, partitioner: str = "grid",
+                        store_dir: Optional[str] = None,
+                        writable: bool = False) -> ShardedServerState:
+    """Build a sharded deployment for ``config``.
+
+    In-memory by default: the dataset is generated once, partitioned, and
+    every slice bulk-loaded into its shard's offset id range.  With
+    ``store_dir`` the shards are reopened from their ``.rpro`` files
+    instead (copy-on-write when ``writable``); a store whose manifest
+    contradicts the configuration is rejected.
+    """
+    if store_dir is not None:
+        shard_servers, plan, manifest = load_shards(store_dir,
+                                                    writable=writable)
+        try:
+            _check_manifest(config, shards, (partitioner or "grid").lower(),
+                            manifest, store_dir)
+        except StorageError:
+            for shard in shard_servers:
+                shard.close()
+            raise
+    else:
+        records = dataset_records(config)
+        plan = make_plan(records, shards, method=partitioner)
+        size_model = SizeModel(page_bytes=config.page_bytes)
+        shard_servers = build_shards(plan, size_model=size_model)
+    router = ShardRouter(shard_servers, plan)
+    return ShardedServerState(shards=shard_servers, plan=plan, router=router)
+
+
+def save_sharded_state(state: ShardedServerState, directory: str,
+                       meta: Optional[Dict] = None) -> Dict:
+    """Checkpoint every shard of ``state`` into ``directory``."""
+    return save_shards(state.shards, state.plan, directory, meta=meta)

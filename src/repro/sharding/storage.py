@@ -1,0 +1,143 @@
+"""Per-shard persistence: one ``.rpro`` page store per shard plus a manifest.
+
+A sharded deployment checkpoints as a *directory*:
+
+* ``shard-<i>.rpro`` — shard *i*'s R-tree through the ordinary
+  :func:`repro.storage.paged.save_tree` (page ids carry their shard offset,
+  so a reloaded shard keeps exactly the global id range it allocated);
+* ``shards.json`` — the manifest: partitioner method, shard regions,
+  per-shard object counts and the generating dataset configuration, so a
+  reopened deployment reconstructs the same routing rules and rejects
+  mismatched dataset flags exactly like the single-file store does.
+
+Loading builds one :class:`~repro.sharding.shard.ShardServer` per file over
+a :class:`~repro.storage.paged.PagedFileBackend`; ``writable=True`` opens
+every backend through its copy-on-write overlay so a dynamic fleet can
+mutate each shard while the files stay untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import Rect
+from repro.sharding.partitioner import PARTITIONER_METHODS, ShardPlan
+from repro.sharding.shard import ShardServer
+from repro.storage.backend import StorageError
+from repro.storage.paged import DEFAULT_BUFFER_PAGES, load_tree, save_tree
+
+#: The manifest file name inside a shard-store directory.
+MANIFEST_NAME = "shards.json"
+
+
+def shard_file_name(index: int) -> str:
+    """The file name of shard ``index`` inside a shard-store directory."""
+    return f"shard-{index:03d}.rpro"
+
+
+def save_shards(shards: List[ShardServer], plan: ShardPlan, directory: str,
+                meta: Optional[Dict] = None) -> Dict:
+    """Checkpoint every shard into ``directory``; returns the manifest."""
+    os.makedirs(directory, exist_ok=True)
+    files = []
+    for shard in shards:
+        name = shard_file_name(shard.shard_index)
+        save_tree(shard.tree, os.path.join(directory, name), meta=meta)
+        files.append(name)
+    manifest = {
+        "format": 1,
+        "kind": "sharded-rtree-store",
+        "shards": len(shards),
+        "partitioner": plan.method,
+        # Lists, not tuples, so the in-memory manifest equals its JSON
+        # round-trip exactly.
+        "regions": [list(region.as_tuple()) for region in plan.regions],
+        "objects_per_shard": [shard.object_count for shard in shards],
+        "files": files,
+        "meta": dict(meta or {}),
+    }
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return manifest
+
+
+def read_manifest(directory: str) -> Dict:
+    """Read and validate the manifest of a shard-store directory."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.isfile(manifest_path):
+        raise StorageError(f"{directory} is not a shard store "
+                           f"(missing {MANIFEST_NAME})")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        try:
+            manifest = json.load(handle)
+        except ValueError as error:
+            raise StorageError(f"{manifest_path}: corrupt manifest: {error}")
+    if manifest.get("kind") != "sharded-rtree-store" \
+            or manifest.get("format") != 1:
+        raise StorageError(
+            f"{manifest_path}: unsupported kind "
+            f"{manifest.get('kind')!r} / format {manifest.get('format')!r}")
+    if manifest.get("partitioner") not in PARTITIONER_METHODS:
+        raise StorageError(f"{manifest_path}: unknown partitioner "
+                           f"{manifest.get('partitioner')!r}")
+    if len(manifest.get("files", [])) != manifest.get("shards"):
+        raise StorageError(f"{manifest_path}: shard count and file list "
+                           f"disagree")
+    regions = manifest.get("regions")
+    if (not isinstance(regions, list)
+            or len(regions) != manifest.get("shards")
+            or any(not isinstance(values, (list, tuple)) or len(values) != 4
+                   or not all(isinstance(value, (int, float))
+                              for value in values)
+                   for values in regions)):
+        raise StorageError(f"{manifest_path}: regions must be one "
+                           f"[min_x, min_y, max_x, max_y] entry per shard")
+    return manifest
+
+
+def plan_from_manifest(manifest: Dict) -> ShardPlan:
+    """The (record-free) partition plan recorded in a manifest.
+
+    Only the regions and method are recoverable — the per-shard record
+    slices live in the ``.rpro`` files — so the returned plan carries empty
+    record tuples; it exists to serve :meth:`ShardPlan.region_index_for`
+    (insert routing) with the persisted regions.
+    """
+    try:
+        regions = tuple(Rect(*values) for values in manifest["regions"])
+    except ValueError as error:
+        raise StorageError(f"corrupt shard manifest region: {error}")
+    return ShardPlan(method=manifest["partitioner"],
+                     shard_records=tuple(() for _ in regions),
+                     regions=regions)
+
+
+def load_shards(directory: str, writable: bool = False,
+                buffer_pages: int = DEFAULT_BUFFER_PAGES,
+                ) -> Tuple[List[ShardServer], ShardPlan, Dict]:
+    """Reopen a shard-store directory.
+
+    Returns ``(shards, plan, manifest)``.  ``writable=True`` opens every
+    shard's backend copy-on-write so the dynamic-dataset machinery can
+    mutate the trees without touching the files.
+    """
+    manifest = read_manifest(directory)
+    plan = plan_from_manifest(manifest)
+    shards: List[ShardServer] = []
+    try:
+        for index, name in enumerate(manifest["files"]):
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                raise StorageError(f"{directory}: missing shard file {name}")
+            tree = load_tree(path, buffer_pages=buffer_pages,
+                             copy_on_write=writable)
+            shards.append(ShardServer(index, tree, plan.regions[index]))
+    except Exception:
+        for shard in shards:
+            shard.close()
+        raise
+    return shards, plan, manifest

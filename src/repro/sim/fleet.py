@@ -34,7 +34,7 @@ from repro.sim.runner import (
     generate_trace,
     map_maybe_parallel,
 )
-from repro.sim.sessions import ClientSession, make_session
+from repro.sim.sessions import ClientSession, GroundTruthCache, make_session
 from repro.workload.generator import QueryMix
 from repro.workload.trace import TraceRecord
 
@@ -86,6 +86,13 @@ class FleetConfig:
     baseline and ``update_seed`` the update stream).  The defaults —
     ``update_rate=0, consistency="none"`` — are decision-identical to a
     static fleet, down to byte-identical cache digests.
+
+    ``shards`` switches the fleet onto the sharded execution tier (see
+    :mod:`repro.sharding`): the dataset is split by the named
+    ``partitioner`` (``grid`` / ``kd``) and every query is planned by the
+    scatter-gather router instead of one server.  ``None`` (the default)
+    keeps the classic single-server path untouched; ``shards=1`` runs the
+    sharded machinery degenerately and is byte-identical to it.
     """
 
     base: SimulationConfig
@@ -95,6 +102,8 @@ class FleetConfig:
     consistency: str = "none"
     ttl_seconds: float = 120.0
     update_seed: int = 4242
+    shards: Optional[int] = None
+    partitioner: str = "grid"
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -111,11 +120,23 @@ class FleetConfig:
                              f"{', '.join(CONSISTENCY_MODES)}")
         if self.ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        from repro.sharding.partitioner import PARTITIONER_METHODS
+        if (self.partitioner or "grid").lower() not in PARTITIONER_METHODS:
+            raise ValueError(f"unknown partitioner {self.partitioner!r}; "
+                             f"expected one of "
+                             f"{', '.join(PARTITIONER_METHODS)}")
 
     @property
     def is_dynamic(self) -> bool:
         """True when the run needs the dynamic-dataset machinery at all."""
         return self.update_rate > 0 or self.consistency != "none"
+
+    @property
+    def is_sharded(self) -> bool:
+        """True when the fleet runs through the sharded execution tier."""
+        return self.shards is not None
 
     @staticmethod
     def make(base: SimulationConfig, groups: Sequence[ClientGroupSpec],
@@ -244,7 +265,19 @@ def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
     queries, so clients are no longer independent: such fleets run
     serially (``max_workers`` > 1 is rejected) via
     :func:`run_dynamic_fleet`, with a disk store opened copy-on-write.
+
+    A *sharded* fleet (``fleet.shards`` set) runs through
+    :func:`run_sharded_fleet`: the shared router keeps per-shard routing
+    statistics, so these fleets also run serially; ``store_path`` then
+    names a shard-store *directory* (see ``repro persist save-shards``).
     """
+    if fleet.is_sharded:
+        if max_workers is not None and max_workers > 1:
+            raise ValueError(
+                "a sharded fleet routes every query through one shared "
+                "router, so clients cannot be sharded over worker "
+                "processes; run it serially")
+        return run_sharded_fleet(fleet, store_dir=store_path)
     if fleet.is_dynamic:
         if max_workers is not None and max_workers > 1:
             raise ValueError(
@@ -311,6 +344,25 @@ def replay_fleet_events(sessions: Dict[int, ClientSession],
     for arrival_time, client_id, record in events:
         cost = sessions[client_id].process(record)
         results[client_id].record(cost, arrival_time)
+
+
+def replay_dynamic_events(updater, sessions: Dict[int, ClientSession],
+                          results: Dict[int, "ClientResult"],
+                          events: Sequence[Tuple]) -> None:
+    """Process a merged query + update event list in arrival order.
+
+    The one replay loop shared by the single-server and sharded dynamic
+    fleets: update events apply through ``updater`` (a
+    :class:`~repro.updates.applier.DatasetUpdater` or
+    :class:`~repro.sharding.updater.ShardedUpdater`), query events run
+    through their client's session and record on its result.
+    """
+    for kind, arrival_time, client_id, payload in events:
+        if kind == "update":
+            updater.apply(payload)
+        else:
+            cost = sessions[client_id].process(payload)
+            results[client_id].record(cost, arrival_time)
 
 
 def finalize_fleet_results(sessions: Dict[int, ClientSession],
@@ -422,17 +474,89 @@ def run_dynamic_fleet(fleet: FleetConfig,
                                                 group=spec.group,
                                                 model=spec.model)
                    for spec in specs}
-        for kind, arrival_time, client_id, payload in build_dynamic_events(
-                fleet, specs):
-            if kind == "update":
-                updater.apply(payload)
-            else:
-                cost = sessions[client_id].process(payload)
-                results[client_id].record(cost, arrival_time)
+        replay_dynamic_events(updater, sessions, results,
+                              build_dynamic_events(fleet, specs))
         finalize_fleet_results(sessions, results)
     finally:
         shared.tree.store.close()
     result = FleetResult(clients=[results[spec.client_id] for spec in specs])
     result.update_summary = dict(updater.summary())
     result.update_summary["consistency"] = fleet.consistency
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# sharded fleets: the scatter-gather execution tier
+# --------------------------------------------------------------------------- #
+def run_sharded_fleet(fleet: FleetConfig,
+                      store_dir: Optional[str] = None) -> FleetResult:
+    """Run a fleet against a sharded deployment (see :mod:`repro.sharding`).
+
+    The same arrival-ordered event list as the single-server run replays
+    against the shard router: every session talks to the router exactly as
+    it would to one :class:`~repro.core.server.ServerQueryProcessor`, and a
+    dynamic fleet's update stream routes each mutation to its owning shard.
+    With one shard the run is byte-identical to the single-server fleet
+    (same results, per-query costs and cache digests); with N shards it is
+    result-identical, with per-shard page reads rolled up into each
+    query's cost and surfaced in :attr:`FleetResult.shard_summary`.
+
+    Only the proactive models participate: PAG and SEM answer from the
+    ground-truth oracle rather than the server protocol, so routing them
+    through shards would be a no-op with misleading metrics.
+
+    ``store_dir`` serves every shard from its own ``.rpro`` file in that
+    directory (copy-on-write when the fleet mutates the dataset).
+    """
+    from repro.sharding import ShardedUpdater, build_sharded_state
+    from repro.updates import make_protocol
+    shard_count = fleet.shards if fleet.shards is not None else 1
+    for group in fleet.groups:
+        if group.model.upper() not in _PROACTIVE_MODELS:
+            raise ValueError(
+                f"group {group.name!r} runs {group.model}, which cannot "
+                f"join a sharded fleet; supported models: "
+                f"{', '.join(_PROACTIVE_MODELS)}")
+    specs = fleet.client_specs()
+    state = build_sharded_state(fleet.base, shard_count,
+                                partitioner=fleet.partitioner,
+                                store_dir=store_dir,
+                                writable=fleet.update_rate > 0)
+    router = state.router
+    updater = None
+    try:
+        ground_truth = GroundTruthCache(state.view)
+        consistency_factory = lambda: None  # noqa: E731 - tiny local factory
+        if fleet.is_dynamic:
+            updater = ShardedUpdater(router, ground_truth=ground_truth)
+            consistency_factory = lambda: make_protocol(  # noqa: E731
+                fleet.consistency, updater=updater,
+                size_model=state.size_model, ttl_seconds=fleet.ttl_seconds)
+        sessions = {spec.client_id: make_session(
+            spec.model, state.view, spec.config, server=router,
+            replacement_policy=spec.replacement_policy,
+            ground_truth=ground_truth,
+            consistency=consistency_factory()) for spec in specs}
+        results = {spec.client_id: ClientResult(client_id=spec.client_id,
+                                                group=spec.group,
+                                                model=spec.model)
+                   for spec in specs}
+        if fleet.is_dynamic:
+            replay_dynamic_events(updater, sessions, results,
+                                  build_dynamic_events(fleet, specs))
+        else:
+            replay_fleet_events(sessions, results, build_fleet_events(specs))
+        finalize_fleet_results(sessions, results)
+        shard_summary = dict(router.stats.summary())
+        shard_summary["shards"] = shard_count
+        shard_summary["partitioner"] = (fleet.partitioner or "grid").lower()
+        shard_summary["objects_per_shard"] = [shard.object_count
+                                              for shard in state.shards]
+    finally:
+        state.close()
+    result = FleetResult(clients=[results[spec.client_id] for spec in specs])
+    result.shard_summary = shard_summary
+    if updater is not None:
+        result.update_summary = dict(updater.summary())
+        result.update_summary["consistency"] = fleet.consistency
     return result

@@ -211,6 +211,10 @@ class FleetResult:
     # Dynamic fleets only: the shared server's applied-update counters and
     # the consistency mode (see repro.updates); None for static fleets.
     update_summary: Optional[Dict] = None
+    # Sharded fleets only: the router's per-shard routing counters
+    # (queries routed, shards pruned, pages read — see repro.sharding);
+    # None for single-server fleets.
+    shard_summary: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         self.clients.sort(key=lambda client: client.client_id)
@@ -274,6 +278,29 @@ class FleetResult:
             server_cpu_seconds=sum(c.server_cpu_seconds for c in costs
                                    if c.contacted_server),
         )
+
+    def shard_rows(self) -> List[Dict[str, float]]:
+        """Per-shard routing counters as flat rows (sharded fleets only).
+
+        One row per shard with the counters the router kept while the
+        fleet ran: queries routed to the shard, router-level prunes
+        (virtual-root scatters and kNN bound checks that skipped it
+        without a visit — client-side pruning shows up as a low routed
+        count instead), pages read there, and the shard's current object
+        count.  Returns an empty list for single-server fleets.
+        """
+        summary = self.shard_summary
+        if not summary:
+            return []
+        objects = summary.get("objects_per_shard",
+                              [0] * len(summary["queries_routed"]))
+        return [{
+            "shard": float(index),
+            "objects": float(objects[index]),
+            "queries_routed": float(summary["queries_routed"][index]),
+            "shards_pruned": float(summary["shards_pruned"][index]),
+            "pages_read": float(summary["pages_read"][index]),
+        } for index in range(len(summary["queries_routed"]))]
 
     def windowed_queries_per_second(self, windows: int = 20) -> List[float]:
         """Fleet-wide arrival rate over ``windows`` equal slices of the run."""

@@ -74,7 +74,9 @@ def fleet_to_dict(fleet: FleetConfig) -> dict:
             "update_rate": fleet.update_rate,
             "consistency": fleet.consistency,
             "ttl_seconds": fleet.ttl_seconds,
-            "update_seed": fleet.update_seed}
+            "update_seed": fleet.update_seed,
+            "shards": fleet.shards,
+            "partitioner": fleet.partitioner}
 
 
 def fleet_from_dict(data: dict) -> FleetConfig:
@@ -94,7 +96,9 @@ def fleet_from_dict(data: dict) -> FleetConfig:
                        update_rate=data.get("update_rate", 0.0),
                        consistency=data.get("consistency", "none"),
                        ttl_seconds=data.get("ttl_seconds", 120.0),
-                       update_seed=data.get("update_seed", 4242))
+                       update_seed=data.get("update_seed", 4242),
+                       shards=data.get("shards"),
+                       partitioner=data.get("partitioner", "grid"))
 
 
 def _cost_dict(cost: QueryCost) -> dict:
@@ -125,6 +129,11 @@ def run_fleet_interrupted(fleet: FleetConfig, halt_after: int, directory: str,
             "dynamic fleets (--update-rate / --consistency) cannot be "
             "halted and resumed: the mutated server tree is not part of "
             "the session snapshot yet")
+    if fleet.is_sharded:
+        raise ValueError(
+            "sharded fleets (--shards) cannot be halted and resumed: the "
+            "router's per-shard state is not part of the session snapshot "
+            "yet")
     for group in fleet.groups:
         if group.model.upper() not in _RESUMABLE_MODELS:
             raise ValueError(

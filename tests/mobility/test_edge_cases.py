@@ -1,0 +1,164 @@
+"""Mobility edge cases: boundary reflection and cross-model determinism.
+
+The thin spots the PR-5 satellite closes: the directed model's reflection
+off all four unit-square walls (including corners), pause/leg bookkeeping
+across oddly sized time steps, and seed discipline *between* the two models
+(the fleet derives both from one seed stream, so they must neither collide
+nor couple).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.mobility import (
+    DirectedMovementModel,
+    RandomWaypointModel,
+    make_mobility_model,
+)
+
+
+# --------------------------------------------------------------------------- #
+# directed-model boundary reflection
+# --------------------------------------------------------------------------- #
+def _forced_directed(start, heading, leg_length=0.5):
+    """A directed model about to pick a destination along ``heading``.
+
+    ``max_turn=0`` pins the heading, so the next `_pick_destination` call
+    deterministically pushes past the wall the heading points at.
+    """
+    model = DirectedMovementModel(speed=0.01, seed=0, start=start,
+                                  max_turn=0.0, leg_length=leg_length,
+                                  max_pause_seconds=0.0)
+    model._heading = heading
+    model._destination = model._pick_destination()
+    return model
+
+
+@pytest.mark.parametrize("start,heading", [
+    (Point(0.95, 0.5), 0.0),             # straight into the right wall
+    (Point(0.05, 0.5), math.pi),         # straight into the left wall
+    (Point(0.5, 0.95), math.pi / 2),     # straight into the top wall
+    (Point(0.5, 0.05), -math.pi / 2),    # straight into the bottom wall
+])
+def test_destination_is_clamped_to_the_wall(start, heading):
+    model = _forced_directed(start, heading)
+    destination = model._destination
+    assert 0.0 <= destination.x <= 1.0
+    assert 0.0 <= destination.y <= 1.0
+
+
+def test_x_reflection_flips_heading_horizontally():
+    model = _forced_directed(Point(0.95, 0.5), 0.0)
+    # The heading pointed at +x; after reflecting it must point at -x
+    # (pi - h), so the following leg moves away from the wall.
+    assert math.cos(model._heading) == pytest.approx(-1.0)
+    assert math.sin(model._heading) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_y_reflection_negates_heading():
+    model = _forced_directed(Point(0.5, 0.95), math.pi / 2)
+    assert math.sin(model._heading) == pytest.approx(-1.0)
+
+
+def test_corner_reflects_both_axes():
+    model = _forced_directed(Point(0.98, 0.98), math.pi / 4)
+    heading = model._heading
+    # Both components must now point back into the square.
+    assert math.cos(heading) < 0.0
+    assert math.sin(heading) < 0.0
+    destination = model._destination
+    assert 0.0 <= destination.x <= 1.0
+    assert 0.0 <= destination.y <= 1.0
+
+
+def test_long_run_near_walls_stays_inside():
+    """Grinding along the boundary never escapes or gets stuck in a corner."""
+    model = DirectedMovementModel(speed=0.05, seed=13, start=Point(0.999, 0.001),
+                                  max_pause_seconds=0.0)
+    positions = [model.advance(7.3) for _ in range(2000)]
+    assert all(0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0 for p in positions)
+    # It keeps moving (not wedged in the corner it started next to).
+    assert max(p.distance_to(Point(0.999, 0.001)) for p in positions) > 0.1
+
+
+# --------------------------------------------------------------------------- #
+# pause / leg bookkeeping across odd step sizes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_cls", [RandomWaypointModel,
+                                       DirectedMovementModel])
+def test_many_small_steps_equal_one_big_step(model_cls):
+    """Advancing is additive in elapsed time for a fixed seed."""
+    coarse = model_cls(speed=0.01, seed=21)
+    fine = model_cls(speed=0.01, seed=21)
+    coarse_position = coarse.advance(300.0)
+    for _ in range(300):
+        fine_position = fine.advance(1.0)
+    assert coarse_position.x == pytest.approx(fine_position.x, abs=1e-9)
+    assert coarse_position.y == pytest.approx(fine_position.y, abs=1e-9)
+
+
+def test_arrival_exactly_at_destination_starts_a_pause():
+    model = RandomWaypointModel(speed=0.01, seed=4, max_pause_seconds=60.0)
+    destination = model._destination
+    travel_time = model.position.distance_to(destination) / model._current_speed
+    position = model.advance(travel_time)
+    assert position.x == pytest.approx(destination.x)
+    assert position.y == pytest.approx(destination.y)
+    assert model._pause_remaining >= 0.0
+
+
+def test_negative_elapsed_time_is_treated_as_zero():
+    model = RandomWaypointModel(speed=0.01, seed=8)
+    start = model.position
+    assert model.advance(-5.0) == start
+
+
+# --------------------------------------------------------------------------- #
+# cross-model seed determinism
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", ["RAN", "DIR"])
+def test_factory_trajectories_are_reproducible(name):
+    a = make_mobility_model(name, speed=0.01, seed=77)
+    b = make_mobility_model(name, speed=0.01, seed=77)
+    for _ in range(100):
+        assert a.advance(13.7) == b.advance(13.7)
+
+
+@pytest.mark.parametrize("name", ["RAN", "DIR"])
+def test_different_seeds_decorrelate(name):
+    a = make_mobility_model(name, speed=0.01, seed=1)
+    b = make_mobility_model(name, speed=0.01, seed=2)
+    positions_a = [a.advance(40.0) for _ in range(30)]
+    positions_b = [b.advance(40.0) for _ in range(30)]
+    assert positions_a != positions_b
+
+
+def test_models_do_not_share_global_random_state():
+    """Interleaving two models must not perturb either trajectory."""
+    solo_ran = make_mobility_model("RAN", speed=0.01, seed=31)
+    solo_dir = make_mobility_model("DIR", speed=0.01, seed=31)
+    solo = [(solo_ran.advance(25.0), solo_dir.advance(25.0))
+            for _ in range(50)]
+    mixed_ran = make_mobility_model("RAN", speed=0.01, seed=31)
+    mixed_dir = make_mobility_model("DIR", speed=0.01, seed=31)
+    import random
+    mixed = []
+    for step in range(50):
+        random.random()  # global RNG noise must be irrelevant
+        ran_position = mixed_ran.advance(25.0)
+        random.random()
+        dir_position = mixed_dir.advance(25.0)
+        mixed.append((ran_position, dir_position))
+    assert solo == mixed
+
+
+def test_same_seed_produces_distinct_ran_and_dir_paths():
+    """The two models consume their seed streams differently by design."""
+    ran = make_mobility_model("RAN", speed=0.01, seed=5)
+    dir_ = make_mobility_model("DIR", speed=0.01, seed=5)
+    assert [ran.advance(60.0) for _ in range(20)] \
+        != [dir_.advance(60.0) for _ in range(20)]

@@ -38,8 +38,28 @@ def make_report(walls, scale="smoke", fingerprints=None):
 
 def test_scenario_registry_names():
     assert scenario_names() == list(SCENARIOS)
-    assert {"fig6_models", "fleet_rush_hour", "cache_pressure"} <= set(SCENARIOS)
+    assert {"fig6_models", "fleet_rush_hour", "cache_pressure",
+            "sharded_fleet"} <= set(SCENARIOS)
     assert set(SCALES) == {"default", "smoke"}
+
+
+def test_scenario_descriptions_cover_the_registry():
+    from repro.perf import scenario_descriptions
+    descriptions = scenario_descriptions()
+    assert list(descriptions) == scenario_names()
+    assert all(description for description in descriptions.values())
+    assert all("\n" not in description
+               for description in descriptions.values())
+
+
+def test_sharded_fleet_scenario_pins_result_equivalence():
+    """The scenario's own correctness bit must hold at smoke scale."""
+    fingerprint = SCENARIOS["sharded_fleet"](SCALES["smoke"])
+    assert fingerprint["results_match"] == 1.0
+    assert fingerprint["shards"] == float(SCALES["smoke"]["shard_count"])
+    routed = sum(value for key, value in fingerprint.items()
+                 if key.endswith(".queries_routed"))
+    assert routed > 0
 
 
 def test_report_round_trip(tmp_path):

@@ -1,0 +1,183 @@
+"""The sharded subsystem's equivalence contract, end to end.
+
+* ``shards=1`` fleets are **byte-identical** to the classic single-server
+  path: every deterministic per-query cost field, every final cache
+  digest — static and dynamic, across every replacement policy.
+* ``shards=N`` fleets are **result-identical**: per-query result sets and
+  total object bytes pin to the single-server reference (sharding changes
+  what travels on the wire, never what the query answers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import (
+    ClientGroupSpec,
+    FleetConfig,
+    default_fleet,
+    run_fleet,
+)
+from repro.sim.runner import build_shared_state
+from repro.sim.sessions import make_session
+from repro.sharding import ShardedUpdater, build_sharded_state
+from repro.updates import make_protocol
+
+ALL_POLICIES = ("LRU", "MRU", "FAR", "GRD1", "GRD2", "GRD3")
+
+
+def _small_fleet(policy="GRD3", queries=10, objects=800, clients=4):
+    base = SimulationConfig.scaled(query_count=queries, object_count=objects
+                                   ).with_overrides(replacement_policy=policy)
+    return default_fleet(clients, base=base)
+
+
+def _deterministic_cost(cost):
+    return (cost.query_index, cost.query_type, cost.uplink_bytes,
+            cost.downlink_bytes, cost.downloaded_result_bytes,
+            cost.confirmed_cached_bytes, cost.index_downlink_bytes,
+            cost.result_bytes, cost.cached_result_bytes, cost.saved_bytes,
+            cost.contacted_server, cost.server_page_reads,
+            cost.sync_uplink_bytes, cost.sync_downlink_bytes,
+            cost.refreshed_items, cost.invalidated_items, cost.response_time)
+
+
+def _assert_byte_identical(reference, sharded):
+    for ref_client, sharded_client in zip(reference.clients, sharded.clients):
+        assert ([_deterministic_cost(cost) for cost in ref_client.costs]
+                == [_deterministic_cost(cost) for cost in sharded_client.costs])
+        assert ref_client.final_cache_digest == sharded_client.final_cache_digest
+        assert ref_client.final_cache_used_bytes \
+            == sharded_client.final_cache_used_bytes
+
+
+def _assert_result_identical(reference, sharded):
+    for ref_client, sharded_client in zip(reference.clients, sharded.clients):
+        assert ([cost.result_bytes for cost in ref_client.costs]
+                == [cost.result_bytes for cost in sharded_client.costs])
+    ref_total = sum(cost.result_bytes for client in reference.clients
+                    for cost in client.costs)
+    sharded_total = sum(cost.result_bytes for client in sharded.clients
+                        for cost in client.costs)
+    assert ref_total == sharded_total
+
+
+# --------------------------------------------------------------------------- #
+# shards=1: byte identity
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_one_shard_static_fleet_is_byte_identical(policy):
+    fleet = _small_fleet(policy=policy)
+    reference = run_fleet(fleet)
+    sharded = run_fleet(dataclasses.replace(fleet, shards=1))
+    _assert_byte_identical(reference, sharded)
+
+
+@pytest.mark.parametrize("partitioner", ["grid", "kd"])
+def test_one_shard_identity_holds_for_both_partitioners(partitioner):
+    fleet = _small_fleet()
+    reference = run_fleet(fleet)
+    sharded = run_fleet(dataclasses.replace(fleet, shards=1,
+                                            partitioner=partitioner))
+    _assert_byte_identical(reference, sharded)
+
+
+@pytest.mark.parametrize("consistency", ["versioned", "ttl", "none"])
+def test_one_shard_dynamic_fleet_is_byte_identical(consistency):
+    fleet = dataclasses.replace(_small_fleet(), update_rate=0.05,
+                                consistency=consistency)
+    reference = run_fleet(fleet)
+    sharded = run_fleet(dataclasses.replace(fleet, shards=1))
+    _assert_byte_identical(reference, sharded)
+    assert reference.update_summary == sharded.update_summary
+
+
+# --------------------------------------------------------------------------- #
+# shards=N: result identity
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+@pytest.mark.parametrize("shards,partitioner", [(3, "grid"), (4, "kd")])
+def test_multi_shard_static_fleet_is_result_identical(policy, shards,
+                                                      partitioner):
+    fleet = _small_fleet(policy=policy)
+    reference = run_fleet(fleet)
+    sharded = run_fleet(dataclasses.replace(fleet, shards=shards,
+                                            partitioner=partitioner))
+    _assert_result_identical(reference, sharded)
+
+
+@pytest.mark.parametrize("shards,partitioner", [(3, "grid"), (5, "kd")])
+def test_multi_shard_dynamic_versioned_fleet_is_result_identical(shards,
+                                                                 partitioner):
+    """Under exact (versioned) consistency, churn does not break identity."""
+    fleet = dataclasses.replace(_small_fleet(), update_rate=0.08,
+                                consistency="versioned")
+    reference = run_fleet(fleet)
+    sharded = run_fleet(dataclasses.replace(fleet, shards=shards,
+                                            partitioner=partitioner))
+    _assert_result_identical(reference, sharded)
+    assert reference.update_summary["applied"] \
+        == sharded.update_summary["applied"]
+    assert reference.update_summary["live_objects"] \
+        == sharded.update_summary["live_objects"]
+
+
+def test_multi_shard_result_ids_match_per_query():
+    """Stronger than bytes: the actual per-query result id sets match."""
+    base = SimulationConfig.scaled(query_count=12, object_count=800)
+    fleet = default_fleet(3, base=base)
+    specs = fleet.client_specs()
+
+    def replay(server_like, tree_like):
+        from repro.sim.fleet import build_fleet_events
+        sessions = {spec.client_id: make_session(
+            spec.model, tree_like, spec.config, server=server_like)
+            for spec in specs}
+        ids_per_event = []
+        for _, client_id, record in build_fleet_events(specs):
+            sessions[client_id].process(record)
+            ids_per_event.append((client_id,
+                                  set(sessions[client_id].last_result_ids)))
+        return ids_per_event
+
+    shared = build_shared_state(fleet.base)
+    reference = replay(shared.server, shared.tree)
+    state = build_sharded_state(fleet.base, 4, "grid")
+    try:
+        sharded = replay(state.router, state.view)
+    finally:
+        state.close()
+    assert reference == sharded
+
+
+def test_dynamic_multi_shard_matches_oracle_per_query():
+    """Versioned sharded results equal the linear-scan oracle every query."""
+    from repro.sim.fleet import build_dynamic_events
+    from repro.updates.oracle import oracle_results
+
+    base = SimulationConfig.scaled(query_count=12, object_count=700)
+    fleet = dataclasses.replace(
+        FleetConfig.make(base, [ClientGroupSpec(name="only", clients=2)]),
+        update_rate=0.1, consistency="versioned")
+    specs = fleet.client_specs()
+    state = build_sharded_state(fleet.base, 3, "kd")
+    try:
+        updater = ShardedUpdater(state.router)
+        sessions = {spec.client_id: make_session(
+            spec.model, state.view, spec.config, server=state.router,
+            consistency=make_protocol("versioned", updater=updater,
+                                      size_model=state.size_model))
+            for spec in specs}
+        for kind, _, client_id, payload in build_dynamic_events(fleet, specs):
+            if kind == "update":
+                updater.apply(payload)
+            else:
+                session = sessions[client_id]
+                session.process(payload)
+                expected = oracle_results(state.view.objects, payload.query)
+                assert session.last_result_ids == set(expected), payload
+    finally:
+        state.close()

@@ -1,0 +1,94 @@
+"""Partitioner properties: disjoint cover, determinism, region routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.geometry import Point, Rect
+from repro.sharding.partitioner import (
+    PARTITIONER_METHODS,
+    _grid_shape,
+    make_plan,
+)
+
+
+def _records(count=400, seed=11):
+    return make_dataset("NE", count, seed=seed)
+
+
+@pytest.mark.parametrize("method", PARTITIONER_METHODS)
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 5, 7, 8])
+def test_partition_is_a_disjoint_cover(method, shards):
+    records = _records()
+    plan = make_plan(records, shards, method=method)
+    assert plan.shard_count == shards
+    assigned = [record.object_id for slice_ in plan.shard_records
+                for record in slice_]
+    assert sorted(assigned) == sorted(record.object_id for record in records)
+    assert len(set(assigned)) == len(assigned)
+
+
+@pytest.mark.parametrize("method", PARTITIONER_METHODS)
+def test_partition_is_deterministic(method):
+    records = _records()
+    first = make_plan(records, 5, method=method)
+    second = make_plan(records, 5, method=method)
+    assert first == second
+
+
+def test_single_shard_keeps_original_record_order():
+    """The byte-identity anchor: one shard == the single server's input."""
+    records = _records()
+    for method in PARTITIONER_METHODS:
+        plan = make_plan(records, 1, method=method)
+        assert list(plan.shard_records[0]) == records
+        assert plan.regions == (Rect.unit(),)
+
+
+def test_kd_balances_object_counts():
+    plan = make_plan(_records(500), 5, method="kd")
+    counts = [len(slice_) for slice_ in plan.shard_records]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_grid_shape_prefers_square_grids():
+    assert _grid_shape(4) == (2, 2)
+    assert _grid_shape(6) == (2, 3)
+    assert _grid_shape(9) == (3, 3)
+    assert _grid_shape(5) == (1, 5)  # prime -> strips
+
+
+@pytest.mark.parametrize("method", PARTITIONER_METHODS)
+def test_objects_land_in_their_region(method):
+    """Grid assignment follows regions; kd regions cover their slices' centres."""
+    records = _records()
+    plan = make_plan(records, 4, method=method)
+    for index, slice_ in enumerate(plan.shard_records):
+        region = plan.regions[index]
+        for record in slice_:
+            assert region.contains_point(record.mbr.center())
+
+
+def test_region_index_for_routes_every_point():
+    plan = make_plan(_records(), 6, method="kd")
+    for point in (Point(0.01, 0.02), Point(0.99, 0.98), Point(0.5, 0.5)):
+        index = plan.region_index_for(point)
+        assert 0 <= index < plan.shard_count
+
+
+def test_partitioner_input_validation():
+    records = _records(50)
+    with pytest.raises(ValueError):
+        make_plan(records, 0)
+    with pytest.raises(ValueError):
+        make_plan(records, 3, method="voronoi")
+
+
+def test_plan_summary_is_deterministic():
+    plan = make_plan(_records(), 4, method="grid")
+    summary = plan.summary()
+    assert summary["method"] == "grid"
+    assert summary["shards"] == 4
+    assert sum(summary["objects_per_shard"]) == 400
+    assert len(summary["regions"]) == 4

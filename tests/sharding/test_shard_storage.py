@@ -1,0 +1,155 @@
+"""Per-shard persistence: manifests, reopen equivalence, COW mutation."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.sharding import (
+    MANIFEST_NAME,
+    build_sharded_state,
+    config_meta,
+    read_manifest,
+    save_sharded_state,
+)
+from repro.sharding.storage import load_shards, shard_file_name
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import default_fleet, run_fleet
+from repro.storage import ReadOnlyStorageError, StorageError
+
+CONFIG = SimulationConfig.scaled(query_count=8, object_count=700)
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    state = build_sharded_state(CONFIG, 3, "grid")
+    try:
+        manifest = save_sharded_state(state, str(tmp_path / "shards"),
+                                      meta=config_meta(CONFIG))
+    finally:
+        state.close()
+    return str(tmp_path / "shards"), manifest
+
+
+def test_manifest_round_trip(saved):
+    directory, written = saved
+    manifest = read_manifest(directory)
+    assert manifest == written
+    assert manifest["shards"] == 3
+    assert manifest["partitioner"] == "grid"
+    assert manifest["files"] == [shard_file_name(index) for index in range(3)]
+    assert sum(manifest["objects_per_shard"]) == CONFIG.object_count
+    assert manifest["meta"]["object_count"] == CONFIG.object_count
+
+
+def test_loaded_shards_keep_their_id_ranges(saved):
+    directory, _ = saved
+    shards, plan, _ = load_shards(directory)
+    try:
+        memory = build_sharded_state(CONFIG, 3, "grid")
+        try:
+            for loaded, built in zip(shards, memory.shards):
+                assert sorted(loaded.tree.store.node_ids()) \
+                    == sorted(built.tree.store.node_ids())
+                assert loaded.root_id == built.root_id
+                assert sorted(loaded.tree.objects) == sorted(built.tree.objects)
+            assert plan.regions == memory.plan.regions
+        finally:
+            memory.close()
+    finally:
+        for shard in shards:
+            shard.close()
+
+
+def test_loaded_shards_are_read_only_without_cow(saved):
+    directory, _ = saved
+    shards, _, _ = load_shards(directory)
+    try:
+        from repro.rtree.entry import ObjectRecord
+        from repro.geometry import Rect
+        with pytest.raises(ReadOnlyStorageError):
+            shards[0].tree.insert(ObjectRecord(
+                object_id=10 ** 6, mbr=Rect(0.1, 0.1, 0.11, 0.11),
+                size_bytes=100))
+    finally:
+        for shard in shards:
+            shard.close()
+
+
+def test_sharded_fleet_from_disk_matches_memory(saved):
+    directory, _ = saved
+    fleet = dataclasses.replace(
+        default_fleet(3, base=CONFIG), shards=3, partitioner="grid")
+    memory_run = run_fleet(fleet)
+    disk_run = run_fleet(fleet, store_path=directory)
+    assert memory_run.deterministic_group_summary() \
+        == disk_run.deterministic_group_summary()
+    for memory_client, disk_client in zip(memory_run.clients,
+                                          disk_run.clients):
+        assert memory_client.final_cache_digest == disk_client.final_cache_digest
+
+
+def test_dynamic_sharded_fleet_mutates_cow_overlay(saved):
+    directory, manifest = saved
+    fleet = dataclasses.replace(
+        default_fleet(3, base=CONFIG), shards=3, partitioner="grid",
+        update_rate=0.1, consistency="versioned")
+    memory_run = run_fleet(fleet)
+    disk_run = run_fleet(fleet, store_path=directory)
+    assert memory_run.update_summary == disk_run.update_summary
+    assert memory_run.deterministic_group_summary() \
+        == disk_run.deterministic_group_summary()
+    # The files stayed untouched: a fresh static run still matches.
+    assert read_manifest(directory) == manifest
+
+
+def test_mismatched_configuration_is_rejected(saved):
+    directory, _ = saved
+    other = SimulationConfig.scaled(query_count=8, object_count=900)
+    with pytest.raises(StorageError):
+        build_sharded_state(other, 3, "grid", store_dir=directory)
+    with pytest.raises(StorageError):
+        build_sharded_state(CONFIG, 2, "grid", store_dir=directory)
+    with pytest.raises(StorageError):
+        build_sharded_state(CONFIG, 3, "kd", store_dir=directory)
+
+
+def test_corrupt_manifest_is_rejected(saved, tmp_path):
+    directory, _ = saved
+    with pytest.raises(StorageError):
+        read_manifest(str(tmp_path))  # no manifest at all
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    with pytest.raises(StorageError):
+        read_manifest(directory)
+
+
+def test_missing_shard_file_is_rejected(saved):
+    directory, _ = saved
+    os.remove(os.path.join(directory, shard_file_name(1)))
+    with pytest.raises(StorageError):
+        load_shards(directory)
+
+
+def test_bad_manifest_fields_are_rejected(saved):
+    directory, _ = saved
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    manifest = read_manifest(directory)
+    for patch in ({"kind": "something-else"},
+                  {"partitioner": "voronoi"},
+                  {"files": manifest["files"][:1]},
+                  {"regions": manifest["regions"][:1]},
+                  {"regions": None},
+                  {"regions": [values[:2] for values in manifest["regions"]]},
+                  {"regions": [["a", "b", "c", "d"]
+                               for _ in manifest["regions"]]}):
+        broken = dict(manifest)
+        broken.update(patch)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(broken, handle)
+        with pytest.raises(StorageError):
+            read_manifest(directory)

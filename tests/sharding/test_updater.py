@@ -1,0 +1,126 @@
+"""Sharded update routing: ownership, regions, the virtual root's versions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Rect
+from repro.sharding import ShardedUpdater, build_sharded_state
+from repro.sim.config import SimulationConfig
+from repro.updates.stream import UpdateEvent
+
+CONFIG = SimulationConfig.scaled(query_count=5, object_count=600)
+
+
+def _insert(object_id, x, y, index=0, size=500):
+    return UpdateEvent(index=index, arrival_time=float(index), kind="insert",
+                       object_id=object_id,
+                       mbr=Rect(x, y, min(1.0, x + 0.002), min(1.0, y + 0.002)),
+                       size_bytes=size)
+
+
+def _delete(object_id, index=0):
+    return UpdateEvent(index=index, arrival_time=float(index), kind="delete",
+                       object_id=object_id)
+
+
+def _modify(object_id, x, y, index=0, size=700):
+    return UpdateEvent(index=index, arrival_time=float(index), kind="modify",
+                       object_id=object_id,
+                       mbr=Rect(x, y, min(1.0, x + 0.002), min(1.0, y + 0.002)),
+                       size_bytes=size)
+
+
+@pytest.fixture()
+def state():
+    built = build_sharded_state(CONFIG, 4, "grid")
+    yield built
+    built.close()
+
+
+def test_insert_routes_by_region(state):
+    updater = ShardedUpdater(state.router)
+    fresh_id = 10 ** 6
+    assert updater.apply(_insert(fresh_id, 0.1, 0.1))
+    expected = state.plan.region_index_for(Rect(0.1, 0.1, 0.102, 0.102).center())
+    assert state.router.owner_of(fresh_id) == expected
+    assert fresh_id in state.shards[expected].tree.objects
+    assert fresh_id in state.view.objects
+
+
+def test_duplicate_insert_is_skipped(state):
+    updater = ShardedUpdater(state.router)
+    existing = next(iter(state.shards[0].tree.objects))
+    assert not updater.apply(_insert(existing, 0.5, 0.5))
+    assert updater.summary()["skipped"] == 1
+    assert updater.summary()["applied"] == 0
+
+
+def test_delete_routes_to_owner_and_releases(state):
+    updater = ShardedUpdater(state.router)
+    victim = next(iter(state.shards[2].tree.objects))
+    assert updater.apply(_delete(victim))
+    assert state.router.owner_of(victim) is None
+    assert victim not in state.shards[2].tree.objects
+    assert not updater.apply(_delete(victim))  # second delete is a no-op
+    summary = updater.summary()
+    assert summary["deletes"] == 1
+    assert summary["skipped"] == 1
+    assert summary["live_objects"] == CONFIG.object_count - 1
+
+
+def test_modify_keeps_current_owner_even_across_regions(state):
+    updater = ShardedUpdater(state.router)
+    victim = next(iter(state.shards[0].tree.objects))
+    # Move it far across the space: ownership stays, the shard's root MBR
+    # (which query pruning uses) grows to cover the new position.
+    assert updater.apply(_modify(victim, 0.95, 0.95))
+    assert state.router.owner_of(victim) == 0
+    assert state.shards[0].tree.objects[victim].mbr.min_x == pytest.approx(0.95)
+    assert state.shards[0].root_mbr.contains_point(
+        state.shards[0].tree.objects[victim].mbr.center())
+
+
+def test_shared_registry_stamps_all_shards(state):
+    updater = ShardedUpdater(state.router)
+    registry = updater.registry
+    a = next(iter(state.shards[0].tree.objects))
+    b = next(iter(state.shards[3].tree.objects))
+    updater.apply(_modify(a, 0.2, 0.2))
+    updater.apply(_delete(b))
+    assert registry.object_version(a) == 2
+    assert registry.object_version(b) is None
+    assert registry.dataset_version == 2
+
+
+def test_virtual_root_version_bumps_when_a_shard_root_changes(state):
+    updater = ShardedUpdater(state.router)
+    registry = updater.registry
+    virtual_id = state.router.virtual_root_id
+    assert registry.node_version(virtual_id) == 1
+    # Mutating any shard adjusts its root MBR eventually; force it by
+    # inserting far outside the shard's current extent.
+    before = registry.node_version(virtual_id)
+    changed = False
+    for index in range(6):
+        updater.apply(_insert(2 * 10 ** 6 + index, 0.001, 0.999, index=index))
+        if registry.node_version(virtual_id) != before:
+            changed = True
+            break
+    assert changed, "virtual root version never bumped despite root growth"
+    virtual = state.view.store.peek(virtual_id)
+    assert {entry.child_id for entry in virtual.entries} \
+        == {shard.root_id for shard in state.shards if not shard.is_empty}
+
+
+def test_summary_pools_per_shard_counters(state):
+    updater = ShardedUpdater(state.router)
+    updater.apply(_insert(10 ** 6, 0.2, 0.8))
+    updater.apply(_delete(next(iter(state.shards[1].tree.objects))))
+    updater.apply(_modify(next(iter(state.shards[2].tree.objects)), 0.4, 0.4))
+    summary = updater.summary()
+    assert summary["applied"] == 3
+    assert summary["inserts"] == 1
+    assert summary["deletes"] == 1
+    assert summary["modifies"] == 1
+    assert summary["live_objects"] == CONFIG.object_count

@@ -1,0 +1,69 @@
+"""Fleet-layer plumbing of the sharded tier: config, metrics, guards."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import FleetConfig, default_fleet, run_fleet
+from repro.sim.metrics import FleetResult
+from repro.sim.restart import fleet_from_dict, fleet_to_dict, run_fleet_interrupted
+
+
+def _fleet(**overrides):
+    base = SimulationConfig.scaled(query_count=6, object_count=500)
+    return dataclasses.replace(default_fleet(3, base=base), **overrides)
+
+
+def test_fleet_config_validates_shard_fields():
+    with pytest.raises(ValueError):
+        _fleet(shards=0)
+    with pytest.raises(ValueError):
+        _fleet(shards=2, partitioner="voronoi")
+    assert not _fleet().is_sharded
+    assert _fleet(shards=1).is_sharded
+
+
+def test_sharded_fleet_rejects_worker_processes():
+    with pytest.raises(ValueError):
+        run_fleet(_fleet(shards=2), max_workers=3)
+
+
+def test_sharded_fleet_rejects_non_proactive_groups():
+    from repro.sim.fleet import ClientGroupSpec
+    base = SimulationConfig.scaled(query_count=5, object_count=400)
+    fleet = FleetConfig.make(base, [ClientGroupSpec(name="pag", clients=2,
+                                                    model="PAG")])
+    with pytest.raises(ValueError):
+        run_fleet(dataclasses.replace(fleet, shards=2))
+
+
+def test_shard_summary_and_rows_are_populated():
+    result = run_fleet(_fleet(shards=3))
+    summary = result.shard_summary
+    assert summary["shards"] == 3
+    assert summary["partitioner"] == "grid"
+    assert sum(summary["objects_per_shard"]) == 500
+    rows = result.shard_rows()
+    assert len(rows) == 3
+    assert rows[0].keys() == {"shard", "objects", "queries_routed",
+                              "shards_pruned", "pages_read"}
+    assert sum(row["queries_routed"] for row in rows) \
+        == summary["total_routed"]
+    # A single-server fleet carries no shard block.
+    assert run_fleet(_fleet()).shard_summary is None
+    assert FleetResult(clients=[]).shard_rows() == []
+
+
+def test_restart_round_trips_shard_fields_and_rejects_sharded_halt(tmp_path):
+    fleet = _fleet(shards=2, partitioner="kd")
+    rebuilt = fleet_from_dict(fleet_to_dict(fleet))
+    assert rebuilt.shards == 2
+    assert rebuilt.partitioner == "kd"
+    # Pre-sharding session files resume as unsharded fleets.
+    legacy = fleet_to_dict(fleet)
+    legacy.pop("shards")
+    legacy.pop("partitioner")
+    assert fleet_from_dict(legacy).shards is None
+    with pytest.raises(ValueError):
+        run_fleet_interrupted(fleet, halt_after=2, directory=str(tmp_path))

@@ -18,7 +18,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 
 REQUIRED_GUIDES = ("architecture.md", "replacement-policies.md", "cli.md",
-                   "persistence.md")
+                   "persistence.md", "updates.md", "sharding.md")
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
@@ -50,7 +50,8 @@ def test_required_guides_exist():
 def test_architecture_guide_has_the_layer_diagram():
     text = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
     assert "```mermaid" in text, "architecture.md lost its mermaid layer map"
-    for layer in ("geometry", "rtree", "storage", "core", "sim", "perf"):
+    for layer in ("geometry", "rtree", "storage", "core", "sharding",
+                  "sim", "perf"):
         assert layer in text
 
 
