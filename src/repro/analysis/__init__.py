@@ -1,0 +1,58 @@
+"""``repro.analysis`` — the AST-based determinism & invariant linter.
+
+Every guarantee this reproduction makes is a determinism contract:
+byte-identical ``--shards 1`` runs, digest-equal warm restarts,
+oracle-exact versioned consistency.  The equivalence suites enforce those
+contracts at runtime; this package enforces the *bug classes that break
+them* at diff time — unseeded RNG calls, wall-clock reads in cost paths,
+set-order iteration, identity-based tie-breaks, fragile float equality,
+under-captured ``state_dict``s, missing ``__slots__`` and protocol-surface
+drift.  ``repro lint`` is the CLI entry point; ``docs/static-analysis.md``
+is the rule catalogue.
+"""
+
+from repro.analysis.base import CHECKER_REGISTRY, Checker, FileContext, register
+from repro.analysis.config import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    RuleScope,
+    package_relative,
+)
+from repro.analysis.findings import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    findings_document,
+    sort_findings,
+)
+from repro.analysis.runner import (
+    SYNTAX_ERROR_RULE,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+from repro.analysis.suppressions import UNUSED_SUPPRESSION_RULE, SuppressionSheet
+
+__all__ = [
+    "CHECKER_REGISTRY",
+    "Checker",
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "LintConfig",
+    "RuleScope",
+    "SYNTAX_ERROR_RULE",
+    "SuppressionSheet",
+    "UNUSED_SUPPRESSION_RULE",
+    "findings_document",
+    "lint_paths",
+    "lint_source",
+    "package_relative",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+    "sort_findings",
+]

@@ -1,0 +1,250 @@
+"""Structural invariant checkers: STM01, SLT01 and PRT01.
+
+These three rules pin class-shape contracts that runtime tests only catch
+by luck: a ``state_dict`` that silently misses a newly added field (the
+PR-3/PR-4 digest-stability hazard), a hot-path dataclass that regresses to
+``__dict__`` storage, and a protocol implementer that drifts off the
+surface the rest of the system programs against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.base import Checker, register
+
+#: Protocol surfaces checked by PRT01: surface name → members every
+#: implementer must define.  ``StorageBackend`` implementers are found by
+#: base-class name; classes re-implementing the ``ServerQueryProcessor``
+#: surface without subclassing (duck-typed drop-ins like ``ShardRouter``)
+#: are enumerated explicitly.
+PROTOCOL_SURFACES: Dict[str, Tuple[str, ...]] = {
+    "StorageBackend": ("allocate", "get", "peek", "free", "node_ids",
+                       "__contains__", "__len__", "reads", "writes"),
+    "ServerQueryProcessor": ("execute", "root_id", "root_mbr",
+                             "partition_tree_for"),
+}
+
+#: Duck-typed implementers: class name → surface it must satisfy.
+DUCK_TYPED_IMPLEMENTERS: Dict[str, str] = {
+    "ShardRouter": "ServerQueryProcessor",
+}
+
+
+def _decorator_callable(decorator: ast.AST) -> Optional[ast.AST]:
+    """The underlying callable of a decorator (unwrapping a Call)."""
+    return decorator.func if isinstance(decorator, ast.Call) else decorator
+
+
+def _is_dataclass_decorator(decorator: ast.AST) -> bool:
+    target = _decorator_callable(decorator)
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+def _string_elements(node: ast.AST) -> List[str]:
+    """String constants inside a tuple/list literal (``__slots__`` values)."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return [element.value for element in node.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)]
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    return []
+
+
+def _declared_fields(class_node: ast.ClassDef) -> List[str]:
+    """The state-carrying fields of a class, best-effort and in source order.
+
+    Precedence: an explicit ``__slots__`` wins; else a ``@dataclass`` body's
+    annotated fields (``ClassVar`` excluded); else the ``self.X = ...``
+    assignments in ``__init__``.  Dunder names are never state.
+    """
+    for statement in class_node.body:
+        if (isinstance(statement, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__slots__"
+                        for t in statement.targets)):
+            return [n for n in _string_elements(statement.value)
+                    if not n.startswith("__")]
+    if any(_is_dataclass_decorator(d) for d in class_node.decorator_list):
+        fields = []
+        for statement in class_node.body:
+            if (isinstance(statement, ast.AnnAssign)
+                    and isinstance(statement.target, ast.Name)
+                    and "ClassVar" not in ast.dump(statement.annotation)):
+                fields.append(statement.target.id)
+        return [n for n in fields if not n.startswith("__")]
+    for statement in class_node.body:
+        if (isinstance(statement, ast.FunctionDef)
+                and statement.name == "__init__"):
+            fields = []
+            for node in ast.walk(statement):
+                target = None
+                if isinstance(node, ast.Assign) and node.targets:
+                    target = node.targets[0]
+                elif isinstance(node, ast.AnnAssign):
+                    target = node.target
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and not target.attr.startswith("__")
+                        and target.attr not in fields):
+                    fields.append(target.attr)
+            return fields
+    return []
+
+
+def _captured_keys(function: ast.FunctionDef) -> Set[str]:
+    """Every string constant in a ``state_dict`` body (the captured keys)."""
+    captured: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            captured.add(node.value)
+    return captured
+
+
+@register
+class StateDictCoverageChecker(Checker):
+    """STM01 — ``state_dict()`` that does not cover the class's fields.
+
+    Warm restarts and the sharded save/load path reconstruct objects from
+    ``state_dict`` output and assert digest equality; a field added to the
+    class but not to the snapshot silently diverges on the first resume.
+    The check is key-name based: a field counts as captured when its name
+    (leading underscores stripped) appears as a string constant anywhere in
+    the ``state_dict`` body.  Deliberately excluded fields — derived
+    aggregates rebuilt on load, config injected by the constructor —
+    carry a ``# repro: allow[STM01]`` waiver naming them.
+    """
+
+    rule = "STM01"
+    title = "state_dict() misses __slots__/dataclass/__init__ fields"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        state_dict = next(
+            (item for item in node.body
+             if isinstance(item, ast.FunctionDef) and item.name == "state_dict"),
+            None)
+        builds_dict = state_dict is not None and any(
+            isinstance(inner, ast.Dict) for inner in ast.walk(state_dict))
+        if builds_dict:
+            captured = _captured_keys(state_dict)
+            if captured:  # a stub that raises captures nothing: skip
+                missing = [field for field in _declared_fields(node)
+                           if field not in captured
+                           and field.lstrip("_") not in captured]
+                if missing:
+                    self.report(state_dict,
+                                f"state_dict() of {node.name} does not capture "
+                                f"field(s) {', '.join(missing)}; snapshot them "
+                                "or waive with the reason they are excluded")
+        self.generic_visit(node)
+
+
+@register
+class SlotsChecker(Checker):
+    """SLT01 — hot-path dataclass without ``**DATACLASS_SLOTS``.
+
+    The PR-2 profiles showed ``__dict__`` attribute access dominating the
+    geometry and eviction loops; dataclasses in the hot packages therefore
+    opt into ``__slots__`` via ``repro._compat.DATACLASS_SLOTS`` (which
+    degrades gracefully on interpreters without ``slots=True``).  A class
+    that must keep ``__dict__`` (e.g. it is monkeypatched in tests or
+    subclassed with ad-hoc attributes) carries a waiver saying so.
+    """
+
+    rule = "SLT01"
+    title = "hot-path dataclass missing **DATACLASS_SLOTS"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for decorator in node.decorator_list:
+            if not _is_dataclass_decorator(decorator):
+                continue
+            if isinstance(decorator, ast.Call) and self._has_slots(decorator):
+                continue
+            self.report(decorator, f"dataclass {node.name} in a hot-path "
+                                   "package should pass **DATACLASS_SLOTS "
+                                   "(repro._compat)")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _has_slots(decorator: ast.Call) -> bool:
+        for keyword in decorator.keywords:
+            if keyword.arg == "slots":
+                return True
+            if keyword.arg is None:  # a ``**mapping`` splat
+                dumped = ast.dump(keyword.value)
+                if "DATACLASS_SLOTS" in dumped:
+                    return True
+        return False
+
+
+@register
+class ProtocolSurfaceChecker(Checker):
+    """PRT01 — protocol implementers missing surface members.
+
+    ``StorageBackend`` subclasses must implement the full abstract surface
+    (plus the ``reads``/``writes`` logical counters), and duck-typed
+    ``ServerQueryProcessor`` drop-ins (``ShardRouter``) must keep the
+    query-execution surface the sessions program against.  A member counts
+    as defined when it is a method, a class-level assignment or a
+    ``self.X = ...`` in ``__init__``.
+    """
+
+    rule = "PRT01"
+    title = "protocol implementer missing surface members"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        surface = self._surface_for(node)
+        if surface is not None:
+            surface_name, members = surface
+            defined = self._defined_members(node)
+            missing = [member for member in members if member not in defined]
+            if missing:
+                self.report(node, f"{node.name} implements the {surface_name} "
+                                  f"surface but does not define "
+                                  f"{', '.join(missing)}")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _surface_for(node: ast.ClassDef) -> Optional[Tuple[str, Tuple[str, ...]]]:
+        if node.name in PROTOCOL_SURFACES:
+            return None  # the defining class, not an implementer
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None)
+            if name in PROTOCOL_SURFACES:
+                return name, PROTOCOL_SURFACES[name]
+        duck_surface = DUCK_TYPED_IMPLEMENTERS.get(node.name)
+        if duck_surface is not None:
+            return duck_surface, PROTOCOL_SURFACES[duck_surface]
+        return None
+
+    @staticmethod
+    def _defined_members(node: ast.ClassDef) -> Set[str]:
+        defined: Set[str] = set()
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defined.add(statement.name)
+                if statement.name == "__init__":
+                    for inner in ast.walk(statement):
+                        target = None
+                        if isinstance(inner, ast.Assign) and inner.targets:
+                            target = inner.targets[0]
+                        elif isinstance(inner, ast.AnnAssign):
+                            target = inner.target
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            defined.add(target.attr)
+            elif isinstance(statement, ast.Assign):
+                defined.update(t.id for t in statement.targets
+                               if isinstance(t, ast.Name))
+            elif (isinstance(statement, ast.AnnAssign)
+                    and isinstance(statement.target, ast.Name)):
+                defined.add(statement.target.id)
+        return defined

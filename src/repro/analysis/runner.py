@@ -1,0 +1,104 @@
+"""Lint orchestration: walk paths, run checkers, collect findings.
+
+:func:`lint_paths` is what ``repro lint`` calls; :func:`lint_source` is the
+single-file core the unit tests drive directly.  Both are pure functions of
+their inputs — file order is sorted, findings are reported in deterministic
+order, and nothing reads clocks or global RNGs (the linter holds itself to
+its own rules: ``repro lint src/repro/analysis`` must stay clean).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import repro.analysis.checkers  # noqa: F401  (populate the registry)
+from repro.analysis.base import CHECKER_REGISTRY, FileContext
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig, package_relative
+from repro.analysis.findings import Finding, findings_document, sort_findings
+
+#: Rule id attached to files that fail to parse.
+SYNTAX_ERROR_RULE = "SYN01"
+
+
+def lint_source(path: str, source: str, *,
+                config: Optional[LintConfig] = None,
+                rules: Iterable[str] = ()) -> List[Finding]:
+    """Lint one in-memory source file and return its findings.
+
+    ``rules`` restricts the run to a subset of rule ids; the path scopes of
+    ``config`` (default: the project configuration) are applied either way.
+    Unused suppressions are reported as ``SUP01`` findings; unparsable
+    sources yield a single ``SYN01`` finding.
+    """
+    config = config or DEFAULT_CONFIG
+    enabled = [rule for rule in config.rules_for(package_relative(path), rules)
+               if rule in CHECKER_REGISTRY]
+    try:
+        context = FileContext.parse(path, source, enabled)
+    except SyntaxError as error:
+        return [Finding(rule=SYNTAX_ERROR_RULE, path=path,
+                        line=error.lineno or 1, col=error.offset or 0,
+                        message=f"file does not parse: {error.msg}")]
+    for rule in enabled:
+        CHECKER_REGISTRY[rule](context).run()
+    findings = list(context.findings)
+    findings.extend(context.suppressions.unused(set(enabled), path))
+    return sort_findings(findings)
+
+
+def _python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths`` (files kept as-is), sorted."""
+    collected = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, directories, files in os.walk(path):
+                directories.sort()
+                directories[:] = [d for d in directories
+                                  if d not in ("__pycache__", ".git")]
+                collected.extend(os.path.join(root, name)
+                                 for name in sorted(files)
+                                 if name.endswith(".py"))
+        else:
+            collected.append(path)
+    return sorted(dict.fromkeys(collected))
+
+
+def lint_paths(paths: Sequence[str], *,
+               config: Optional[LintConfig] = None,
+               rules: Iterable[str] = ()) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns ``(findings, checked_file_count)``."""
+    config = config or DEFAULT_CONFIG
+    findings: List[Finding] = []
+    files = _python_files(paths)
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(file_path, source,
+                                    config=config, rules=rules))
+    return sort_findings(findings), len(files)
+
+
+def render_text(findings: Sequence[Finding], checked_files: int) -> str:
+    """The human-readable report (also the CI log format)."""
+    if not findings:
+        return f"repro lint: {checked_files} file(s) checked, no findings"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"repro lint: {len(findings)} finding(s) in "
+                 f"{checked_files} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int, *,
+                rules: Iterable[str]) -> str:
+    """The machine-readable report (schema in ``docs/static-analysis.md``)."""
+    document = findings_document(findings, rules=rules,
+                                 checked_files=checked_files)
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def rule_catalogue() -> List[Tuple[str, str]]:
+    """``(rule_id, title)`` pairs for every registered checker, sorted."""
+    return sorted((rule, checker.title)
+                  for rule, checker in CHECKER_REGISTRY.items())

@@ -1,0 +1,111 @@
+"""``# repro: allow[RULE]`` suppression comments and unused-suppression detection.
+
+The linter's findings are contracts, not suggestions, so silencing one must
+be explicit and local: a suppression comment names the rule ids it waives and
+covers exactly one source line.  Two placements are recognised:
+
+* **trailing** — after code, covers findings reported on the same line::
+
+      value = time.perf_counter()  # repro: allow[DET02] measurement only
+
+* **standalone** — a whole-line comment, covers findings on the next
+  non-comment line (a rationale may span several comment lines)::
+
+      # repro: allow[STM01] derived aggregates are rebuilt by _register()
+      def state_dict(self) -> dict:
+
+Everything after the closing bracket is free-form rationale; write one.  A
+suppression that never matched a finding of an *enabled* rule is itself
+reported (rule ``SUP01``), so stale waivers cannot accumulate — the lint run
+only exits 0 when the set of suppressions is exactly the set needed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Rule id of the "unused suppression" meta-finding.  Always enabled and
+#: never itself suppressible (waiving a waiver helps no one).
+UNUSED_SUPPRESSION_RULE = "SUP01"
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+class SuppressionSheet:
+    """Per-file map of suppressed (line, rule) pairs with usage tracking."""
+
+    def __init__(self) -> None:
+        # (target_line, rule) -> line the comment itself sits on.
+        self._entries: Dict[Tuple[int, str], int] = {}
+        self._used: Set[Tuple[int, str]] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionSheet":
+        """Parse every ``repro: allow`` comment out of ``source``.
+
+        Tokenisation (not line regexes) keeps ``#`` characters inside string
+        literals from being misread as comments.  Sources that fail to
+        tokenise yield an empty sheet; the runner reports the syntax error
+        separately.
+        """
+        sheet = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return sheet
+        standalone_lines = {token.start[0] for token in tokens
+                            if token.type == tokenize.COMMENT
+                            and token.line.lstrip().startswith("#")}
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW.search(token.string)
+            if match is None:
+                continue
+            comment_line = token.start[0]
+            if comment_line in standalone_lines:
+                target_line = comment_line + 1
+                while target_line in standalone_lines:
+                    target_line += 1
+            else:
+                target_line = comment_line
+            for rule in match.group(1).split(","):
+                rule = rule.strip().upper()
+                if rule and rule != UNUSED_SUPPRESSION_RULE:
+                    sheet._entries[(target_line, rule)] = comment_line
+        return sheet
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True (and marks the suppression used) when ``rule@line`` is waived."""
+        key = (line, rule)
+        if key in self._entries:
+            self._used.add(key)
+            return True
+        return False
+
+    def unused(self, enabled_rules: Set[str], path: str) -> List[Finding]:
+        """``SUP01`` findings for suppressions that matched nothing.
+
+        A suppression for a rule that was not enabled this run (rule subset
+        via ``--rules``, or the rule's path scope excludes this file) is
+        ignored rather than reported: it may well be load-bearing for the
+        full default run.
+        """
+        findings = []
+        for (line, rule), comment_line in sorted(self._entries.items()):
+            if rule not in enabled_rules:
+                continue
+            if (line, rule) not in self._used:
+                findings.append(Finding(
+                    rule=UNUSED_SUPPRESSION_RULE, path=path, line=comment_line,
+                    col=0, message=f"unused suppression: no {rule} finding on "
+                                   f"line {line}; remove the allow comment"))
+        return findings

@@ -2,7 +2,7 @@
 
 Installed as the ``repro`` console script (also runnable as
 ``python -m repro.cli``; the legacy ``repro-spatial-cache`` alias is kept).
-Six sub-commands are provided (see ``docs/cli.md`` for a full guide):
+Seven sub-commands are provided (see ``docs/cli.md`` for a full guide):
 
 * ``compare`` — run PAG / SEM / APRO (and optionally FPRO / CPRO) on one
   trace and print the headline metrics;
@@ -16,7 +16,9 @@ Six sub-commands are provided (see ``docs/cli.md`` for a full guide):
   ``BENCH_*.json`` report and optionally gate against a committed baseline;
 * ``persist`` — checkpoint a server R-tree into a ``.rpro`` page store,
   inspect one, or verify that the file backend reproduces the in-memory
-  results and page counts exactly.
+  results and page counts exactly;
+* ``lint`` — run the AST-based determinism & invariant linter
+  (:mod:`repro.analysis`) and exit non-zero on findings.
 """
 
 from __future__ import annotations
@@ -367,6 +369,48 @@ def _run_persist_verify(args: argparse.Namespace) -> str:
             f"{io_stats['buffer_hits']} buffer hits")
 
 
+def _run_lint(args: argparse.Namespace) -> str:
+    from repro.analysis import (
+        lint_paths, render_json, render_text, rule_catalogue,
+    )
+    if args.list_rules:
+        catalogue = rule_catalogue()
+        width = max(len(rule) for rule, _ in catalogue)
+        return "\n".join(f"{rule.ljust(width)}  {title}"
+                         for rule, title in catalogue)
+    rules = tuple(rule.strip().upper() for rule in args.rules.split(",")
+                  if rule.strip()) if args.rules else ()
+    known = {rule for rule, _ in rule_catalogue()}
+    unknown = sorted(set(rules) - known)
+    if unknown:
+        raise SystemExit(f"repro lint: error: unknown rule(s) "
+                         f"{', '.join(unknown)} (see --list-rules)")
+    paths = args.paths or ["src"]
+    try:
+        findings, checked = lint_paths(paths, rules=rules)
+    except OSError as error:
+        raise SystemExit(f"repro lint: error: {error}")
+    enabled = rules or known
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(render_json(findings, checked, rules=enabled))
+                handle.write("\n")
+        except OSError as error:
+            raise SystemExit(f"repro lint: error: cannot write "
+                             f"{args.output}: {error}")
+    if args.format == "json":
+        report = render_json(findings, checked, rules=enabled)
+    else:
+        report = render_text(findings, checked)
+    if findings:
+        # Non-zero exit so the CI lint job gates on findings, but the full
+        # report still reaches stdout first.
+        print(report)
+        raise SystemExit(1)
+    return report
+
+
 _EXAMPLES = {
     "compare": """\
 examples:
@@ -410,6 +454,14 @@ examples:
   repro persist save-shards --out ./shards --shards 4 --partitioner kd
   repro persist info server.rpro
   repro persist verify server.rpro --queries 100
+""",
+    "lint": """\
+examples:
+  repro lint
+  repro lint src/repro/core src/repro/rtree
+  repro lint --rules DET01,DET02,FLT01
+  repro lint --format json --output lint-findings.json
+  repro lint --list-rules
 """,
 }
 
@@ -577,6 +629,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--label", default="",
                        help="free-form label stored in the report")
     bench.set_defaults(handler=_run_bench)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the determinism & invariant linter over the tree",
+        epilog=_EXAMPLES["lint"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--rules", default=None, metavar="R1,R2",
+                      help="comma-separated rule ids to run (default: all; "
+                           "see --list-rules)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format on stdout (default: text)")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the JSON findings document here "
+                           "(regardless of --format; the CI artifact)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(handler=_run_lint)
     return parser
 
 

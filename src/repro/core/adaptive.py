@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro._compat import DATACLASS_SLOTS
 from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class AdaptiveDepthController:
     """Client-side fmr bookkeeping plus the server-side ``d`` update rule.
 
@@ -95,6 +96,8 @@ class AdaptiveDepthController:
     # ------------------------------------------------------------------ #
     # snapshot / restore (warm-restart persistence)
     # ------------------------------------------------------------------ #
+    # repro: allow[STM01] policy/sensitivity/report_period/min_depth/max_depth
+    # are constructor configuration, re-injected by from_state_dict's caller.
     def state_dict(self) -> dict:
         """The controller's mutable state as JSON-serialisable primitives."""
         return {

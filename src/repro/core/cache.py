@@ -395,6 +395,10 @@ class ProactiveCache:
     # ------------------------------------------------------------------ #
     # snapshot / restore (warm-restart persistence)
     # ------------------------------------------------------------------ #
+    # repro: allow[STM01] size_model is constructor config; used_bytes,
+    # _leaf_keys, _index_bytes and _object_bytes are derived aggregates
+    # rebuilt by _register on load; invalidations/refreshes are consistency
+    # counters deliberately excluded so static-workload digests match.
     def state_dict(self) -> dict:
         """The cache's complete state as JSON-serialisable primitives.
 

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.core.cache import ProactiveCache
 from repro.core.items import (
     CachedObject,
@@ -29,7 +30,7 @@ from repro.geometry import Point, Rect
 from repro.workload.queries import JoinQuery, KNNQuery, Query, QueryType, RangeQuery
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class ClientExecution:
     """Outcome of the first (local) processing stage of a query."""
 
@@ -78,7 +79,7 @@ class ClientQueryProcessor:
     # ------------------------------------------------------------------ #
     def execute(self, query: Query) -> ClientExecution:
         """Run Algorithm 1 for ``query`` and return the local execution state."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
         if isinstance(query, RangeQuery):
             execution = self._execute_range(query)
         elif isinstance(query, KNNQuery):
@@ -87,7 +88,7 @@ class ClientQueryProcessor:
             execution = self._execute_join(query)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unsupported query type: {type(query)!r}")
-        execution.cpu_seconds = time.perf_counter() - start
+        execution.cpu_seconds = time.perf_counter() - start  # repro: allow[DET02] CPU-cost accounting
         return execution
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.core.items import FrontierTarget
 from repro.rtree.sizes import SizeModel
 from repro.workload.queries import Query
@@ -13,7 +14,7 @@ from repro.workload.queries import Query
 FrontierItem = Tuple[FrontierTarget, ...]
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class RemainderQuery:
     """The execution state handed over to the server (paper Section 3.3).
 

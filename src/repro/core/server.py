@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro._compat import DATACLASS_SLOTS
 from repro.core.items import CacheEntry, FrontierTarget, TargetKind
 from repro.core.remainder import FrontierItem, RemainderQuery
 from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
@@ -29,7 +30,7 @@ from repro.rtree.tree import RTree
 from repro.workload.queries import JoinQuery, KNNQuery, Query, RangeQuery
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class IndexNodeSnapshot:
     """One accessed node, in the form the server decided to ship."""
 
@@ -44,7 +45,7 @@ class IndexNodeSnapshot:
             element.size_bytes(size_model) for element in self.elements)
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class ObjectDelivery:
     """One result object shipped to the client, with its owning leaf node.
 
@@ -62,7 +63,7 @@ class ObjectDelivery:
         return 0 if self.confirm_only else self.record.size_bytes
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class ServerResponse:
     """The server's answer to a (remainder) query: ``Rr`` and ``Ir``."""
 
@@ -103,7 +104,7 @@ class ServerResponse:
         return {delivery.record.object_id for delivery in self.deliveries}
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class _AccessRecord:
     """Which parts of one node the traversal touched."""
 
@@ -141,7 +142,7 @@ class ServerQueryProcessor:
                 policy: Optional[SupportingIndexPolicy] = None) -> ServerResponse:
         """Process ``query`` (resuming from ``remainder`` when given)."""
         policy = policy or SupportingIndexPolicy.adaptive()
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
         recorder: Dict[int, _AccessRecord] = {}
         frontier = remainder.frontier if remainder is not None else self._default_frontier(query)
         # Objects the client declared it already holds: their membership is
@@ -167,7 +168,7 @@ class ServerQueryProcessor:
             accessed_node_count=len(recorder),
             examined_elements=examined,
         )
-        response.cpu_seconds = time.perf_counter() - start
+        response.cpu_seconds = time.perf_counter() - start  # repro: allow[DET02] CPU-cost accounting
         return response
 
     # ------------------------------------------------------------------ #

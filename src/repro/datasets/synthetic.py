@@ -87,7 +87,7 @@ def generate_rd_like(object_count: int, seed: int = 11, road_count: int = 60,
             nx = min(max(x + step * math.cos(heading), 0.0), 1.0)
             ny = min(max(y + step * math.sin(heading), 0.0), 1.0)
             mbr = Rect(min(x, nx), min(y, ny), max(x, nx), max(y, ny))
-            if mbr.area() == 0.0:
+            if mbr.area() <= 0.0:
                 mbr = mbr.buffered(1e-5).clamped_unit()
             records.append(ObjectRecord(object_id=object_id, mbr=mbr,
                                         size_bytes=sizes.sample()))

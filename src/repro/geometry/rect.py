@@ -197,7 +197,7 @@ class Rect:
         when they are disjoint.
         """
         overlap = self.intersection(other)
-        if overlap is None or overlap.area() == 0.0 and not other.contains(self):
+        if overlap is None or overlap.area() <= 0.0 and not other.contains(self):
             # No overlap of positive area: nothing is trimmed away.
             if overlap is None:
                 return [self]

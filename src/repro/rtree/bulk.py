@@ -11,7 +11,10 @@ built.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.backend import StorageBackend
 
 from repro.rtree.entry import Entry, ObjectRecord
 from repro.rtree.node import Node
@@ -23,7 +26,7 @@ def bulk_load_str(records: Iterable[ObjectRecord],
                   size_model: Optional[SizeModel] = None,
                   max_entries: Optional[int] = None,
                   fill_factor: float = 0.9,
-                  store=None) -> RTree:
+                  store: Optional["StorageBackend"] = None) -> RTree:
     """Bulk-load an R-tree with the STR algorithm.
 
     Parameters

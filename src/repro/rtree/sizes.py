@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._compat import DATACLASS_SLOTS
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class SizeModel:
     """Byte sizes of the building blocks of the system.
 

@@ -25,6 +25,8 @@ from repro.rtree.sizes import SizeModel
 from repro.rtree.split import rstar_split
 
 
+# repro: allow[SLT01] DatasetUpdater._watch_store monkeypatches edit/allocate/
+# free on live instances, which needs __dict__ storage.
 @dataclass
 class PageStore:
     """An id-addressed in-memory store of R-tree nodes (the "disk").

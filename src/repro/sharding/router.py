@@ -338,7 +338,7 @@ class ShardRouter:
             response = self.shards[0].server.execute(query, remainder, policy)
             self.stats.record_visit(0, response.accessed_node_count)
             return response
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
         frontier = (remainder.frontier if remainder is not None
                     else self._default_frontier(query))
         if isinstance(query, RangeQuery):
@@ -358,7 +358,7 @@ class ShardRouter:
             raise TypeError(f"unsupported query type {type(query)!r}")
         response.index_snapshots.sort(key=lambda snapshot: -snapshot.level)
         response.deliveries.sort(key=lambda delivery: delivery.record.object_id)
-        response.cpu_seconds = time.perf_counter() - start
+        response.cpu_seconds = time.perf_counter() - start  # repro: allow[DET02] CPU-cost accounting
         return response
 
     # ------------------------------------------------------------------ #

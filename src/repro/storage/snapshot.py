@@ -21,6 +21,7 @@ import json
 from typing import Optional
 
 from repro.core.cache import ProactiveCache
+from repro.core.replacement import ReplacementPolicy
 from repro.rtree.sizes import SizeModel
 from repro.storage.backend import StorageError
 
@@ -51,7 +52,8 @@ def save_cache_snapshot(cache: ProactiveCache, path: str) -> None:
 
 
 def load_cache_snapshot(path: str, size_model: Optional[SizeModel] = None,
-                        replacement_policy=None) -> ProactiveCache:
+                        replacement_policy: Optional[ReplacementPolicy] = None,
+                        ) -> ProactiveCache:
     """Rebuild a proactive cache from a snapshot file.
 
     ``replacement_policy`` (an instance) overrides the recorded policy name;

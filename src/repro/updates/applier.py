@@ -22,7 +22,10 @@ file pages.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.sessions import GroundTruthCache
 
 from repro.core.server import ServerQueryProcessor
 from repro.rtree.entry import ObjectRecord
@@ -59,7 +62,7 @@ class DatasetUpdater:
     """
 
     def __init__(self, tree: RTree, server: ServerQueryProcessor,
-                 ground_truth=None,
+                 ground_truth: Optional["GroundTruthCache"] = None,
                  registry: Optional[VersionRegistry] = None) -> None:
         self.tree = tree
         self.server = server
@@ -115,7 +118,7 @@ class DatasetUpdater:
         return True
 
     @contextmanager
-    def _watch_store(self, touched: set, freed: set):
+    def _watch_store(self, touched: set, freed: set) -> Iterator[None]:
         """Record which pages a mutation touches, via the store's own funnel.
 
         Every structural change flows through ``edit`` / ``allocate`` /
@@ -130,16 +133,16 @@ class DatasetUpdater:
         original_allocate = store.allocate
         original_free = store.free
 
-        def edit(node_id):
+        def edit(node_id: int) -> Node:
             touched.add(node_id)
             return original_edit(node_id)
 
-        def allocate(level):
+        def allocate(level: int) -> Node:
             node = original_allocate(level)
             touched.add(node.node_id)
             return node
 
-        def free(node_id):
+        def free(node_id: int) -> None:
             freed.add(node_id)
             return original_free(node_id)
 

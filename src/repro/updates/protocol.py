@@ -35,7 +35,7 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.cache import ProactiveCache
+from repro.core.cache import CacheItemState, ProactiveCache
 from repro.core.items import CachedIndexNode, CachedObject, CacheEntry
 from repro.core.server import ServerQueryProcessor, ServerResponse
 from repro.rtree.sizes import SizeModel
@@ -153,7 +153,8 @@ class VersionedProtocol(ConsistencyProtocol):
         self._object_versions: Dict[int, int] = {}
 
     # -- helpers --------------------------------------------------------- #
-    def _parent_matches(self, state, parent_id: Optional[int]) -> bool:
+    def _parent_matches(self, state: CacheItemState,
+                        parent_id: Optional[int]) -> bool:
         """Does the cached hierarchy position equal the live tree's?"""
         if state.parent_key is None:
             return parent_id is None
@@ -208,7 +209,8 @@ class VersionedProtocol(ConsistencyProtocol):
                 self._validate_object(cache, key, state, report, context)
         return report
 
-    def _validate_node(self, cache: ProactiveCache, key: str, state,
+    def _validate_node(self, cache: ProactiveCache, key: str,
+                       state: CacheItemState,
                        report: CacheSyncReport,
                        context: Optional[dict]) -> None:
         registry = self.updater.registry
@@ -240,7 +242,8 @@ class VersionedProtocol(ConsistencyProtocol):
                         and child.payload.object_id not in owned):
                     self._drop(cache, child_key, report)
 
-    def _validate_object(self, cache: ProactiveCache, key: str, state,
+    def _validate_object(self, cache: ProactiveCache, key: str,
+                         state: CacheItemState,
                          report: CacheSyncReport,
                          context: Optional[dict]) -> None:
         registry = self.updater.registry

@@ -1,0 +1,31 @@
+"""The tree lints itself: ``repro lint src`` must be clean at HEAD.
+
+This is the acceptance criterion of the static-analysis PR and the guard
+that keeps it true: any commit that introduces a finding (or leaves a
+suppression comment with nothing to suppress — those surface as SUP01
+findings) fails this test before it ever reaches the CI lint job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import UNUSED_SUPPRESSION_RULE, lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    findings, checked = lint_paths([str(SRC)])
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert checked > 100, "lint walked suspiciously few files"
+    assert not findings, f"repro lint src is dirty at HEAD:\n{rendered}"
+
+
+def test_source_tree_has_no_unused_suppressions():
+    # Subsumed by the clean-tree assertion, but kept separate so a stale
+    # waiver fails with a message naming the comment line to delete.
+    findings, _ = lint_paths([str(SRC)])
+    stale = [finding.render() for finding in findings
+             if finding.rule == UNUSED_SUPPRESSION_RULE]
+    assert not stale, "stale suppression comments:\n" + "\n".join(stale)

@@ -1,0 +1,81 @@
+"""Suppression comments: placement, usage tracking and SUP01 reporting."""
+
+from __future__ import annotations
+
+from repro.analysis import UNUSED_SUPPRESSION_RULE, SuppressionSheet, lint_source
+
+
+def test_trailing_suppression_waives_same_line_finding():
+    source = "import time\nv = time.time()  # repro: allow[DET02] display only\n"
+    assert lint_source("src/repro/sim/x.py", source, rules=["DET02"]) == []
+
+
+def test_standalone_suppression_waives_next_line():
+    source = ("import time\n"
+              "# repro: allow[DET02] display only\n"
+              "v = time.time()\n")
+    assert lint_source("src/repro/sim/x.py", source, rules=["DET02"]) == []
+
+
+def test_multiline_rationale_reaches_the_code_line():
+    source = ("import time\n"
+              "# repro: allow[DET02] a rationale long enough that it\n"
+              "# wraps onto a second comment line before the code\n"
+              "v = time.time()\n")
+    assert lint_source("src/repro/sim/x.py", source, rules=["DET02"]) == []
+
+
+def test_suppression_names_multiple_rules():
+    source = ("import time\n"
+              "v = sorted(xs, key=id) if time.time() else None"
+              "  # repro: allow[DET02, DET04] fixture\n")
+    assert lint_source("src/repro/sim/x.py", source,
+                       rules=["DET02", "DET04"]) == []
+
+
+def test_suppression_is_rule_specific():
+    source = "import time\nv = time.time()  # repro: allow[DET04] wrong rule\n"
+    findings = lint_source("src/repro/sim/x.py", source,
+                           rules=["DET02", "DET04"])
+    rules = [finding.rule for finding in findings]
+    assert "DET02" in rules  # the real finding survives
+    assert UNUSED_SUPPRESSION_RULE in rules  # and the stale waiver is flagged
+
+
+def test_suppression_only_covers_its_own_line():
+    source = ("import time\n"
+              "a = time.time()  # repro: allow[DET02] here only\n"
+              "b = time.time()\n")
+    findings = lint_source("src/repro/sim/x.py", source, rules=["DET02"])
+    assert [finding.line for finding in findings] == [3]
+
+
+def test_unused_suppression_reported_as_sup01():
+    source = "value = 1  # repro: allow[DET02] nothing to waive\n"
+    findings = lint_source("src/repro/sim/x.py", source, rules=["DET02"])
+    assert [finding.rule for finding in findings] == [UNUSED_SUPPRESSION_RULE]
+    assert findings[0].line == 1
+
+
+def test_unused_suppression_ignored_when_rule_not_enabled():
+    # A DET02 waiver must not be called stale by a DET04-only run: the rule
+    # it waives never executed.
+    source = "import time\nv = time.time()  # repro: allow[DET02] accounting\n"
+    assert lint_source("src/repro/sim/x.py", source, rules=["DET04"]) == []
+
+
+def test_hash_inside_string_is_not_a_suppression():
+    sheet = SuppressionSheet.from_source(
+        'text = "# repro: allow[DET02] not a comment"\n')
+    assert len(sheet) == 0
+
+
+def test_sup01_itself_cannot_be_waived():
+    sheet = SuppressionSheet.from_source(
+        "value = 1  # repro: allow[SUP01] waiving the waiver\n")
+    assert len(sheet) == 0
+
+
+def test_rule_ids_are_case_insensitive():
+    source = "import time\nv = time.time()  # repro: allow[det02] lower case\n"
+    assert lint_source("src/repro/sim/x.py", source, rules=["DET02"]) == []

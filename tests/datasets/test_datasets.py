@@ -107,3 +107,11 @@ def test_make_dataset_factory():
 def test_generator_property_count_and_ids(count):
     records = generate_ne_like(count, seed=1)
     assert sorted(r.object_id for r in records) == list(range(count))
+
+
+def test_rd_like_never_emits_zero_area_mbrs():
+    # The road-walk can produce an axis-aligned (degenerate) step; the
+    # generator buffers those slivers to positive area.  Regression for the
+    # FLT01 rewrite of the degeneracy test from == 0.0 to <= 0.0.
+    records = generate_rd_like(400, seed=5)
+    assert all(record.mbr.area() > 0.0 for record in records)

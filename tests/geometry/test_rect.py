@@ -148,3 +148,19 @@ def test_min_dist_zero_iff_containing_point(rect, x, y):
         assert rect.min_dist_to_point(point) == 0.0
     else:
         assert rect.min_dist_to_point(point) > 0.0
+
+
+def test_difference_degenerate_edge_touching_overlap():
+    # The overlap of edge-adjacent rectangles is a zero-area sliver; nothing
+    # is trimmed away.  Regression for the FLT01 rewrite of the area test in
+    # difference() from == 0.0 to the rounding-robust <= 0.0 form.
+    a = Rect(0.0, 0.0, 0.5, 0.5)
+    b = Rect(0.5, 0.0, 1.0, 0.5)  # shares the x = 0.5 edge with a
+    assert a.difference(b) == [a]
+    assert b.difference(a) == [b]
+
+
+def test_difference_degenerate_corner_touching_overlap():
+    a = Rect(0.0, 0.0, 0.5, 0.5)
+    b = Rect(0.5, 0.5, 1.0, 1.0)  # touches a only at the corner point
+    assert a.difference(b) == [a]
