@@ -1,14 +1,20 @@
 """The project-specific checker suite (importing a module registers its rules).
 
 Rule id prefixes group the catalogue: ``DET`` (determinism), ``FLT``
-(floating point), ``STM``/``SLT``/``PRT`` (structural invariants) and
-``TYP`` (the locally-runnable half of the typing gate).  See
-``docs/static-analysis.md`` for the full catalogue with rationale.
+(floating point), ``STM``/``SLT``/``PRT`` (structural invariants), ``DUR``
+(crash-safe write paths) and ``TYP`` (the locally-runnable half of the
+typing gate).  See ``docs/static-analysis.md`` for the full catalogue with
+rationale.
 """
 
 from __future__ import annotations
 
-from repro.analysis.checkers import determinism, structure, values  # noqa: F401  (registration side effect)
+from repro.analysis.checkers import (  # noqa: F401  (registration side effect)
+    determinism,
+    durability,
+    structure,
+    values,
+)
 from repro.analysis.base import CHECKER_REGISTRY
 
 __all__ = ["CHECKER_REGISTRY"]

@@ -1,0 +1,76 @@
+"""Durability checker: DUR01 (raw writable ``open`` on the durable paths).
+
+The storage package's crash-safety contract has exactly two legal write
+paths: whole-file artefacts go through :mod:`repro.storage.atomic` (temp +
+fsync + rename) and incremental commits go through the WAL
+(:mod:`repro.storage.wal`), whose append-only handle is the one sanctioned
+in-place writer.  A bare ``open(path, "w")`` anywhere else on those paths
+is a torn-write waiting for a crash: the file can be half-written when the
+process dies and there is no tail-recovery story for it.  DUR01 flags such
+opens so new code in the durable packages is atomic-or-WAL by construction;
+the two sanctioned sites carry ``# repro: allow[DUR01]`` waivers explaining
+why in-place access is safe there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.base import Checker, register
+
+#: Mode characters that make an ``open`` able to create or mutate bytes.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+#: Canonical dotted names that are the builtin ``open`` in disguise.
+_OPEN_ALIASES = frozenset({"io.open", "os.fdopen"})
+
+
+def _mode_argument(node: ast.Call) -> Optional[ast.AST]:
+    """The mode argument expression of an ``open``-style call, if present."""
+    if len(node.args) > 1:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+@register
+class DurableWritePathChecker(Checker):
+    """DUR01 — raw writable ``open()`` bypassing the atomic-write/WAL helpers.
+
+    Scoped to ``repro/storage/*`` and ``repro/sim/restart.py`` (the durable
+    write paths).  Flags calls to ``open`` / ``io.open`` / ``os.fdopen``
+    whose mode can write — any of ``w``/``a``/``x``/``+`` — or whose mode
+    is not a string literal (unprovably read-only).  Read-only opens and
+    the waivered append-only WAL handle stay silent.
+    """
+
+    rule = "DUR01"
+    title = "raw writable open() on a durable path (use atomic/WAL helpers)"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_open(node):
+            mode = _mode_argument(node)
+            if mode is None:
+                pass  # no mode ⇒ "r": read-only
+            elif (isinstance(mode, ast.Constant)
+                    and isinstance(mode.value, str)):
+                if _WRITE_MODE_CHARS & set(mode.value):
+                    self.report(node,
+                                f"open(..., {mode.value!r}) can tear on "
+                                f"crash; write through repro.storage.atomic "
+                                f"or the WAL, or waive with a "
+                                f"why-this-is-crash-safe comment")
+            else:
+                self.report(node, "open() with a computed mode cannot be "
+                                  "proven read-only on a durable path; "
+                                  "pass a literal mode")
+        self.generic_visit(node)
+
+    def _is_open(self, node: ast.Call) -> bool:
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            # The builtin, unless something imported shadows the name.
+            return self.context.imports.resolve(node.func) in (None, "io.open")
+        return self.context.imports.resolve(node.func) in _OPEN_ALIASES

@@ -75,11 +75,16 @@ STRICT_TYPING_PACKAGES = ("repro/geometry/*", "repro/rtree/*",
 DECISION_AFFECTING_PACKAGES = ("repro/core/*", "repro/rtree/*",
                                "repro/sharding/*", "repro/updates/*")
 
+#: The crash-safety write paths: everything here must write through
+#: :mod:`repro.storage.atomic` or the WAL — DUR01's scope.
+DURABLE_WRITE_PACKAGES = ("repro/storage/*", "repro/sim/restart.py")
+
 DEFAULT_CONFIG = LintConfig.make({
     "DET01": RuleScope(),
     "DET02": RuleScope(exclude=("repro/perf/*", "repro/cli.py")),
     "DET03": RuleScope(include=DECISION_AFFECTING_PACKAGES),
     "DET04": RuleScope(),
+    "DUR01": RuleScope(include=DURABLE_WRITE_PACKAGES),
     "FLT01": RuleScope(),
     "STM01": RuleScope(),
     "SLT01": RuleScope(include=HOT_PATH_PACKAGES),

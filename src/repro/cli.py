@@ -15,8 +15,9 @@ Seven sub-commands are provided (see ``docs/cli.md`` for a full guide):
 * ``bench`` — run the perf-regression scenario suite, write a
   ``BENCH_*.json`` report and optionally gate against a committed baseline;
 * ``persist`` — checkpoint a server R-tree into a ``.rpro`` page store,
-  inspect one, or verify that the file backend reproduces the in-memory
-  results and page counts exactly;
+  inspect one (header + write-ahead-log facts), verify it (WAL validation
+  plus the backend-invariance differential), repair a damaged WAL tail or
+  pack the log back into a fresh checkpoint;
 * ``lint`` — run the AST-based determinism & invariant linter
   (:mod:`repro.analysis`) and exit non-zero on findings.
 """
@@ -131,6 +132,18 @@ def parse_group_spec(text: str) -> ClientGroupSpec:
     return spec
 
 
+def _update_summary_line(summary: dict) -> str:
+    """The one-line server-side update digest under a fleet report."""
+    line = ("\nserver updates: "
+            f"{summary['applied']} applied "
+            f"({summary['inserts']} insert / {summary['deletes']} "
+            f"delete / {summary['modifies']} modify), "
+            f"{summary['live_objects']} live objects")
+    if summary.get("wal_commits"):
+        line += f", {summary['wal_commits']} WAL commits"
+    return line
+
+
 def _run_fleet(args: argparse.Namespace) -> str:
     from repro.storage import StorageError
     if args.resume:
@@ -139,7 +152,13 @@ def _run_fleet(args: argparse.Namespace) -> str:
             # dynamic flags would be silently dropped otherwise.
             raise SystemExit(
                 "repro fleet: error: --update-rate/--consistency cannot be "
-                "combined with --resume (dynamic fleets are not resumable)")
+                "combined with --resume (the session file already records "
+                "the fleet's dynamic configuration)")
+        if args.durable:
+            raise SystemExit(
+                "repro fleet: error: --durable cannot be combined with "
+                "--resume (the session file records whether the halted run "
+                "was durable)")
         if args.shards is not None:
             raise SystemExit(
                 "repro fleet: error: --shards cannot be combined with "
@@ -151,9 +170,12 @@ def _run_fleet(args: argparse.Namespace) -> str:
             raise SystemExit(f"repro fleet: error: cannot resume: {error}")
         processed = state["processed_events"]
         total = state["total_events"]
-        return format_fleet_report(
+        report = format_fleet_report(
             result, title=f"Fleet simulation — resumed from {args.resume} "
                           f"(events {processed}/{total} were pre-restart)")
+        if result.update_summary:
+            report += _update_summary_line(result.update_summary)
+        return report
 
     base = SimulationConfig.scaled(query_count=args.queries, object_count=args.objects,
                                    seed=args.seed).with_overrides(
@@ -187,7 +209,8 @@ def _run_fleet(args: argparse.Namespace) -> str:
         try:
             state = run_fleet_interrupted(fleet, halt_after=args.halt_after,
                                           directory=args.session_dir,
-                                          store_path=args.store)
+                                          store_path=args.store,
+                                          durable=args.durable)
         except (OSError, ValueError, StorageError) as error:
             raise SystemExit(f"repro fleet: error: {error}")
         return (f"Fleet halted after {state['processed_events']} of "
@@ -196,7 +219,8 @@ def _run_fleet(args: argparse.Namespace) -> str:
                 f"{args.session_dir}")
 
     try:
-        result = run_fleet(fleet, max_workers=args.workers, store_path=args.store)
+        result = run_fleet(fleet, max_workers=args.workers,
+                           store_path=args.store, durable=args.durable)
     except (OSError, ValueError, StorageError) as error:
         raise SystemExit(f"repro fleet: error: {error}")
     mode = f"{args.workers} worker processes" if args.workers and args.workers > 1 \
@@ -206,6 +230,8 @@ def _run_fleet(args: argparse.Namespace) -> str:
     if fleet.is_dynamic:
         mode += (f", {fleet.consistency} consistency, "
                  f"{fleet.update_rate:g} updates/s")
+    if args.durable:
+        mode += ", durable WAL"
     if fleet.is_sharded:
         server_side = (f"{fleet.shards} shard(s) "
                        f"[{fleet.partitioner} partitioner]")
@@ -215,12 +241,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
         result, title=f"Fleet simulation — {fleet.total_clients} clients, "
                       f"{len(fleet.groups)} groups, {server_side} ({mode})")
     if result.update_summary:
-        summary = result.update_summary
-        report += ("\nserver updates: "
-                   f"{summary['applied']} applied "
-                   f"({summary['inserts']} insert / {summary['deletes']} "
-                   f"delete / {summary['modifies']} modify), "
-                   f"{summary['live_objects']} live objects")
+        report += _update_summary_line(result.update_summary)
     return report
 
 
@@ -322,10 +343,34 @@ def _run_persist_save_shards(args: argparse.Namespace) -> str:
             f"{counts}) to {args.out}")
 
 
+def _wal_info_lines(summary: dict) -> List[str]:
+    """The write-ahead-log section of ``repro persist info``."""
+    if not summary["wal_present"]:
+        return ["  wal: none (checkpoint only)"]
+    if summary["stale"]:
+        return ["  wal: stale (superseded by a newer checkpoint; "
+                "ignored on open, deleted by pack)"]
+    lines = [f"  wal: {summary['wal_bytes']} bytes, "
+             f"{summary['records']} committed record(s), "
+             f"version {summary['committed_version']}"]
+    if summary["tail_state"] == "torn":
+        lines.append(f"  wal tail: torn ({summary['tail_bytes']} trailing "
+                     f"bytes; auto-truncated on recovery)")
+    elif summary["tail_state"] == "corrupt":
+        lines.append(f"  wal tail: CORRUPT ({summary['tail_error']}); "
+                     f"run 'repro persist recover --force'")
+    lines.append(f"  dead pages: {summary['dead_pages']} of "
+                 f"{summary['file_pages']} file pages "
+                 f"({summary['live_pages']} live after recovery); "
+                 f"reclaim with 'repro persist pack'")
+    return lines
+
+
 def _run_persist_info(args: argparse.Namespace) -> str:
-    from repro.storage import StorageError, read_header
+    from repro.storage import StorageError, read_header, wal_summary
     try:
         header = read_header(args.path)
+        summary = wal_summary(args.path)
     except (OSError, StorageError) as error:
         raise SystemExit(f"repro persist: error: {error}")
     lines = [f"{args.path}: rtree page store (format {header['format']})"]
@@ -334,18 +379,59 @@ def _run_persist_info(args: argparse.Namespace) -> str:
         lines.append(f"  {key:>14}: {header[key]}")
     for key, value in sorted(header.get("meta", {}).items()):
         lines.append(f"  meta.{key}: {value}")
+    lines.extend(_wal_info_lines(summary))
     return "\n".join(lines)
 
 
 def _run_persist_verify(args: argparse.Namespace) -> str:
-    """Replay one APRO trace against both backends and diff everything.
+    """Validate the store's WAL, then diff the file backend against memory.
 
-    Asserts identical query results, per-query visited-page counts and
-    logical page-read totals — the backend-invariance contract of
-    :mod:`repro.storage`.
+    The WAL check classifies the log (clean / torn / corrupt / stale) from
+    a read-only scan.  A store *without* live WAL records additionally
+    replays one APRO trace against both backends and asserts identical
+    query results, per-query visited-page counts and logical page-read
+    totals — the backend-invariance contract of :mod:`repro.storage`.  A
+    store *with* committed records no longer matches the freshly built
+    tree (that is the point of the log), so verify instead recovers it and
+    checks the structural invariants of the recovered tree.
     """
     from repro.sim.runner import generate_trace, replay_store_trace
-    from repro.storage import StorageError
+    from repro.storage import StorageError, load_tree, wal_path, wal_summary
+    try:
+        summary = wal_summary(args.path)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    if summary["tail_state"] == "corrupt":
+        raise SystemExit(
+            f"repro persist: VERIFY FAILED — {wal_path(args.path)}: corrupt "
+            f"WAL tail ({summary['tail_error']}); {summary['records']} "
+            f"record(s) up to version {summary['committed_version']} are "
+            f"intact; run 'repro persist recover --force' to truncate the "
+            f"damage")
+    if summary["wal_present"] and not summary["stale"] and summary["records"]:
+        if summary["tail_state"] == "torn":
+            # Scan-only verdict: actually opening the store would truncate
+            # the torn tail, and verify must never modify the file.
+            return (f"RECOVERABLE — {wal_path(args.path)} ends in a torn "
+                    f"tail ({summary['tail_bytes']} bytes, a crash "
+                    f"artefact); {summary['records']} committed record(s) "
+                    f"up to version {summary['committed_version']} are "
+                    f"intact and will replay on the next open")
+        from repro.rtree.validation import assert_tree_valid
+        try:
+            tree = load_tree(args.path, recover=True)
+            try:
+                assert_tree_valid(tree)
+                objects = len(tree.objects)
+            finally:
+                tree.store.close()
+        except (OSError, AssertionError, StorageError) as error:
+            raise SystemExit(f"repro persist: VERIFY FAILED — recovered "
+                             f"store is invalid: {error}")
+        return (f"OK — WAL clean: {summary['records']} committed record(s) "
+                f"replay to version {summary['committed_version']}; "
+                f"recovered tree valid ({objects} objects, "
+                f"{summary['dead_pages']} dead pages reclaimable by pack)")
     config = config_from_args(args)
     trace = generate_trace(config)
     try:
@@ -363,10 +449,63 @@ def _run_persist_verify(args: argparse.Namespace) -> str:
             f"repro persist: VERIFY FAILED — per-query mismatches at "
             f"{mismatches[:10]}, logical reads {memory_reads} (memory) vs "
             f"{file_reads} (file)")
+    note = " (stale WAL present; pack or the next open discards it)" \
+        if summary["stale"] else ""
     return (f"OK — {len(trace)} queries identical on both backends; "
             f"{file_reads} logical page reads, "
             f"{io_stats['file_reads']} physical file reads, "
-            f"{io_stats['buffer_hits']} buffer hits")
+            f"{io_stats['buffer_hits']} buffer hits{note}")
+
+
+def _run_persist_recover(args: argparse.Namespace) -> str:
+    """Repair a store's WAL in place: truncate torn/corrupt tails."""
+    import os
+    from repro.storage import StorageError, repair_wal, wal_path
+    log = wal_path(args.path)
+    if not os.path.exists(log):
+        return f"{args.path}: no write-ahead log; nothing to recover"
+    try:
+        scan = repair_wal(log, force=args.force)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    if not os.path.exists(log):
+        return (f"{log}: unreadable log header; log removed, store falls "
+                f"back to its checkpoint")
+    dropped = scan.tail_bytes
+    verdict = (f"{log}: {len(scan.records)} committed record(s) kept "
+               f"(version {scan.committed_version})")
+    if dropped:
+        verdict += (f"; {dropped} {scan.tail_state} tail byte(s) truncated"
+                    + (" (forced)" if scan.tail_state == "corrupt" else ""))
+    else:
+        verdict += "; tail already clean"
+    return verdict
+
+
+def _run_persist_pack(args: argparse.Namespace) -> str:
+    """Fold WALs into fresh checkpoints (single store or shard directory)."""
+    import os
+    from repro.sharding import pack_shards
+    from repro.storage import StorageError, pack
+    try:
+        if os.path.isdir(args.path):
+            per_shard = pack_shards(args.path)
+            lines = [f"packed {len(per_shard)} shard store(s) in {args.path}:"]
+            lines.extend(
+                f"  {name}: {info['records_folded']} record(s) folded, "
+                f"{info['dead_pages_reclaimed']} dead page(s) reclaimed, "
+                f"version {info['committed_version']}"
+                for name, info in per_shard.items())
+            return "\n".join(lines)
+        info = pack(args.path)
+    except (OSError, StorageError) as error:
+        raise SystemExit(f"repro persist: error: {error}")
+    return (f"packed {args.path}: {info['records_folded']} WAL record(s) "
+            f"({info['wal_bytes']} bytes) folded into a fresh checkpoint at "
+            f"version {info['committed_version']}; "
+            f"{info['dead_pages_reclaimed']} dead page(s) reclaimed "
+            f"({info['pages_before']} -> {info['pages_after']} node pages, "
+            f"{info['objects']} objects)")
 
 
 def _run_lint(args: argparse.Namespace) -> str:
@@ -426,6 +565,7 @@ examples:
   repro fleet --resume ./session
   repro fleet --clients 8 --update-rate 0.05 --consistency versioned
   repro fleet --clients 8 --update-rate 0.05 --consistency ttl --ttl 200
+  repro fleet --clients 8 --update-rate 0.05 --consistency versioned --store server.rpro --durable
   repro fleet --clients 12 --shards 4 --partitioner grid
   repro persist save-shards --out ./shards --shards 4 && repro fleet --shards 4 --store ./shards
 """,
@@ -454,6 +594,9 @@ examples:
   repro persist save-shards --out ./shards --shards 4 --partitioner kd
   repro persist info server.rpro
   repro persist verify server.rpro --queries 100
+  repro persist recover server.rpro
+  repro persist pack server.rpro
+  repro persist pack ./shards
 """,
     "lint": """\
 examples:
@@ -534,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--ttl", type=float, default=120.0, metavar="SECONDS",
                        help="item lifetime for --consistency ttl, in "
                             "simulated seconds (default: 120)")
+    fleet.add_argument("--durable", action="store_true",
+                       help="commit every dataset-update batch to the "
+                            "store's write-ahead log so the run is "
+                            "crash-safe on disk (requires --store and a "
+                            "dynamic fleet)")
     fleet.add_argument("--halt-after", type=int, default=None, metavar="N",
                        help="stop after N global events and persist the "
                             "session (requires --session-dir)")
@@ -591,10 +739,28 @@ def build_parser() -> argparse.ArgumentParser:
     info.set_defaults(handler=_run_persist_info)
 
     verify = persist_actions.add_parser(
-        "verify", help="assert the file backend matches the in-memory backend")
+        "verify", help="validate the WAL and assert the file backend "
+                       "matches the in-memory backend")
     verify.add_argument("path", help="an .rpro file written from this configuration")
     _add_config_arguments(verify)
     verify.set_defaults(handler=_run_persist_verify)
+
+    recover = persist_actions.add_parser(
+        "recover", help="repair a store's write-ahead log (truncate a "
+                        "torn or corrupt tail)")
+    recover.add_argument("path", help="an .rpro file whose .wal needs repair")
+    recover.add_argument("--force", action="store_true",
+                         help="also truncate a CORRUPT tail (in-place "
+                              "damage: records past the damage are lost); "
+                              "torn crash tails never need this")
+    recover.set_defaults(handler=_run_persist_recover)
+
+    pack = persist_actions.add_parser(
+        "pack", help="fold the write-ahead log into a fresh checkpoint, "
+                     "reclaiming dead pages")
+    pack.add_argument("path", help="an .rpro file, or a shard-store "
+                                   "directory to pack shard by shard")
+    pack.set_defaults(handler=_run_persist_pack)
 
     bench = subparsers.add_parser(
         "bench", help="run the perf-regression scenario suite",

@@ -123,6 +123,12 @@ class ServerQueryProcessor:
         if partition_trees is None:
             partition_trees = build_partition_trees(tree.all_nodes())
         self.partition_trees = partition_trees
+        #: Version registry of the dynamic-dataset updater, when one drives
+        #: this server.  Queries pin the committed version at start (MVCC):
+        #: pinning raises mid-batch, so a reader can never observe a
+        #: half-applied update batch.  Duck-typed to keep the core tier
+        #: below :mod:`repro.updates`.
+        self.registry: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -142,6 +148,8 @@ class ServerQueryProcessor:
                 policy: Optional[SupportingIndexPolicy] = None) -> ServerResponse:
         """Process ``query`` (resuming from ``remainder`` when given)."""
         policy = policy or SupportingIndexPolicy.adaptive()
+        if self.registry is not None:
+            self.registry.pin()  # type: ignore[attr-defined]
         start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
         recorder: Dict[int, _AccessRecord] = {}
         frontier = remainder.frontier if remainder is not None else self._default_frontier(query)

@@ -55,6 +55,11 @@ SCALES["default"].update({"shard_clients": 10, "shard_queries": 25,
                           "shard_objects": 3_000, "shard_count": 4})
 SCALES["smoke"].update({"shard_clients": 4, "shard_queries": 10,
                         "shard_objects": 900, "shard_count": 3})
+SCALES["default"].update({"durable_clients": 8, "durable_queries": 20,
+                          "durable_objects": 2_000,
+                          "durable_rate_milli": 300})
+SCALES["smoke"].update({"durable_clients": 4, "durable_queries": 8,
+                        "durable_objects": 600, "durable_rate_milli": 250})
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
                         "byte_hit_rate", "false_miss_rate", "response_time")
@@ -271,6 +276,67 @@ def sharded_fleet(scale: Dict[str, int]) -> Fingerprint:
     return fingerprint
 
 
+def durable_updates(scale: Dict[str, int]) -> Fingerprint:
+    """A dynamic fleet committing every update batch through the WAL.
+
+    Runs the same dynamic fleet twice against a disk checkpoint — once
+    copy-on-write (the in-memory overlay reference) and once durable
+    (every batch fsync'd to the write-ahead log) — then recovers the
+    store and packs it.  The fingerprint pins the durable run's
+    deterministic group metrics, a ``durable_match`` bit asserting the
+    WAL never changed a decision, the commit/record counts, the
+    recovered store's committed version and the pack reclamation
+    numbers: a change anywhere on the durable write path (encoding,
+    commit protocol, recovery, pack) shows up as a mismatch.
+    """
+    import dataclasses
+
+    from repro.sim.runner import build_tree
+    from repro.storage import load_tree, pack, save_tree, wal_summary
+
+    base = SimulationConfig.scaled(
+        query_count=scale["durable_queries"],
+        object_count=scale["durable_objects"])
+    fleet = dataclasses.replace(
+        default_fleet(scale["durable_clients"], base=base),
+        update_rate=scale["durable_rate_milli"] / 1000.0,
+        consistency="versioned")
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "server.rpro")
+        save_tree(build_tree(base), store_path)
+        reference = run_fleet(fleet, store_path=store_path)
+        durable = run_fleet(fleet, store_path=store_path, durable=True)
+        summary = wal_summary(store_path)
+        recovered = load_tree(store_path, recover=True)
+        live_objects = len(recovered.objects)
+        recovered.store.close()
+        packed = pack(store_path)
+    def _decision_trace(client) -> List[Tuple[float, float, float]]:
+        # Deterministic per-query fields only — QueryCost also carries
+        # measured CPU seconds, which differ between any two runs.
+        return [(cost.downlink_bytes, cost.result_bytes,
+                 cost.server_page_reads) for cost in client.costs]
+
+    durable_match = all(
+        _decision_trace(ref) == _decision_trace(dur)
+        and ref.final_cache_digest == dur.final_cache_digest
+        for ref, dur in zip(reference.clients, durable.clients))
+    fingerprint: Fingerprint = {
+        "durable_match": 1.0 if durable_match else 0.0,
+        "wal_commits": float(durable.update_summary["wal_commits"]),
+        "wal_records": float(summary["records"]),
+        "committed_version": float(summary["committed_version"]),
+        "recovered_objects": float(live_objects),
+        "dead_pages_reclaimed": float(packed["dead_pages_reclaimed"]),
+        "pages_after_pack": float(packed["pages_after"]),
+    }
+    for group, summary_row in sorted(
+            durable.deterministic_group_summary().items()):
+        for metric in DETERMINISTIC_METRICS:
+            fingerprint[f"{group}.{metric}"] = _round(summary_row[metric])
+    return fingerprint
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
@@ -279,6 +345,7 @@ SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "warm_restart": warm_restart,
     "update_churn": update_churn,
     "sharded_fleet": sharded_fleet,
+    "durable_updates": durable_updates,
 }
 
 

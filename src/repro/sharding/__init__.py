@@ -17,7 +17,8 @@ server kernels:
 * :mod:`repro.sharding.updater` — routes dynamic dataset updates to their
   owning shard under one shared version registry;
 * :mod:`repro.sharding.storage` — one ``.rpro`` file per shard plus a
-  manifest, reopenable read-only or copy-on-write;
+  manifest, reopenable read-only, copy-on-write or durable (a write-ahead
+  log per shard, packed per shard);
 * :mod:`repro.sharding.state` — builds or reopens whole deployments.
 
 Equivalence contract: a one-shard deployment is *byte-identical* to the
@@ -44,8 +45,10 @@ from repro.sharding.state import (
 from repro.sharding.storage import (
     MANIFEST_NAME,
     load_shards,
+    pack_shards,
     read_manifest,
     save_shards,
+    shard_wal_summaries,
 )
 from repro.sharding.updater import ShardedUpdater
 
@@ -66,8 +69,10 @@ __all__ = [
     "config_meta",
     "load_shards",
     "make_plan",
+    "pack_shards",
     "read_manifest",
     "save_shards",
     "save_sharded_state",
     "shard_index_for_node",
+    "shard_wal_summaries",
 ]

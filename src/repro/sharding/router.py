@@ -333,6 +333,11 @@ class ShardRouter:
                 policy: Optional[SupportingIndexPolicy] = None) -> ServerResponse:
         """Process ``query`` across the shard set and merge one response."""
         policy = policy or SupportingIndexPolicy.adaptive()
+        if self.registry is not None:
+            # MVCC read pinning: stamp the committed version this scatter-
+            # gather query executes against; raises mid-update-batch, so a
+            # query can never observe a half-applied batch across shards.
+            self.registry.pin()
         self.stats.queries += 1
         if self.is_single:
             response = self.shards[0].server.execute(query, remainder, policy)

@@ -95,18 +95,24 @@ def dataset_records(config):
 
 def build_sharded_state(config, shards: int, partitioner: str = "grid",
                         store_dir: Optional[str] = None,
-                        writable: bool = False) -> ShardedServerState:
+                        writable: bool = False,
+                        durable: bool = False) -> ShardedServerState:
     """Build a sharded deployment for ``config``.
 
     In-memory by default: the dataset is generated once, partitioned, and
     every slice bulk-loaded into its shard's offset id range.  With
     ``store_dir`` the shards are reopened from their ``.rpro`` files
-    instead (copy-on-write when ``writable``); a store whose manifest
-    contradicts the configuration is rejected.
+    instead (copy-on-write when ``writable``; through per-shard write-ahead
+    logs when ``durable``); a store whose manifest contradicts the
+    configuration is rejected.
     """
+    if durable and store_dir is None:
+        raise ValueError("durable sharded mode needs a shard-store "
+                         "directory to log to")
     if store_dir is not None:
         shard_servers, plan, manifest = load_shards(store_dir,
-                                                    writable=writable)
+                                                    writable=writable,
+                                                    durable=durable)
         try:
             _check_manifest(config, shards, (partitioner or "grid").lower(),
                             manifest, store_dir)

@@ -26,7 +26,13 @@ from repro.geometry import Rect
 from repro.sharding.partitioner import PARTITIONER_METHODS, ShardPlan
 from repro.sharding.shard import ShardServer
 from repro.storage.backend import StorageError
-from repro.storage.paged import DEFAULT_BUFFER_PAGES, load_tree, save_tree
+from repro.storage.paged import (
+    DEFAULT_BUFFER_PAGES,
+    load_tree,
+    pack,
+    save_tree,
+    wal_summary,
+)
 
 #: The manifest file name inside a shard-store directory.
 MANIFEST_NAME = "shards.json"
@@ -118,12 +124,18 @@ def plan_from_manifest(manifest: Dict) -> ShardPlan:
 
 def load_shards(directory: str, writable: bool = False,
                 buffer_pages: int = DEFAULT_BUFFER_PAGES,
+                durable: bool = False,
                 ) -> Tuple[List[ShardServer], ShardPlan, Dict]:
     """Reopen a shard-store directory.
 
     Returns ``(shards, plan, manifest)``.  ``writable=True`` opens every
     shard's backend copy-on-write so the dynamic-dataset machinery can
-    mutate the trees without touching the files.
+    mutate the trees without touching the files.  ``durable=True`` opens
+    every shard in the durable write mode instead (see
+    :func:`repro.storage.paged.load_tree`): each shard recovers its own
+    ``shard-<i>.rpro.wal`` and attaches a writer, so every update batch a
+    :class:`~repro.sharding.updater.ShardedUpdater` routes to a shard
+    commits to that shard's log.
     """
     manifest = read_manifest(directory)
     plan = plan_from_manifest(manifest)
@@ -134,10 +146,35 @@ def load_shards(directory: str, writable: bool = False,
             if not os.path.isfile(path):
                 raise StorageError(f"{directory}: missing shard file {name}")
             tree = load_tree(path, buffer_pages=buffer_pages,
-                             copy_on_write=writable)
+                             copy_on_write=writable, writable=durable)
             shards.append(ShardServer(index, tree, plan.regions[index]))
     except Exception:
         for shard in shards:
             shard.close()
         raise
     return shards, plan, manifest
+
+
+def shard_wal_summaries(directory: str) -> Dict[str, Dict]:
+    """Per-shard WAL facts of a shard-store directory, keyed by file name.
+
+    One :func:`repro.storage.paged.wal_summary` per manifest entry, in
+    manifest order — the durability inspection surface of ``repro persist
+    info`` for sharded deployments.  Never modifies any file.
+    """
+    manifest = read_manifest(directory)
+    return {name: wal_summary(os.path.join(directory, name))
+            for name in manifest["files"]}
+
+
+def pack_shards(directory: str) -> Dict[str, Dict]:
+    """Fold every shard's WAL into a fresh per-shard checkpoint.
+
+    Runs :func:`repro.storage.paged.pack` over each manifest entry and
+    returns the per-shard summaries keyed by file name.  Shards without a
+    log still rewrite canonically (a no-op fold), so the directory always
+    leaves in the log-free state.
+    """
+    manifest = read_manifest(directory)
+    return {name: pack(os.path.join(directory, name))
+            for name in manifest["files"]}

@@ -88,7 +88,7 @@ class ShardedUpdater:
     def summary(self) -> Dict[str, int]:
         """Deterministic counters pooled across the shard updaters."""
         pooled = {"applied": 0, "skipped": self.skipped, "inserts": 0,
-                  "deletes": 0, "modifies": 0}
+                  "deletes": 0, "modifies": 0, "wal_commits": 0}
         for updater in self._shard_updaters:
             shard_summary = updater.summary()
             pooled["applied"] += shard_summary["applied"]
@@ -96,6 +96,7 @@ class ShardedUpdater:
             pooled["inserts"] += shard_summary["inserts"]
             pooled["deletes"] += shard_summary["deletes"]
             pooled["modifies"] += shard_summary["modifies"]
+            pooled["wal_commits"] += shard_summary["wal_commits"]
         pooled["dataset_version"] = self.registry.dataset_version
         pooled["live_objects"] = len(self.tree.objects)
         return pooled

@@ -246,7 +246,8 @@ def _split_clients(total: int, weights: Sequence[int]) -> List[int]:
 # running a fleet
 # --------------------------------------------------------------------------- #
 def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
-              store_path: Optional[str] = None) -> FleetResult:
+              store_path: Optional[str] = None,
+              durable: bool = False) -> FleetResult:
     """Simulate the whole fleet against one shared server.
 
     With ``max_workers`` > 1 the clients are sharded round-robin over worker
@@ -264,26 +265,40 @@ def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
     replays one shared mutation history against the live server between
     queries, so clients are no longer independent: such fleets run
     serially (``max_workers`` > 1 is rejected) via
-    :func:`run_dynamic_fleet`, with a disk store opened copy-on-write.
+    :func:`run_dynamic_fleet`, with a disk store opened copy-on-write —
+    or, with ``durable=True``, through the store's write-ahead log, so
+    every applied batch is crash-safe on disk (see
+    :mod:`repro.storage.wal`).  ``durable`` requires a dynamic fleet and a
+    disk store.
 
     A *sharded* fleet (``fleet.shards`` set) runs through
     :func:`run_sharded_fleet`: the shared router keeps per-shard routing
     statistics, so these fleets also run serially; ``store_path`` then
-    names a shard-store *directory* (see ``repro persist save-shards``).
+    names a shard-store *directory* (see ``repro persist save-shards``)
+    and ``durable`` commits through one write-ahead log per shard.
     """
+    if durable and not fleet.is_dynamic:
+        raise ValueError(
+            "durable mode only applies to dynamic fleets (--update-rate / "
+            "--consistency): a static fleet never writes, so there is "
+            "nothing to log")
+    if durable and store_path is None:
+        raise ValueError("durable mode needs a disk store to log to "
+                         "(pass store_path)")
     if fleet.is_sharded:
         if max_workers is not None and max_workers > 1:
             raise ValueError(
                 "a sharded fleet routes every query through one shared "
                 "router, so clients cannot be sharded over worker "
                 "processes; run it serially")
-        return run_sharded_fleet(fleet, store_dir=store_path)
+        return run_sharded_fleet(fleet, store_dir=store_path, durable=durable)
     if fleet.is_dynamic:
         if max_workers is not None and max_workers > 1:
             raise ValueError(
                 "a dynamic fleet shares one mutating server, so clients "
                 "cannot be sharded over workers; run it serially")
-        return run_dynamic_fleet(fleet, store_path=store_path)
+        return run_dynamic_fleet(fleet, store_path=store_path,
+                                 durable=durable)
     specs = fleet.client_specs()
     if max_workers is not None and max_workers > 1 and len(specs) > 1:
         shard_count = min(max_workers, len(specs))
@@ -438,38 +453,60 @@ def _initial_object_ids(base: SimulationConfig) -> List[int]:
     return list(range(base.object_count))
 
 
-def run_dynamic_fleet(fleet: FleetConfig,
-                      store_path: Optional[str] = None) -> FleetResult:
-    """Run a fleet whose shared server mutates mid-run.
+def make_dynamic_sessions(fleet: FleetConfig, shared: SharedServerState,
+                          specs: Sequence[FleetClientSpec],
+                          updater) -> Dict[int, ClientSession]:
+    """One cold-cache session per spec, wired to the fleet's consistency.
 
-    All clients observe one mutation history: update events apply to the
-    single live tree (a disk store is opened through its copy-on-write
-    overlay) strictly interleaved with the query events, and every
-    proactive session reconciles its cache through the fleet's consistency
-    protocol.  Only proactive models participate — PAG and SEM have no
-    consistency story and are rejected up front.
+    The one session factory shared by :func:`run_dynamic_fleet` and the
+    dynamic halt/resume paths of :mod:`repro.sim.restart` — both must
+    build byte-identical session wiring (same protocol instances bound to
+    the same updater) for a resumed run to reproduce an uninterrupted one.
     """
-    from repro.updates import DatasetUpdater, make_protocol
+    from repro.updates import make_protocol
+    return {spec.client_id: make_session(
+        spec.model, shared.tree, spec.config, server=shared.server,
+        replacement_policy=spec.replacement_policy,
+        ground_truth=shared.ground_truth,
+        consistency=make_protocol(fleet.consistency, updater=updater,
+                                  size_model=shared.size_model,
+                                  ttl_seconds=fleet.ttl_seconds))
+        for spec in specs}
+
+
+def check_dynamic_models(fleet: FleetConfig, kind: str = "dynamic") -> None:
+    """Reject fleet groups whose model cannot join a mutating fleet."""
     for group in fleet.groups:
         if group.model.upper() not in _PROACTIVE_MODELS:
             raise ValueError(
                 f"group {group.name!r} runs {group.model}, which cannot "
-                f"join a dynamic fleet; supported models: "
+                f"join a {kind} fleet; supported models: "
                 f"{', '.join(_PROACTIVE_MODELS)}")
+
+
+def run_dynamic_fleet(fleet: FleetConfig,
+                      store_path: Optional[str] = None,
+                      durable: bool = False) -> FleetResult:
+    """Run a fleet whose shared server mutates mid-run.
+
+    All clients observe one mutation history: update events apply to the
+    single live tree (a disk store is opened through its copy-on-write
+    overlay; ``durable=True`` additionally commits every batch to the
+    store's write-ahead log) strictly interleaved with the query events,
+    and every proactive session reconciles its cache through the fleet's
+    consistency protocol.  Only proactive models participate — PAG and SEM
+    have no consistency story and are rejected up front.
+    """
+    from repro.updates import DatasetUpdater
+    check_dynamic_models(fleet)
     specs = fleet.client_specs()
     shared = build_shared_state(fleet.base, store_path=store_path,
-                                store_writable=fleet.update_rate > 0)
+                                store_writable=fleet.update_rate > 0,
+                                store_durable=durable)
     try:
         updater = DatasetUpdater(shared.tree, shared.server,
                                  ground_truth=shared.ground_truth)
-        sessions = {spec.client_id: make_session(
-            spec.model, shared.tree, spec.config, server=shared.server,
-            replacement_policy=spec.replacement_policy,
-            ground_truth=shared.ground_truth,
-            consistency=make_protocol(fleet.consistency, updater=updater,
-                                      size_model=shared.size_model,
-                                      ttl_seconds=fleet.ttl_seconds))
-            for spec in specs}
+        sessions = make_dynamic_sessions(fleet, shared, specs, updater)
         results = {spec.client_id: ClientResult(client_id=spec.client_id,
                                                 group=spec.group,
                                                 model=spec.model)
@@ -489,7 +526,8 @@ def run_dynamic_fleet(fleet: FleetConfig,
 # sharded fleets: the scatter-gather execution tier
 # --------------------------------------------------------------------------- #
 def run_sharded_fleet(fleet: FleetConfig,
-                      store_dir: Optional[str] = None) -> FleetResult:
+                      store_dir: Optional[str] = None,
+                      durable: bool = False) -> FleetResult:
     """Run a fleet against a sharded deployment (see :mod:`repro.sharding`).
 
     The same arrival-ordered event list as the single-server run replays
@@ -506,22 +544,20 @@ def run_sharded_fleet(fleet: FleetConfig,
     through shards would be a no-op with misleading metrics.
 
     ``store_dir`` serves every shard from its own ``.rpro`` file in that
-    directory (copy-on-write when the fleet mutates the dataset).
+    directory (copy-on-write when the fleet mutates the dataset;
+    ``durable=True`` commits every shard's update batches to that shard's
+    write-ahead log).
     """
     from repro.sharding import ShardedUpdater, build_sharded_state
     from repro.updates import make_protocol
     shard_count = fleet.shards if fleet.shards is not None else 1
-    for group in fleet.groups:
-        if group.model.upper() not in _PROACTIVE_MODELS:
-            raise ValueError(
-                f"group {group.name!r} runs {group.model}, which cannot "
-                f"join a sharded fleet; supported models: "
-                f"{', '.join(_PROACTIVE_MODELS)}")
+    check_dynamic_models(fleet, kind="sharded")
     specs = fleet.client_specs()
     state = build_sharded_state(fleet.base, shard_count,
                                 partitioner=fleet.partitioner,
                                 store_dir=store_dir,
-                                writable=fleet.update_rate > 0)
+                                writable=fleet.update_rate > 0,
+                                durable=durable)
     router = state.router
     updater = None
     try:

@@ -7,12 +7,12 @@ downlink traffic).  This module makes a fleet run *resumable*:
 
 * :func:`run_fleet_interrupted` simulates the first ``halt_after`` events
   of the fleet's deterministic global event list, then persists one
-  snapshot per client (cache + adaptive-controller state, via
-  :meth:`~repro.sim.sessions.ProactiveSession.state_dict`) plus the fleet
-  configuration and every cost recorded so far into a session directory;
-* :func:`resume_fleet` rebuilds the shared server state from the same
-  seeds (or the same ``.rpro`` page store), restores every session and
-  replays the *remaining* events.
+  snapshot per client (cache + adaptive-controller + consistency-protocol
+  state, via :meth:`~repro.sim.sessions.ProactiveSession.state_dict`) plus
+  the fleet configuration, every cost recorded so far and — for a dynamic
+  fleet — the updater snapshot into a session directory;
+* :func:`resume_fleet` rebuilds the shared server state, restores every
+  session and replays the *remaining* events.
 
 Because the event list, the server state and every per-client seed are
 deterministic, a killed-and-resumed run reaches exactly the same final
@@ -20,25 +20,45 @@ cache contents (same digests) and the same deterministic metrics as an
 uninterrupted run — asserted by the warm-restart tests and surfaced
 through the ``repro fleet --halt-after/--resume`` CLI flags.
 
+Dynamic fleets (``--update-rate`` / ``--consistency``) resume through one
+of two equivalent routes back to the halt-time tree:
+
+* **replay** (the default) — the server tree is rebuilt at time zero and
+  the pre-halt *update* events are re-applied through a fresh updater;
+  queries never mutate the tree and the event list is deterministic, so
+  the rebuilt tree equals the one that was killed;
+* **durable** (``durable=True``, requires a disk store) — every committed
+  batch already sits in the store's write-ahead log, so reopening the
+  store in the durable mode (:func:`repro.storage.paged.load_tree` with
+  ``writable=True``) recovers the halt-time tree directly — exactly what
+  a ``kill -9``'d server process does on restart — and the resumed run
+  keeps committing to the same log.
+
 Only proactive sessions (APRO / FPRO / CPRO) are resumable; PAG and SEM
 sessions raise when snapshotted, and :func:`run_fleet_interrupted` rejects
-fleets containing them up front.
+fleets containing them up front.  Sharded fleets remain non-resumable: the
+router's owner table and virtual root are not part of the snapshot yet.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost_model import QueryCost
 from repro.sim.config import SimulationConfig
 from repro.sim.fleet import (
     ClientGroupSpec,
+    FleetClientSpec,
     FleetConfig,
+    build_dynamic_events,
     build_fleet_events,
+    check_dynamic_models,
     finalize_fleet_results,
+    make_dynamic_sessions,
     make_fleet_sessions,
+    replay_dynamic_events,
     replay_fleet_events,
 )
 from repro.sim.metrics import ClientResult, FleetResult
@@ -109,37 +129,80 @@ def _cost_from_dict(data: dict) -> QueryCost:
     return QueryCost(**data)
 
 
+def _client_entries(specs: Sequence[FleetClientSpec], sessions: Dict,
+                    results: Dict[int, ClientResult]) -> List[dict]:
+    """The per-client block of a session file (costs + session snapshot)."""
+    return [
+        {
+            "client_id": spec.client_id,
+            "group": spec.group,
+            "model": spec.model,
+            "costs": [_cost_dict(c) for c in results[spec.client_id].costs],
+            "arrival_times": list(results[spec.client_id].arrival_times),
+            "session": sessions[spec.client_id].state_dict(),
+        }
+        for spec in specs
+    ]
+
+
+def _restore_clients(specs: Sequence[FleetClientSpec], sessions: Dict,
+                     state: dict) -> Dict[int, ClientResult]:
+    """Restore every session snapshot; rebuild the per-client results."""
+    results: Dict[int, ClientResult] = {}
+    by_id = {entry["client_id"]: entry for entry in state["clients"]}
+    for spec in specs:
+        entry = by_id[spec.client_id]
+        sessions[spec.client_id].restore_state(entry["session"])
+        results[spec.client_id] = ClientResult(
+            client_id=spec.client_id, group=spec.group, model=spec.model,
+            costs=[_cost_from_dict(c) for c in entry["costs"]],
+            arrival_times=list(entry["arrival_times"]))
+    return results
+
+
 # --------------------------------------------------------------------------- #
 # halt / resume
 # --------------------------------------------------------------------------- #
 def run_fleet_interrupted(fleet: FleetConfig, halt_after: int, directory: str,
-                          store_path: Optional[str] = None) -> dict:
+                          store_path: Optional[str] = None,
+                          durable: bool = False) -> dict:
     """Run the first ``halt_after`` global events, then persist the session.
 
     Returns the session state that was written to
     ``directory/session.json``.  ``halt_after`` counts events of the global
-    arrival-ordered event list (not per-client queries); the run stops
-    *after* processing that many events, simulating a process killed
-    mid-fleet.
+    arrival-ordered event list (for a dynamic fleet: the merged query +
+    update list, not per-client queries); the run stops *after* processing
+    that many events, simulating a process killed mid-fleet.
+
+    ``durable`` (dynamic fleets with a disk store only) commits every
+    update batch to the store's write-ahead log as it runs, so
+    :func:`resume_fleet` recovers the halt-time tree from the log instead
+    of replaying the pre-halt update history.
     """
     if halt_after < 0:
         raise ValueError("halt_after must be non-negative")
-    if fleet.is_dynamic:
-        raise ValueError(
-            "dynamic fleets (--update-rate / --consistency) cannot be "
-            "halted and resumed: the mutated server tree is not part of "
-            "the session snapshot yet")
     if fleet.is_sharded:
         raise ValueError(
             "sharded fleets (--shards) cannot be halted and resumed: the "
             "router's per-shard state is not part of the session snapshot "
             "yet")
+    if durable and not fleet.is_dynamic:
+        raise ValueError(
+            "durable halt only applies to dynamic fleets (--update-rate / "
+            "--consistency): a static fleet never writes, so there is "
+            "nothing to log")
+    if durable and store_path is None:
+        raise ValueError("durable halt needs a disk store to log to "
+                         "(pass store_path)")
     for group in fleet.groups:
         if group.model.upper() not in _RESUMABLE_MODELS:
             raise ValueError(
                 f"group {group.name!r} runs {group.model}, which does not "
                 f"support warm restarts; resumable models: "
                 f"{', '.join(_RESUMABLE_MODELS)}")
+    if fleet.is_dynamic:
+        return _run_dynamic_interrupted(fleet, halt_after, directory,
+                                        store_path, durable)
     specs = fleet.client_specs()
     shared = build_shared_state(fleet.base, store_path=store_path)
     try:
@@ -160,17 +223,54 @@ def run_fleet_interrupted(fleet: FleetConfig, halt_after: int, directory: str,
         "store_path": store_path,
         "processed_events": halt_after,
         "total_events": len(events),
-        "clients": [
-            {
-                "client_id": spec.client_id,
-                "group": spec.group,
-                "model": spec.model,
-                "costs": [_cost_dict(c) for c in results[spec.client_id].costs],
-                "arrival_times": list(results[spec.client_id].arrival_times),
-                "session": sessions[spec.client_id].state_dict(),
-            }
-            for spec in specs
-        ],
+        "clients": _client_entries(specs, sessions, results),
+    }
+    os.makedirs(directory, exist_ok=True)
+    save_state(state, os.path.join(directory, SESSION_FILE))
+    return state
+
+
+def _run_dynamic_interrupted(fleet: FleetConfig, halt_after: int,
+                             directory: str, store_path: Optional[str],
+                             durable: bool) -> dict:
+    """Dynamic half of :func:`run_fleet_interrupted`.
+
+    Replays the merged query + update event list up to the halt point and
+    snapshots the updater (counters + version registry) alongside the
+    sessions.  With ``durable`` the store's write-ahead log already holds
+    every committed batch when the run stops, so the session file only
+    needs to record *that* the log is authoritative.
+    """
+    from repro.updates import DatasetUpdater
+    check_dynamic_models(fleet)
+    specs = fleet.client_specs()
+    shared = build_shared_state(fleet.base, store_path=store_path,
+                                store_writable=fleet.update_rate > 0,
+                                store_durable=durable)
+    try:
+        updater = DatasetUpdater(shared.tree, shared.server,
+                                 ground_truth=shared.ground_truth)
+        sessions = make_dynamic_sessions(fleet, shared, specs, updater)
+        results = {spec.client_id: ClientResult(client_id=spec.client_id,
+                                                group=spec.group, model=spec.model)
+                   for spec in specs}
+        events = build_dynamic_events(fleet, specs)
+        halt_after = min(halt_after, len(events))
+        replay_dynamic_events(updater, sessions, results, events[:halt_after])
+    finally:
+        shared.tree.store.close()
+
+    state = {
+        "format": 1,
+        "kind": "fleet-session",
+        "fleet": fleet_to_dict(fleet),
+        "store_path": store_path,
+        "dynamic": True,
+        "durable": durable,
+        "processed_events": halt_after,
+        "total_events": len(events),
+        "updater": updater.state_dict(),
+        "clients": _client_entries(specs, sessions, results),
     }
     os.makedirs(directory, exist_ok=True)
     save_state(state, os.path.join(directory, SESSION_FILE))
@@ -190,18 +290,12 @@ def resume_fleet(directory: str) -> Tuple[FleetResult, dict]:
         raise ValueError(f"{directory}: not a fleet session directory")
     fleet = fleet_from_dict(state["fleet"])
     specs = fleet.client_specs()
+    if state.get("dynamic"):
+        return _resume_dynamic(fleet, specs, state)
     shared = build_shared_state(fleet.base, store_path=state.get("store_path"))
     try:
         sessions = make_fleet_sessions(shared, specs)
-        results: Dict[int, ClientResult] = {}
-        by_id = {entry["client_id"]: entry for entry in state["clients"]}
-        for spec in specs:
-            entry = by_id[spec.client_id]
-            sessions[spec.client_id].restore_state(entry["session"])
-            results[spec.client_id] = ClientResult(
-                client_id=spec.client_id, group=spec.group, model=spec.model,
-                costs=[_cost_from_dict(c) for c in entry["costs"]],
-                arrival_times=list(entry["arrival_times"]))
+        results = _restore_clients(specs, sessions, state)
         events = build_fleet_events(specs)
         replay_fleet_events(sessions, results, events[state["processed_events"]:])
         finalize_fleet_results(sessions, results)
@@ -209,3 +303,47 @@ def resume_fleet(directory: str) -> Tuple[FleetResult, dict]:
         shared.tree.store.close()
     return (FleetResult(clients=[results[spec.client_id] for spec in specs]),
             state)
+
+
+def _resume_dynamic(fleet: FleetConfig, specs: List[FleetClientSpec],
+                    state: dict) -> Tuple[FleetResult, dict]:
+    """Resume a halted dynamic fleet: recover the tree, replay the rest.
+
+    The halt-time server tree comes back by whichever route the session
+    was halted with — WAL recovery (``durable``) or deterministic replay
+    of the pre-halt update events — then the updater and session snapshots
+    are restored and the remaining merged events replay exactly as an
+    uninterrupted run would have processed them.
+    """
+    from repro.updates import DatasetUpdater
+    durable = bool(state.get("durable"))
+    processed = state["processed_events"]
+    shared = build_shared_state(fleet.base,
+                                store_path=state.get("store_path"),
+                                store_writable=fleet.update_rate > 0,
+                                store_durable=durable)
+    try:
+        updater = DatasetUpdater(shared.tree, shared.server,
+                                 ground_truth=shared.ground_truth)
+        events = build_dynamic_events(fleet, specs)
+        if not durable:
+            # Rebuild the halt-time tree by re-applying the pre-halt
+            # update events: queries never mutate the tree and the merged
+            # event list is deterministic, so the rebuilt tree equals the
+            # one that was killed.  The durable route skips this — WAL
+            # recovery inside build_shared_state already landed the tree
+            # at the newest committed batch.
+            for kind, _time, _client, payload in events[:processed]:
+                if kind == "update":
+                    updater.apply(payload)
+        updater.restore_state(state["updater"])
+        sessions = make_dynamic_sessions(fleet, shared, specs, updater)
+        results = _restore_clients(specs, sessions, state)
+        replay_dynamic_events(updater, sessions, results, events[processed:])
+        finalize_fleet_results(sessions, results)
+    finally:
+        shared.tree.store.close()
+    result = FleetResult(clients=[results[spec.client_id] for spec in specs])
+    result.update_summary = dict(updater.summary())
+    result.update_summary["consistency"] = fleet.consistency
+    return result, state

@@ -122,7 +122,8 @@ def build_shared_state(config: SimulationConfig,
                        store_path: Optional[str] = None,
                        store_buffer_pages: Optional[int] = None,
                        tree: Optional[RTree] = None,
-                       store_writable: bool = False) -> SharedServerState:
+                       store_writable: bool = False,
+                       store_durable: bool = False) -> SharedServerState:
     """Build the dataset, the R-tree and the server (no trace).
 
     With ``store_path`` the tree is not rebuilt from the dataset seeds but
@@ -132,14 +133,19 @@ def build_shared_state(config: SimulationConfig,
     whose recorded generating configuration contradicts ``config`` is
     rejected.  ``store_writable`` opens the store through its copy-on-write
     overlay so the dynamic-dataset subsystem can mutate the tree (the file
-    itself stays untouched).  Physical I/O counters start at zero once the
-    state is built, so ``tree.store.io_stats()`` afterwards measures
-    query-driven I/O only.
+    itself stays untouched).  ``store_durable`` opens the durable write
+    mode instead: the store recovers its write-ahead log to the newest
+    committed version and attaches a writer, so every update batch commits
+    durably (see :func:`repro.storage.paged.load_tree`).  Physical I/O
+    counters start at zero once the state is built, so
+    ``tree.store.io_stats()`` afterwards measures query-driven I/O only.
 
     A prebuilt ``tree`` (matching ``config``) skips the dataset rebuild —
     used by callers that already hold the deterministic tree, e.g. right
     after checkpointing it.  Mutually exclusive with ``store_path``.
     """
+    if store_durable and store_path is None:
+        raise ValueError("store_durable needs a store_path to log to")
     if store_path is not None:
         if tree is not None:
             raise ValueError("pass either store_path or tree, not both")
@@ -150,7 +156,8 @@ def build_shared_state(config: SimulationConfig,
                          buffer_pages=(store_buffer_pages
                                        if store_buffer_pages is not None
                                        else DEFAULT_BUFFER_PAGES),
-                         copy_on_write=store_writable)
+                         copy_on_write=store_writable,
+                         writable=store_durable)
     elif tree is None:
         tree = build_tree(config)
     partition_trees = build_partition_trees(tree.all_nodes())

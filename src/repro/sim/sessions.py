@@ -307,30 +307,35 @@ class ProactiveSession(ClientSession):
 
     # -- warm-restart persistence ----------------------------------------- #
     # repro: allow[STM01] server/client/policy are rebuilt from the run
-    # configuration; consistency and last_result_ids are per-run transients
-    # that a warm restart re-derives from the first post-resume response.
+    # configuration; last_result_ids is a per-run transient re-derived from
+    # the first post-resume response.
     def state_dict(self) -> dict:
         """Everything a warm restart needs to resume this session exactly.
 
         The cache (items + replacement metadata + orderings), the adaptive
-        depth controller's fmr window and the supporting-index depth.  The
-        query processor and the server connection are stateless and are
-        rebuilt from the configuration on resume.
+        depth controller's fmr window, the supporting-index depth and — for
+        dynamic fleets — the consistency protocol's per-session tables
+        (TTL shipping stamps / version stamps).  The query processor and
+        the server connection are stateless and are rebuilt from the
+        configuration on resume.
         """
-        return {
+        state = {
             "format": 1,
             "kind": "proactive-session",
             "name": self.name,
             "cache": self.cache.state_dict(),
             "controller": self.controller.state_dict(),
         }
+        if self.consistency is not None:
+            state["consistency"] = self.consistency.state_dict()
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Adopt a :meth:`state_dict` snapshot taken from an equivalent session.
 
         The session must have been constructed with the same configuration
-        (model, cache budget, replacement policy) that produced the snapshot;
-        only the mutable state is transplanted.
+        (model, cache budget, replacement policy, consistency mode) that
+        produced the snapshot; only the mutable state is transplanted.
         """
         if state.get("kind") != "proactive-session":
             raise ValueError(f"not a proactive-session snapshot: "
@@ -341,6 +346,14 @@ class ProactiveSession(ClientSession):
         self.controller.load_state_dict(state["controller"])
         self.client = ClientQueryProcessor(self.cache, root_id=self.server.root_id,
                                            root_mbr=self.server.root_mbr)
+        snapshot = state.get("consistency")
+        if snapshot is not None:
+            if self.consistency is None:
+                raise ValueError(
+                    "snapshot carries consistency-protocol state but this "
+                    "session was built without a protocol; resume with the "
+                    "fleet configuration that produced the snapshot")
+            self.consistency.restore_state(snapshot)
 
 
 # --------------------------------------------------------------------------- #

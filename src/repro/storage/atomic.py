@@ -1,0 +1,50 @@
+"""Crash-safe file replacement: the write-temp / fsync / rename idiom.
+
+Every durable artefact in this repo — ``.rpro`` checkpoints, session
+snapshots, shard manifests — must never be observable in a half-written
+state: a process killed mid-write would otherwise leave a torn file that
+poisons the next startup.  POSIX gives exactly one primitive with the
+needed atomicity guarantee: ``rename`` within a filesystem.  So all
+whole-file writes funnel through :func:`atomic_write_bytes` /
+:func:`atomic_write_text`, which write to a temporary sibling in the same
+directory, flush + ``fsync`` it, and ``os.replace`` it over the target.
+Readers therefore see either the old complete file or the new complete
+file, never a mixture — the same discipline ZODB applies to its index
+files.
+
+The append-only write path (the WAL) is the deliberate exception: appends
+cannot be renamed into place, so :mod:`repro.storage.wal` carries its own
+torn-tail recovery instead.  The DUR01 lint rule enforces that raw
+``open(path, "w"/"wb")`` writes appear nowhere else in the storage layer.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def fsync_handle(fileno: int) -> None:
+    """Flush kernel buffers for one file descriptor to stable storage."""
+    os.fsync(fileno)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (temp + fsync + rename)."""
+    tmp_path = path + ".tmp"
+    try:
+        # The temporary sibling is the one place a raw write mode is the
+        # mechanism of atomicity rather than a violation of it.
+        with open(tmp_path, "wb") as handle:  # repro: allow[DUR01]
+            handle.write(data)
+            handle.flush()
+            fsync_handle(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    atomic_write_bytes(path, text.encode("utf-8"))

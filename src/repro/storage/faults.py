@@ -1,0 +1,242 @@
+"""Fault injection for the durable write path: simulated crashes and rot.
+
+The WAL's guarantee — kill -9 at *any* byte always reopens to the last
+committed version — is only worth claiming if it is tested at every byte.
+This module supplies the machinery:
+
+:class:`FaultyFile`
+    A binary-file wrapper the :class:`~repro.storage.wal.WalWriter` accepts
+    as its ``opener``.  It can stop writing after a byte budget (emulating
+    a process killed mid-``write``), cut a single write short, or garble a
+    byte at a chosen file offset as it streams through — each fault raises
+    :class:`InjectedCrash`, after which every further operation fails like
+    a dead process's would.
+
+:func:`assert_crash_point_recovery`
+    The exhaustive crash-point matrix.  Given a store whose WAL recorded N
+    committed batches and the oracle state after each batch, it clones the
+    store with the WAL truncated to *every* byte offset — each clone is
+    exactly the file a crash at that byte would leave — reopens it with
+    ``recover=True``, and asserts the recovered tree is oracle-exact for
+    the newest record wholly inside the prefix, structurally valid, and
+    truncated back to a clean log.
+
+:func:`corrupt_byte`
+    In-place single-byte damage, for exercising the *corrupt* (as opposed
+    to torn) tail classification and the CLI's garbled-WAL error paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import shutil
+from typing import IO, Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.rtree.entry import ObjectRecord
+from repro.rtree.validation import assert_tree_valid
+from repro.storage.backend import StorageError
+from repro.storage.wal import HEADER_SIZE, scan_wal, wal_path
+
+
+class InjectedCrash(StorageError):
+    """Raised by :class:`FaultyFile` at the configured fault point."""
+
+
+class FaultyFile:
+    """A binary file wrapper that fails like a crashing process.
+
+    Parameters
+    ----------
+    handle:
+        The real (binary, writable) file object to wrap.
+    crash_after_bytes:
+        Total byte budget across all writes; the write that would exceed
+        it lands only the remaining prefix, then :class:`InjectedCrash`.
+    short_write_at_op:
+        ``(op_index, keep_bytes)`` — the ``op_index``-th write (0-based)
+        lands only its first ``keep_bytes`` bytes, then crashes.
+    garble_at:
+        ``(file_offset, xor_mask)`` — a byte passing through a write at
+        that absolute offset is XOR-damaged in flight (no crash): silent
+        corruption rather than a torn tail.
+    """
+
+    def __init__(self, handle: IO[bytes],
+                 crash_after_bytes: Optional[int] = None,
+                 short_write_at_op: Optional[Tuple[int, int]] = None,
+                 garble_at: Optional[Tuple[int, int]] = None) -> None:
+        self._handle = handle
+        self._crash_after_bytes = crash_after_bytes
+        self._short_write_at_op = short_write_at_op
+        self._garble_at = garble_at
+        self._bytes_written = 0
+        self._op_index = 0
+        self._dead = False
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise InjectedCrash("file handle crashed by fault injection")
+
+    def _apply_garble(self, data: bytes, start: int) -> bytes:
+        if self._garble_at is None:
+            return data
+        offset, mask = self._garble_at
+        if not start <= offset < start + len(data):
+            return data
+        local = offset - start
+        return data[:local] + bytes([data[local] ^ mask]) + data[local + 1:]
+
+    def write(self, data: bytes) -> int:
+        self._check_alive()
+        data = self._apply_garble(data, self._handle.tell())
+        cut: Optional[int] = None
+        if self._short_write_at_op is not None:
+            op_index, keep = self._short_write_at_op
+            if self._op_index == op_index:
+                cut = min(keep, len(data))
+        if self._crash_after_bytes is not None:
+            budget = self._crash_after_bytes - self._bytes_written
+            if len(data) > budget:
+                cut = min(budget, len(data) if cut is None else cut)
+        self._op_index += 1
+        if cut is not None:
+            written = self._handle.write(data[:cut])
+            self._handle.flush()
+            self._bytes_written += written
+            self._dead = True
+            raise InjectedCrash(
+                f"write of {len(data)} bytes cut to {written} by injection")
+        written = self._handle.write(data)
+        self._bytes_written += written
+        return written
+
+    def flush(self) -> None:
+        self._check_alive()
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        self._check_alive()
+        return self._handle.fileno()
+
+    def tell(self) -> int:
+        self._check_alive()
+        return self._handle.tell()
+
+    def close(self) -> None:
+        # Closing is allowed even "dead": the OS reclaims a killed
+        # process's descriptors too.
+        self._handle.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._handle, name)
+
+
+def faulty_opener(crash_after_bytes: Optional[int] = None,
+                  short_write_at_op: Optional[Tuple[int, int]] = None,
+                  garble_at: Optional[Tuple[int, int]] = None) -> Any:
+    """An ``opener`` for :class:`~repro.storage.wal.WalWriter` with faults."""
+    def opener(path: str, mode: str) -> FaultyFile:
+        return FaultyFile(open(path, mode),  # repro: allow[DUR01]
+                          crash_after_bytes=crash_after_bytes,
+                          short_write_at_op=short_write_at_op,
+                          garble_at=garble_at)
+    return opener
+
+
+def corrupt_byte(path: str, offset: int, xor_mask: int = 0xFF) -> None:
+    """Damage one byte of a file in place (silent bit rot, not a crash)."""
+    size = os.path.getsize(path)
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as handle:  # repro: allow[DUR01]
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ xor_mask]))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def crash_point_offsets(store_path: str) -> List[int]:
+    """Every WAL length a real crash could leave behind.
+
+    0 (log never created) plus every byte count from the fixed header to
+    the full log — prefixes shorter than the header are unreachable
+    because the header is written atomically at WAL creation.
+    """
+    log = wal_path(store_path)
+    if not os.path.exists(log):
+        return [0]
+    size = os.path.getsize(log)
+    return [0] + list(range(HEADER_SIZE, size + 1))
+
+
+def _object_state(objects: Mapping[int, ObjectRecord]) -> Dict[int, Tuple]:
+    return {object_id: (record.object_id, record.size_bytes, record.mbr)
+            for object_id, record in objects.items()}
+
+
+def assert_crash_point_recovery(
+        store_path: str,
+        states_by_count: Sequence[Mapping[int, ObjectRecord]],
+        work_dir: str,
+        offsets: Optional[Sequence[int]] = None) -> int:
+    """Prove recovery is oracle-exact for a crash at every WAL byte.
+
+    ``states_by_count[k]`` is the expected object state after the first
+    ``k`` committed records (``k = 0`` is the checkpoint state).  For each
+    crash offset the store file and the WAL prefix of that length are
+    cloned into ``work_dir``, reopened with ``recover=True``, and the
+    recovered tree is checked against the oracle for the newest record
+    wholly contained in the prefix.  Returns the number of crash points
+    checked.
+    """
+    from repro.storage.paged import load_tree
+
+    scan = scan_wal(wal_path(store_path))
+    if scan.tail_state != "clean":
+        raise StorageError(f"{store_path}: reference WAL must be clean, "
+                           f"got {scan.tail_state} ({scan.tail_error})")
+    if len(states_by_count) != len(scan.records) + 1:
+        raise ValueError(f"need {len(scan.records) + 1} oracle states for "
+                         f"{len(scan.records)} records, got "
+                         f"{len(states_by_count)}")
+    with open(wal_path(store_path), "rb") as handle:
+        log_bytes = handle.read()
+    clone_store = os.path.join(work_dir, "crash-clone.rpro")
+    clone_log = wal_path(clone_store)
+    shutil.copyfile(store_path, clone_store)
+    checked = 0
+    for length in (crash_point_offsets(store_path)
+                   if offsets is None else offsets):
+        if length == 0:
+            if os.path.exists(clone_log):
+                os.remove(clone_log)
+        else:
+            with open(clone_log, "wb") as handle:  # repro: allow[DUR01]
+                handle.write(log_bytes[:length])
+        committed = bisect.bisect_right(scan.record_ends, length)
+        expected = states_by_count[committed]
+        tree = load_tree(clone_store, recover=True)
+        try:
+            recovered = _object_state(tree.objects)
+            if recovered != _object_state(expected):
+                raise AssertionError(
+                    f"crash at WAL byte {length}: recovered object state "
+                    f"diverges from the oracle after {committed} committed "
+                    f"records")
+            assert_tree_valid(tree)
+            replay = scan_wal(clone_log)
+            if replay.tail_bytes:
+                raise AssertionError(
+                    f"crash at WAL byte {length}: recovery left "
+                    f"{replay.tail_bytes} torn tail bytes in place")
+            if len(replay.records) != committed:
+                raise AssertionError(
+                    f"crash at WAL byte {length}: log replays "
+                    f"{len(replay.records)} records, expected {committed}")
+        finally:
+            tree.store.close()
+        checked += 1
+    return checked

@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import struct
+import zlib
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.rtree.entry import ObjectRecord
 from repro.rtree.node import Node
@@ -46,7 +48,19 @@ from repro.rtree.serialize import (
 )
 from repro.rtree.sizes import SizeModel
 from repro.rtree.tree import RTree
+from repro.storage.atomic import atomic_write_bytes
 from repro.storage.backend import ReadOnlyStorageError, StorageBackend, StorageError
+from repro.storage.wal import (
+    HEADER_SIZE as WAL_HEADER_SIZE,
+    MAGIC as WAL_MAGIC,
+    TAIL_CORRUPT,
+    WalRecord,
+    WalScan,
+    WalWriter,
+    scan_wal,
+    truncate_to,
+    wal_path,
+)
 
 MAGIC = b"RPROSTOR1\n"
 
@@ -104,14 +118,21 @@ def save_tree(tree: RTree, path: str, meta: Optional[Dict] = None) -> Dict:
     }
     header_bytes = json.dumps(header, sort_keys=True,
                               separators=(",", ":")).encode("utf-8")
-    with open(path, "wb") as handle:
-        handle.write(MAGIC)
-        handle.write(len(header_bytes).to_bytes(8, "little"))
-        handle.write(header_bytes)
-        for blob in encoded_nodes:
-            handle.write(blob.ljust(page_size, b"\0"))
-        for object_id in object_ids:
-            handle.write(encode_object(tree.objects[object_id]).ljust(page_size, b"\0"))
+    body = io.BytesIO()
+    body.write(MAGIC)
+    body.write(len(header_bytes).to_bytes(8, "little"))
+    body.write(header_bytes)
+    for blob in encoded_nodes:
+        body.write(blob.ljust(page_size, b"\0"))
+    for object_id in object_ids:
+        body.write(encode_object(tree.objects[object_id]).ljust(page_size, b"\0"))
+    atomic_write_bytes(path, body.getvalue())
+    # A checkpoint supersedes any write-ahead log next to the old file:
+    # every committed batch is folded into the new pages, and replaying a
+    # stale log over them would corrupt the store.
+    log = wal_path(path)
+    if os.path.exists(log):
+        os.remove(log)
     return header
 
 
@@ -177,11 +198,14 @@ class PagedFileBackend(StorageBackend):
         # Copy-on-write state: pinned mutable pages, freed file pages and
         # the id counter for freshly allocated pages.
         self._overlay: Dict[int, Node] = {}
-        self._freed: set = set()
+        self._freed: Set[int] = set()
         self._next_id = (max(self._node_offsets) + 1) if self._node_offsets else 1
+        #: Attached write-ahead log; commits flow through :meth:`commit_record`.
+        self.wal: Optional[WalWriter] = None
         self.reads = 0
         self.writes = 0
         self.file_reads = 0
+        self.file_writes = 0
         self.buffer_hits = 0
 
     # ------------------------------------------------------------------ #
@@ -258,24 +282,70 @@ class PagedFileBackend(StorageBackend):
         return ids
 
     def io_stats(self) -> Dict[str, int]:
-        """Physical counters: real file reads and LRU buffer hits."""
-        return {"file_reads": self.file_reads, "file_writes": 0,
+        """Physical counters: file reads, WAL commit writes, buffer hits."""
+        return {"file_reads": self.file_reads, "file_writes": self.file_writes,
                 "buffer_hits": self.buffer_hits}
 
     def reset_io_stats(self) -> None:
         """Zero the physical counters; done after bulk startup scans so
         :meth:`io_stats` reflects query-driven I/O only."""
         self.file_reads = 0
+        self.file_writes = 0
         self.buffer_hits = 0
 
     def flush(self) -> None:
-        """No-op: the backend never holds dirty state (read-only)."""
+        """No-op: commits are already fsync'd record by record."""
 
     def close(self) -> None:
-        """Close the underlying file handle; further reads will fail."""
+        """Close the file handle (and any WAL); further reads will fail."""
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # durability: the write-ahead log
+    # ------------------------------------------------------------------ #
+    @property
+    def next_page_id(self) -> int:
+        """The id the next :meth:`allocate` will hand out."""
+        return self._next_id
+
+    def attach_wal(self, writer: WalWriter) -> None:
+        """Bind an open WAL writer; later commits append to it."""
+        self.wal = writer
+
+    def commit_record(self, record: WalRecord) -> None:
+        """Durably append one commit record (one fsync'd WAL frame)."""
+        if self.wal is None:
+            raise StorageError(f"{self.path}: no write-ahead log attached; "
+                               f"open the store with writable=True")
+        self.wal.append(record)
+        self.file_writes += 1
+
+    def apply_wal_record(self, record: WalRecord) -> None:
+        """Replay one committed record's page images into the overlay.
+
+        Replay is tolerant where :meth:`free` is strict (a freed page that
+        was never materialised is simply absent) because records describe
+        *post-state*: installing them must succeed on any prefix of the
+        same log.  Object deltas are applied by :func:`load_tree`, which
+        owns the object dict.
+        """
+        for node_id, blob in record.pages:
+            if blob is None:
+                self._overlay.pop(node_id, None)
+                self._buffer.pop(node_id, None)
+                if node_id in self._node_offsets:
+                    self._freed.add(node_id)
+            else:
+                node = decode_node(blob)
+                self._freed.discard(node_id)
+                self._buffer.pop(node_id, None)
+                self._overlay[node_id] = node
+        self._next_id = max(self._next_id, record.next_page_id)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -340,27 +410,211 @@ class PagedFileBackend(StorageBackend):
         return objects
 
 
+def file_crc32(path: str) -> int:
+    """CRC32 of a whole file — the checkpoint identity WALs are bound to."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                return crc
+            crc = zlib.crc32(chunk, crc)
+
+
+def _live_wal_scan(path: str, store_crc: int) -> Optional[WalScan]:
+    """Scan the store's WAL, discarding logs a later checkpoint superseded.
+
+    Returns ``None`` when there is no log or the log belongs to an older
+    checkpoint (a :func:`pack` interrupted between publishing the folded
+    file and deleting the log — every record is already folded in, so the
+    log is redundant, not lost).  Corrupt tails raise: silently replaying
+    a prefix of a damaged log could resurrect an old version.
+    """
+    log = wal_path(path)
+    if not os.path.exists(log):
+        return None
+    scan = scan_wal(log)
+    if scan.store_crc is not None and scan.store_crc != store_crc:
+        return None
+    if scan.tail_state == TAIL_CORRUPT:
+        raise StorageError(
+            f"{log}: corrupt write-ahead log ({scan.tail_error}); run "
+            f"`repro persist recover --force` to truncate it to the last "
+            f"committed record")
+    return scan
+
+
 def load_tree(path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES,
-              copy_on_write: bool = False) -> RTree:
+              copy_on_write: bool = False, writable: bool = False,
+              recover: bool = False) -> RTree:
     """Reconstruct the R-tree saved at ``path`` over a paged file backend.
 
     Node pages are fetched lazily through the backend's LRU buffer; object
     records are decoded eagerly (see the module docstring).  By default the
     returned tree is read-only: structural mutations raise
-    :class:`~repro.storage.backend.ReadOnlyStorageError`.  With
-    ``copy_on_write=True`` the tree accepts inserts and deletes through the
-    backend's in-memory page overlay while the file stays untouched.
+    :class:`~repro.storage.backend.ReadOnlyStorageError`.  Three opt-ins
+    relax that:
+
+    * ``copy_on_write=True`` — accept mutations in a throwaway in-memory
+      overlay; the file and its WAL (if any) stay untouched.
+    * ``recover=True`` — replay the committed records of the store's
+      write-ahead log into the overlay and truncate any torn tail, opening
+      the tree at its newest committed version.
+    * ``writable=True`` — the durable mode (implies both of the above):
+      after recovery a :class:`~repro.storage.wal.WalWriter` is attached,
+      so :class:`~repro.updates.applier.DatasetUpdater` batches commit
+      durably.
+
+    A store whose WAL holds committed records refuses a plain (non-
+    recovering) load: serving the stale checkpoint while committed batches
+    sit in the log would silently roll back acknowledged writes.
     """
+    if writable:
+        copy_on_write = True
+        recover = True
+    log = wal_path(path)
+    scan: Optional[WalScan] = None
+    store_crc: Optional[int] = None
+    if recover:
+        store_crc = file_crc32(path)
+        scan = _live_wal_scan(path, store_crc)
+        if scan is None and os.path.exists(log):
+            # A log bound to an older checkpoint (pack interrupted between
+            # publishing the folded file and deleting the log): every
+            # record is already folded in, so discard it here rather than
+            # tripping the writer's header check below.
+            os.remove(log)
+    elif os.path.exists(log) and os.path.getsize(log) > WAL_HEADER_SIZE:
+        live = _read_wal_store_crc(log)
+        if live is None or live == file_crc32(path):
+            raise StorageError(
+                f"{path} has a write-ahead log with committed records; "
+                f"load it with recover=True (or writable=True), or fold "
+                f"the log with pack()")
     backend = PagedFileBackend(path, buffer_pages=buffer_pages,
                                copy_on_write=copy_on_write)
     header = backend.header
+    root_id: int = header["root_id"]
+    height: int = header["height"]
+    objects = backend.load_objects()
+    if scan is not None:
+        for record in scan.records:
+            backend.apply_wal_record(record)
+            for object_id, blob in record.objects:
+                # Pop-then-set mirrors the live delete/insert sequence, so
+                # dict insertion order — which downstream consumers see —
+                # matches an uninterrupted run exactly.
+                objects.pop(object_id, None)
+                if blob is not None:
+                    objects[object_id] = decode_object(blob)
+        if scan.records:
+            root_id = scan.records[-1].root_id
+            height = scan.records[-1].height
+        if scan.tail_bytes:
+            truncate_to(log, scan.committed_length)
     size_model = SizeModel(**header["size_model"])
     tree = RTree.from_storage(
-        store=backend, objects=backend.load_objects(),
-        root_id=header["root_id"], height=header["height"],
+        store=backend, objects=objects,
+        root_id=root_id, height=height,
         size_model=size_model, max_entries=header["max_entries"],
         min_entries=header["min_entries"])
+    if writable:
+        assert store_crc is not None
+        backend.attach_wal(WalWriter(log, store_crc))
     # The eager object decode above is startup I/O, not query I/O: start
     # the physical counters from zero so io_stats() measures the workload.
     backend.reset_io_stats()
     return tree
+
+
+def _read_wal_store_crc(log: str) -> Optional[int]:
+    """The checkpoint CRC a log claims to belong to (``None`` if unreadable)."""
+    with open(log, "rb") as handle:
+        prefix = handle.read(WAL_HEADER_SIZE)
+    if len(prefix) < WAL_HEADER_SIZE or not prefix.startswith(WAL_MAGIC):
+        return None
+    return int.from_bytes(prefix[len(WAL_MAGIC):], "little")
+
+
+def pack(path: str, buffer_pages: int = DEFAULT_BUFFER_PAGES) -> Dict:
+    """Fold the WAL into a fresh checkpoint, reclaiming dead pages.
+
+    Recovers the store to its newest committed version, rewrites ``path``
+    atomically with only the live pages (freed and shadowed file slots are
+    dropped; overlay pages become file pages), and deletes the log.  A
+    crash at any point leaves either the old checkpoint + log or the new
+    checkpoint (with, at worst, a superseded log that the next open
+    discards).  Returns a summary dict.
+    """
+    before = wal_summary(path)
+    if before["tail_state"] == TAIL_CORRUPT:
+        raise StorageError(
+            f"{wal_path(path)}: corrupt write-ahead log; run `repro "
+            f"persist recover --force` before packing")
+    tree = load_tree(path, buffer_pages=buffer_pages, recover=True)
+    try:
+        header = save_tree(tree, path)
+    finally:
+        tree.store.close()
+    return {
+        "records_folded": before["records"],
+        "wal_bytes": before["wal_bytes"],
+        "committed_version": before["committed_version"],
+        "dead_pages_reclaimed": before["dead_pages"],
+        "pages_before": before["file_pages"],
+        "pages_after": header["node_count"],
+        "objects": header["object_count"],
+    }
+
+
+def wal_summary(path: str) -> Dict:
+    """WAL facts for one store: length, committed version, dead pages.
+
+    ``dead_pages`` counts the file page slots whose on-disk bytes are
+    obsolete — freed by a committed batch, or shadowed by a newer image in
+    the log — i.e. exactly what :func:`pack` reclaims.  Never modifies
+    either file.
+    """
+    header = read_header(path)
+    log = wal_path(path)
+    file_ids = set(header["node_ids"])
+    summary: Dict = {
+        "wal_present": os.path.exists(log),
+        "wal_bytes": 0,
+        "records": 0,
+        "committed_version": 0,
+        "tail_state": "clean",
+        "tail_bytes": 0,
+        "tail_error": None,
+        "stale": False,
+        "dead_pages": 0,
+        "file_pages": len(file_ids),
+        "live_pages": len(file_ids),
+    }
+    if not summary["wal_present"]:
+        return summary
+    scan = scan_wal(log)
+    summary["wal_bytes"] = scan.file_length
+    summary["tail_state"] = scan.tail_state
+    summary["tail_bytes"] = scan.tail_bytes
+    summary["tail_error"] = scan.tail_error
+    if scan.store_crc is not None and scan.store_crc != file_crc32(path):
+        summary["stale"] = True
+        return summary
+    summary["records"] = len(scan.records)
+    summary["committed_version"] = scan.committed_version
+    freed: Set[int] = set()
+    shadowed: Set[int] = set()
+    overlay_live: Set[int] = set()
+    for record in scan.records:
+        for node_id, blob in record.pages:
+            if blob is None:
+                freed.add(node_id)
+                overlay_live.discard(node_id)
+            elif node_id in file_ids:
+                shadowed.add(node_id)
+            else:
+                overlay_live.add(node_id)
+    summary["dead_pages"] = len(file_ids & (freed | shadowed))
+    summary["live_pages"] = len(file_ids - freed) + len(overlay_live)
+    return summary

@@ -23,6 +23,7 @@ from typing import Optional
 from repro.core.cache import ProactiveCache
 from repro.core.replacement import ReplacementPolicy
 from repro.rtree.sizes import SizeModel
+from repro.storage.atomic import atomic_write_text
 from repro.storage.backend import StorageError
 
 _CANONICAL = {"sort_keys": False, "separators": (",", ":")}
@@ -34,16 +35,33 @@ def dumps_state(state: dict) -> str:
 
 
 def save_state(state: dict, path: str) -> None:
-    """Write any state dict to ``path`` as canonical JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps_state(state))
-        handle.write("\n")
+    """Write any state dict to ``path`` as canonical JSON, atomically.
+
+    The temp + fsync + rename discipline means a crash mid-save can never
+    leave a torn snapshot behind: ``path`` holds either the previous
+    complete snapshot or the new one.
+    """
+    atomic_write_text(path, dumps_state(state) + "\n")
 
 
 def load_state(path: str) -> dict:
-    """Read a state dict previously written by :func:`save_state`."""
+    """Read a state dict previously written by :func:`save_state`.
+
+    A file that does not parse as JSON — truncated by an interrupted copy,
+    or damaged in place — raises :class:`~repro.storage.backend.
+    StorageError` naming the file, rather than a bare decoding error.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+        text = handle.read()
+    try:
+        state = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise StorageError(
+            f"{path}: snapshot is truncated or corrupt ({error}); it was "
+            f"not written by an atomic save_state") from error
+    if not isinstance(state, dict):
+        raise StorageError(f"{path}: snapshot is not a JSON object")
+    return state
 
 
 def save_cache_snapshot(cache: ProactiveCache, path: str) -> None:

@@ -22,7 +22,16 @@ file pages.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.sessions import GroundTruthCache
@@ -30,7 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.server import ServerQueryProcessor
 from repro.rtree.entry import ObjectRecord
 from repro.rtree.node import Node
+from repro.rtree.serialize import encode_node, encode_object
 from repro.rtree.tree import RTree
+from repro.storage.paged import PagedFileBackend
+from repro.storage.wal import Delta, WalRecord
 from repro.updates.registry import VersionRegistry
 from repro.updates.stream import UpdateEvent
 
@@ -68,9 +80,15 @@ class DatasetUpdater:
         self.server = server
         self.ground_truth = ground_truth
         self.registry = registry or VersionRegistry()
+        # Queries entering through the server pin the registry's committed
+        # version (MVCC): a pin taken mid-batch raises, so readers never
+        # observe a half-applied batch.
+        server.registry = self.registry
         self.applied = 0
         self.skipped = 0
         self.counts = {"insert": 0, "delete": 0, "modify": 0}
+        #: Batches durably committed to a write-ahead log (0 without one).
+        self.wal_commits = 0
         self._fingerprints = self._snapshot()
 
     def _snapshot(self) -> Dict[int, Tuple]:
@@ -88,34 +106,93 @@ class DatasetUpdater:
         this keeps replaying *subsets* of a logged event list legal, which
         the property harness's shrink loop relies on.
         """
-        touched, freed = set(), set()
+        return self.apply_batch((event,)) == 1
+
+    def apply_batch(self, events: Iterable[UpdateEvent]) -> int:
+        """Apply a batch of events as one atomic commit; returns applied count.
+
+        The whole batch is bracketed by the registry's
+        :meth:`~repro.updates.registry.VersionRegistry.begin_batch` /
+        ``commit_batch`` (readers pinning a version mid-batch raise), and —
+        when the tree's store carries a write-ahead log — lands on disk as
+        exactly one fsync'd commit record, so a crash either persists the
+        batch completely or not at all.
+        """
+        touched: Set[int] = set()
+        freed: Set[int] = set()
+        deltas: List[Tuple[int, Optional[ObjectRecord]]] = []
+        applied = 0
+        self.registry.begin_batch()
+        try:
+            with self._watch_store(touched, freed):
+                for event in events:
+                    if self._apply_event(event, deltas):
+                        applied += 1
+            if applied:
+                changed = self._propagate_dirty(touched, freed)
+                self.registry.dataset_version += applied
+                self._commit(changed, freed, deltas)
+        finally:
+            self.registry.commit_batch()
+        return applied
+
+    def _apply_event(self, event: UpdateEvent,
+                     deltas: List[Tuple[int, Optional[ObjectRecord]]]) -> bool:
+        """Mutate the tree for one event, recording its object deltas."""
         mutated = False
-        with self._watch_store(touched, freed):
-            if event.kind == "insert":
-                if event.object_id not in self.tree.objects:
-                    self.tree.insert(ObjectRecord(object_id=event.object_id,
-                                                  mbr=event.mbr,
-                                                  size_bytes=event.size_bytes))
-                    self.registry.bump_object(event.object_id)
-                    mutated = True
-            elif event.kind == "delete":
-                if self.tree.delete(event.object_id):
-                    self.registry.drop_object(event.object_id)
-                    mutated = True
-            else:  # modify: atomic delete + reinsert under the same id
-                if self.tree.delete(event.object_id):
-                    self.tree.insert(ObjectRecord(object_id=event.object_id,
-                                                  mbr=event.mbr,
-                                                  size_bytes=event.size_bytes))
-                    self.registry.bump_object(event.object_id)
-                    mutated = True
+        if event.kind == "insert":
+            if event.object_id not in self.tree.objects:
+                record = ObjectRecord(object_id=event.object_id,
+                                      mbr=event.mbr,
+                                      size_bytes=event.size_bytes)
+                self.tree.insert(record)
+                self.registry.bump_object(event.object_id)
+                deltas.append((event.object_id, record))
+                mutated = True
+        elif event.kind == "delete":
+            if self.tree.delete(event.object_id):
+                self.registry.drop_object(event.object_id)
+                deltas.append((event.object_id, None))
+                mutated = True
+        else:  # modify: atomic delete + reinsert under the same id
+            if self.tree.delete(event.object_id):
+                record = ObjectRecord(object_id=event.object_id,
+                                      mbr=event.mbr,
+                                      size_bytes=event.size_bytes)
+                self.tree.insert(record)
+                self.registry.bump_object(event.object_id)
+                # Two deltas, mirroring the operational order, so replay
+                # reproduces the dict-reinsertion position exactly.
+                deltas.append((event.object_id, None))
+                deltas.append((event.object_id, record))
+                mutated = True
         if not mutated:
             self.skipped += 1
             return False
         self.applied += 1
         self.counts[event.kind] += 1
-        self._propagate_dirty(touched, freed)
         return True
+
+    def _commit(self, changed: Set[int], freed: Set[int],
+                deltas: List[Tuple[int, Optional[ObjectRecord]]]) -> None:
+        """Append the batch to the store's WAL, if one is attached."""
+        store = self.tree.store
+        if not isinstance(store, PagedFileBackend) or store.wal is None:
+            return
+        pages: List[Delta] = [(node_id, None) for node_id in freed]
+        pages.extend((node_id, encode_node(store.peek(node_id)))
+                     for node_id in changed)
+        record = WalRecord(
+            version=self.registry.dataset_version,
+            root_id=self.tree.root_id,
+            height=self.tree.height,
+            next_page_id=store.next_page_id,
+            pages=tuple(sorted(pages, key=lambda delta: delta[0])),
+            objects=tuple(
+                (object_id, None if obj is None else encode_object(obj))
+                for object_id, obj in deltas))
+        store.commit_record(record)
+        self.wal_commits += 1
 
     @contextmanager
     def _watch_store(self, touched: set, freed: set) -> Iterator[None]:
@@ -154,9 +231,14 @@ class DatasetUpdater:
             store.allocate = original_allocate
             store.free = original_free
 
-    def _propagate_dirty(self, touched: set, freed: set) -> None:
-        """Re-fingerprint the touched pages; stamp versions, drop derived state."""
+    def _propagate_dirty(self, touched: Set[int], freed: Set[int]) -> Set[int]:
+        """Re-fingerprint the touched pages; stamp versions, drop derived state.
+
+        Returns the set of pages whose content actually changed — the page
+        images the commit record must carry.
+        """
         partition_trees = self.server.partition_trees
+        changed: Set[int] = set()
         for node_id in freed:
             self.registry.drop_node(node_id)
             partition_trees.pop(node_id, None)
@@ -167,9 +249,10 @@ class DatasetUpdater:
                 self._fingerprints[node_id] = fingerprint
                 self.registry.bump_node(node_id)
                 partition_trees.pop(node_id, None)
-        self.registry.dataset_version += 1
+                changed.add(node_id)
         if self.ground_truth is not None:
             self.ground_truth.clear()
+        return changed
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -184,4 +267,36 @@ class DatasetUpdater:
             "modifies": self.counts["modify"],
             "dataset_version": self.registry.dataset_version,
             "live_objects": len(self.tree.objects),
+            "wal_commits": self.wal_commits,
         }
+
+    # ------------------------------------------------------------------ #
+    # persistence (dynamic halt/resume)
+    # ------------------------------------------------------------------ #
+    # repro: allow[STM01] tree/server/ground_truth are the live wiring the
+    # resume path reconstructs; _fingerprints is re-snapshotted from the
+    # restored tree by restore_state.
+    def state_dict(self) -> dict:
+        """Snapshot the updater's counters and registry for halt/resume."""
+        return {
+            "format": 1,
+            "kind": "dataset-updater",
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "counts": dict(self.counts),
+            "wal_commits": self.wal_commits,
+            "registry": self.registry.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a halt-time snapshot; the tree must already be at the
+        matching state (recovered from a WAL, or rebuilt by replay)."""
+        if state.get("format") != 1 or state.get("kind") != "dataset-updater":
+            raise ValueError(f"not a dataset-updater snapshot: "
+                             f"{state.get('kind')!r}")
+        self.applied = state["applied"]
+        self.skipped = state["skipped"]
+        self.counts = dict(state["counts"])
+        self.wal_commits = state["wal_commits"]
+        self.registry.restore_state(state["registry"])
+        self._fingerprints = self._snapshot()

@@ -98,6 +98,25 @@ class ConsistencyProtocol(abc.ABC):
                       now: float) -> None:
         """Record protocol metadata for items a query response just cached."""
 
+    # -- persistence (dynamic halt/resume) -------------------------------- #
+    def state_dict(self) -> dict:
+        """Snapshot the per-session protocol state for a warm restart.
+
+        Protocols with no state beyond their configuration (rebuilt by the
+        session factory) return just the envelope.
+        """
+        return {"format": 1, "kind": f"{self.name}-protocol"}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`state_dict`."""
+        self._check_snapshot(state)
+
+    def _check_snapshot(self, state: dict) -> None:
+        expected = f"{self.name}-protocol"
+        if state.get("format") != 1 or state.get("kind") != expected:
+            raise ValueError(f"not a {expected} snapshot: "
+                             f"{state.get('kind')!r}")
+
 
 class TTLProtocol(ConsistencyProtocol):
     """Expire cached items a fixed simulated-time budget after shipping."""
@@ -138,6 +157,19 @@ class TTLProtocol(ConsistencyProtocol):
             if cache.has_object(delivery.record.object_id):
                 self._shipped_at[
                     item_key_for_object(delivery.record.object_id)] = now
+
+    # -- persistence (dynamic halt/resume) -------------------------------- #
+    # repro: allow[STM01] ttl_seconds is constructor configuration the
+    # session factory re-injects on resume.
+    def state_dict(self) -> dict:
+        """Snapshot the shipping-time table (simulated-clock stamps)."""
+        return {"format": 1, "kind": "ttl-protocol",
+                "shipped_at": dict(self._shipped_at)}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`state_dict`."""
+        self._check_snapshot(state)
+        self._shipped_at = dict(state["shipped_at"])
 
 
 class VersionedProtocol(ConsistencyProtocol):
@@ -272,6 +304,27 @@ class VersionedProtocol(ConsistencyProtocol):
         cache.refresh_item(key, payload, record.size_bytes, context)
         report.refreshed_items += 1
         self._object_versions[object_id] = current
+
+    # -- persistence (dynamic halt/resume) -------------------------------- #
+    # repro: allow[STM01] updater and size_model are live wiring the
+    # session factory re-injects on resume.
+    def state_dict(self) -> dict:
+        """Snapshot the per-item version tables (id keys become strings)."""
+        return {
+            "format": 1, "kind": "versioned-protocol",
+            "node_versions": {str(node_id): version for node_id, version
+                              in self._node_versions.items()},
+            "object_versions": {str(object_id): version for object_id, version
+                                in self._object_versions.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`state_dict`."""
+        self._check_snapshot(state)
+        self._node_versions = {int(node_id): version for node_id, version
+                               in state["node_versions"].items()}
+        self._object_versions = {int(object_id): version for object_id, version
+                                 in state["object_versions"].items()}
 
     # -- learning versions from responses --------------------------------- #
     def note_response(self, cache: ProactiveCache, response: ServerResponse,

@@ -15,9 +15,20 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from repro.storage.backend import StorageError
+
 
 class VersionRegistry:
-    """Per-id version counters for nodes and objects, plus death records."""
+    """Per-id version counters for nodes and objects, plus death records.
+
+    The registry is also the MVCC gatekeeper of the durable write path:
+    the updater brackets every batch with :meth:`begin_batch` /
+    :meth:`commit_batch`, and readers call :meth:`pin` at query start.
+    ``committed_version`` only advances at commit, and pinning inside an
+    open batch raises — so a scatter-gather query can never observe a
+    half-applied batch, and a pin taken before a crash names a version
+    recovery is guaranteed to reach.
+    """
 
     def __init__(self) -> None:
         self.node_versions: Dict[int, int] = {}
@@ -26,6 +37,79 @@ class VersionRegistry:
         self.dead_objects: Set[int] = set()
         #: Bumped once per applied update event; cheap "anything changed?" probe.
         self.dataset_version = 0
+        #: ``dataset_version`` as of the last completed batch.
+        self.committed_version = 0
+        self._in_batch = False
+
+    # ------------------------------------------------------------------ #
+    # batch bracketing and read pinning (MVCC)
+    # ------------------------------------------------------------------ #
+    @property
+    def in_batch(self) -> bool:
+        """True between :meth:`begin_batch` and :meth:`commit_batch`."""
+        return self._in_batch
+
+    def begin_batch(self) -> None:
+        """Open an update batch; reads are barred until it commits."""
+        if self._in_batch:
+            raise StorageError("update batch already open (re-entrant or "
+                               "concurrent batches are not supported)")
+        self._in_batch = True
+
+    def commit_batch(self) -> int:
+        """Close the open batch, publishing its dataset version to readers."""
+        if not self._in_batch:
+            raise StorageError("commit_batch without begin_batch")
+        self._in_batch = False
+        self.committed_version = self.dataset_version
+        return self.committed_version
+
+    def pin(self) -> int:
+        """Stamp a read: the committed version this query executes against.
+
+        Raises when a batch is mid-apply — the one moment derived state
+        (page images, partition trees, version tables) may be internally
+        inconsistent.
+        """
+        if self._in_batch:
+            raise StorageError("cannot pin a read mid-batch: an update "
+                               "batch is being applied")
+        return self.committed_version
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    # repro: allow[STM01] _in_batch is per-process transient state: a
+    # snapshot is only taken between batches, where it is always False.
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot; id keys become strings, sets sorted lists."""
+        return {
+            "format": 1,
+            "kind": "version-registry",
+            "dataset_version": self.dataset_version,
+            "committed_version": self.committed_version,
+            "node_versions": {str(node_id): version for node_id, version
+                              in self.node_versions.items()},
+            "object_versions": {str(object_id): version for object_id, version
+                                in self.object_versions.items()},
+            "dead_nodes": sorted(self.dead_nodes),
+            "dead_objects": sorted(self.dead_objects),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`state_dict`."""
+        if state.get("format") != 1 or state.get("kind") != "version-registry":
+            raise StorageError(f"not a version-registry snapshot: "
+                               f"{state.get('kind')!r}")
+        self.dataset_version = state["dataset_version"]
+        self.committed_version = state["committed_version"]
+        self.node_versions = {int(node_id): version for node_id, version
+                              in state["node_versions"].items()}
+        self.object_versions = {int(object_id): version for object_id, version
+                                in state["object_versions"].items()}
+        self.dead_nodes = set(state["dead_nodes"])
+        self.dead_objects = set(state["dead_objects"])
+        self._in_batch = False
 
     # ------------------------------------------------------------------ #
     # lookups

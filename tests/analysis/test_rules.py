@@ -381,6 +381,63 @@ def test_typ01_out_of_scope_outside_strict_packages():
 
 
 # --------------------------------------------------------------------------- #
+# DUR01 — raw writable open() on a durable path
+# --------------------------------------------------------------------------- #
+def test_dur01_fires_on_writable_open_in_storage():
+    source = 'with open("out.bin", "wb") as f:\n    f.write(b"x")\n'
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == ["DUR01"]
+
+
+def test_dur01_fires_on_append_and_update_modes():
+    for mode in ("ab", "r+b", "w", "a", "x", "r+"):
+        source = f'handle = open("out.bin", "{mode}")\n'
+        assert rules_at("src/repro/storage/x.py", source,
+                        ["DUR01"]) == ["DUR01"], mode
+
+
+def test_dur01_fires_on_keyword_mode_and_io_open():
+    source = 'handle = open("out.bin", mode="wb")\n'
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == ["DUR01"]
+    source = 'import io\nhandle = io.open("out.bin", "wb")\n'
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == ["DUR01"]
+    source = 'import os\nhandle = os.fdopen(3, "wb")\n'
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == ["DUR01"]
+
+
+def test_dur01_fires_on_computed_mode():
+    source = 'handle = open("out.bin", mode_variable)\n'
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == ["DUR01"]
+
+
+def test_dur01_silent_on_read_modes():
+    for source in ('handle = open("in.bin")\n',
+                   'handle = open("in.bin", "rb")\n',
+                   'handle = open("in.txt", "r", encoding="utf-8")\n'):
+        assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == []
+
+
+def test_dur01_silent_on_local_shadowing_open():
+    source = ('def open(path, mode):\n'
+              '    return None\n')
+    # A def named open is not the builtin; only calls are checked anyway.
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == []
+
+
+def test_dur01_scope_covers_restart_but_not_sim():
+    source = 'handle = open("out.bin", "wb")\n'
+    assert rules_at("src/repro/sim/restart.py", source,
+                    ["DUR01"]) == ["DUR01"]
+    assert rules_at("src/repro/sim/fleet.py", source, ["DUR01"]) == []
+    assert rules_at("src/repro/core/x.py", source, ["DUR01"]) == []
+
+
+def test_dur01_waivable_with_allow_comment():
+    source = ('with open("t.bin", "wb") as f:  # repro: allow[DUR01]\n'
+              '    f.write(b"x")\n')
+    assert rules_at("src/repro/storage/x.py", source, ["DUR01"]) == []
+
+
+# --------------------------------------------------------------------------- #
 # cross-rule isolation: each violating fixture trips exactly its own rule
 # --------------------------------------------------------------------------- #
 @pytest.mark.parametrize("path,source,rule", [
@@ -393,6 +450,7 @@ def test_typ01_out_of_scope_outside_strict_packages():
     ("src/repro/core/g.py", _SLT01_VIOLATION, "SLT01"),
     ("src/repro/sim/h.py", _PRT01_VIOLATION, "PRT01"),
     ("src/repro/rtree/i.py", "def f(x):\n    return x\n", "TYP01"),
+    ("src/repro/storage/j.py", 'h = open("f.bin", "wb")\n', "DUR01"),
 ])
 def test_violating_fixture_trips_exactly_one_rule(path, source, rule):
     assert rules_at(path, source) == [rule]

@@ -74,7 +74,7 @@ def test_lint_paths_walks_directories_deterministically(tmp_path):
 
 def test_rule_catalogue_lists_every_project_rule():
     rules = {rule for rule, _ in rule_catalogue()}
-    assert rules == {"DET01", "DET02", "DET03", "DET04",
+    assert rules == {"DET01", "DET02", "DET03", "DET04", "DUR01",
                      "FLT01", "STM01", "SLT01", "PRT01", "TYP01"}
     assert rules == set(DEFAULT_CONFIG.rules())
 

@@ -131,11 +131,33 @@ def test_dynamic_fleet_over_cow_page_store(tmp_path):
             == [c.final_cache_digest for c in in_memory.clients])
 
 
-def test_restart_rejects_dynamic_fleets(tmp_path):
+def test_restart_supports_dynamic_fleets(tmp_path):
+    """Halting an updating fleet and resuming reproduces the full run."""
+    from repro.sim.restart import resume_fleet, run_fleet_interrupted
+    fleet = _fleet(update_rate=0.1, consistency="versioned")
+    uninterrupted = run_fleet(fleet)
+    directory = str(tmp_path / "session")
+    state = run_fleet_interrupted(fleet, halt_after=8, directory=directory)
+    assert state["dynamic"] is True
+    assert state["durable"] is False
+    assert state["updater"]["kind"] == "dataset-updater"
+    resumed, _ = resume_fleet(directory)
+    assert ([c.final_cache_digest for c in resumed.clients]
+            == [c.final_cache_digest for c in uninterrupted.clients])
+    assert resumed.update_summary["applied"] \
+        == uninterrupted.update_summary["applied"]
+
+
+def test_restart_durable_validation(tmp_path):
     from repro.sim.restart import run_fleet_interrupted
+    # Durable halt needs a fleet that actually writes ...
     with pytest.raises(ValueError, match="dynamic"):
+        run_fleet_interrupted(_fleet(), halt_after=3,
+                              directory=str(tmp_path / "a"), durable=True)
+    # ... and a disk store for the WAL to live next to.
+    with pytest.raises(ValueError, match="store"):
         run_fleet_interrupted(_fleet(update_rate=0.1), halt_after=3,
-                              directory=str(tmp_path))
+                              directory=str(tmp_path / "b"), durable=True)
 
 
 def test_fleet_roundtrips_dynamic_fields_through_session_files():

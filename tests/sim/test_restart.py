@@ -145,3 +145,89 @@ def test_non_proactive_fleets_are_rejected(tmp_path):
 def test_resume_rejects_non_session_directory(tmp_path):
     with pytest.raises((OSError, ValueError)):
         resume_fleet(str(tmp_path))
+
+
+# --------------------------------------------------------------------------- #
+# dynamic fleets: halted updating fleets resume exactly
+# --------------------------------------------------------------------------- #
+def dynamic_fleet(**overrides):
+    import dataclasses
+    settings = dict(update_rate=0.1, consistency="versioned")
+    settings.update(overrides)
+    return dataclasses.replace(default_fleet(3, base=BASE), **settings)
+
+
+def _update_counts(result):
+    return {key: result.update_summary[key]
+            for key in ("applied", "inserts", "deletes", "modifies",
+                        "live_objects")}
+
+
+@pytest.mark.parametrize("consistency", ["versioned", "ttl", "none"])
+def test_dynamic_killed_and_resumed_equals_uninterrupted(tmp_path, consistency):
+    """The replay route: no WAL, pre-halt updates are re-derived."""
+    fleet = dynamic_fleet(consistency=consistency)
+    uninterrupted = run_fleet(fleet)
+    directory = str(tmp_path / "session")
+    state = run_fleet_interrupted(fleet, halt_after=state_halt(fleet),
+                                  directory=directory)
+    assert state["dynamic"] is True and state["durable"] is False
+    resumed, _ = resume_fleet(directory)
+    assert _digests(resumed) == _digests(uninterrupted)
+    assert all(digest for digest in _digests(resumed).values())
+    assert (resumed.deterministic_group_summary()
+            == uninterrupted.deterministic_group_summary())
+    assert _update_counts(resumed) == _update_counts(uninterrupted)
+
+
+def state_halt(fleet) -> int:
+    """Roughly mid-run: half the fleet's query events (updates ride along)."""
+    return (fleet.total_clients * fleet.base.query_count) // 2
+
+
+@pytest.mark.parametrize("consistency", ["versioned", "ttl"])
+def test_dynamic_durable_halt_and_resume(tmp_path, consistency):
+    """The durable route: pre-halt updates come back from the WAL."""
+    from repro.storage.paged import wal_summary
+
+    fleet = dynamic_fleet(consistency=consistency)
+    store = str(tmp_path / "server.rpro")
+    save_tree(build_tree(fleet.base), store)
+    uninterrupted = run_fleet(fleet)
+    directory = str(tmp_path / "session")
+    state = run_fleet_interrupted(fleet, halt_after=state_halt(fleet),
+                                  directory=directory, store_path=store,
+                                  durable=True)
+    assert state["dynamic"] is True and state["durable"] is True
+    # The halted run's committed batches are already durable on disk.
+    halted = wal_summary(store)
+    assert halted["records"] == state["updater"]["wal_commits"] > 0
+
+    resumed, _ = resume_fleet(directory)
+    assert _digests(resumed) == _digests(uninterrupted)
+    assert (resumed.deterministic_group_summary()
+            == uninterrupted.deterministic_group_summary())
+    assert _update_counts(resumed) == _update_counts(uninterrupted)
+    # Every applied update was committed through the log, pre- and post-halt.
+    assert resumed.update_summary["wal_commits"] \
+        == resumed.update_summary["applied"]
+    assert wal_summary(store)["records"] \
+        == resumed.update_summary["wal_commits"]
+
+
+def test_durable_and_replay_routes_agree(tmp_path):
+    fleet = dynamic_fleet()
+    store = str(tmp_path / "server.rpro")
+    save_tree(build_tree(fleet.base), store)
+    replay_dir = str(tmp_path / "replay")
+    durable_dir = str(tmp_path / "durable")
+    run_fleet_interrupted(fleet, halt_after=state_halt(fleet),
+                          directory=replay_dir)
+    run_fleet_interrupted(fleet, halt_after=state_halt(fleet),
+                          directory=durable_dir, store_path=store,
+                          durable=True)
+    replayed, _ = resume_fleet(replay_dir)
+    durable, _ = resume_fleet(durable_dir)
+    assert _digests(replayed) == _digests(durable)
+    assert (replayed.deterministic_group_summary()
+            == durable.deterministic_group_summary())

@@ -1,0 +1,375 @@
+"""Tests for the write-ahead log: codec, writer, scanner, recovery, pack."""
+
+import os
+import random
+
+import pytest
+
+from repro.core.server import ServerQueryProcessor
+from repro.geometry import Rect
+from repro.rtree import SizeModel, assert_tree_valid, bulk_load_str
+from repro.storage import StorageError
+from repro.storage.paged import (
+    PagedFileBackend,
+    file_crc32,
+    load_tree,
+    pack,
+    save_tree,
+    wal_summary,
+)
+from repro.storage.wal import (
+    COMMIT_MARKER,
+    HEADER_SIZE,
+    WalRecord,
+    WalWriter,
+    decode_record,
+    encode_record,
+    repair_wal,
+    reset_wal,
+    scan_wal,
+    truncate_to,
+    wal_header,
+    wal_path,
+)
+from repro.updates import DatasetUpdater
+from repro.updates.stream import UpdateEvent
+
+from tests.conftest import make_records
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _sample_record(version=1, pages=None, objects=None):
+    return WalRecord(version=version, root_id=7, height=2, next_page_id=41,
+                     pages=pages if pages is not None else
+                     ((3, b"page-three"), (9, None), (12, b"")),
+                     objects=objects if objects is not None else
+                     ((100, b"object-blob"), (100, None), (101, b"x" * 300)))
+
+
+def _durable_store(tmp_path, count=120, page_bytes=256):
+    """A checkpointed store reopened writable, with updater wiring."""
+    records = make_records(count, seed=33)
+    tree = bulk_load_str(records, size_model=SizeModel(page_bytes=page_bytes))
+    path = str(tmp_path / "store.rpro")
+    save_tree(tree, path)
+    live = load_tree(path, writable=True)
+    server = ServerQueryProcessor(live)
+    updater = DatasetUpdater(live, server)
+    return path, live, updater
+
+
+def _events(count, start_index=0, id_base=1000, seed=77):
+    rng = random.Random(seed)
+    events = []
+    for offset in range(count):
+        index = start_index + offset
+        kind = ("insert", "delete", "modify")[offset % 3]
+        if kind == "insert":
+            object_id = id_base + offset
+        else:
+            object_id = rng.randrange(0, 120)
+        mbr = size = None
+        if kind in ("insert", "modify"):
+            x, y = rng.random(), rng.random()
+            mbr = Rect(x, y, min(1.0, x + 0.004), min(1.0, y + 0.004))
+            size = 400 + offset
+        events.append(UpdateEvent(index=index, arrival_time=float(index),
+                                  kind=kind, object_id=object_id,
+                                  mbr=mbr, size_bytes=size))
+    return events
+
+
+def _object_state(tree):
+    return {object_id: (record.size_bytes, record.mbr)
+            for object_id, record in tree.objects.items()}
+
+
+# --------------------------------------------------------------------------- #
+# record codec
+# --------------------------------------------------------------------------- #
+def test_record_roundtrip_preserves_everything():
+    record = _sample_record()
+    assert decode_record(encode_record(record)) == record
+
+
+def test_record_roundtrip_handles_empty_and_order():
+    empty = WalRecord(version=0, root_id=-1, height=0, next_page_id=0,
+                      pages=(), objects=())
+    assert decode_record(encode_record(empty)) == empty
+    # Operational object order (drop then upsert of the same id) survives.
+    record = _sample_record(objects=((5, None), (5, b"after"), (6, None)))
+    assert decode_record(encode_record(record)).objects == \
+        ((5, None), (5, b"after"), (6, None))
+
+
+def test_decode_rejects_trailing_and_truncated_payloads():
+    payload = encode_record(_sample_record())
+    with pytest.raises(ValueError, match="trailing"):
+        decode_record(payload + b"x")
+    with pytest.raises(ValueError):
+        decode_record(payload[:-1])
+
+
+# --------------------------------------------------------------------------- #
+# writer + scanner
+# --------------------------------------------------------------------------- #
+def test_writer_appends_scannable_records(tmp_path):
+    log = str(tmp_path / "log.wal")
+    writer = WalWriter(log, store_crc=123)
+    first = _sample_record(version=1)
+    second = _sample_record(version=2, pages=((1, b"p"),), objects=())
+    writer.append(first)
+    end = writer.append(second)
+    writer.close()
+    assert os.path.getsize(log) == end
+    scan = scan_wal(log)
+    assert scan.tail_state == "clean"
+    assert scan.records == [first, second]
+    assert scan.committed_version == 2
+    assert scan.store_crc == 123
+    assert scan.record_ends[-1] == end
+    assert scan.tail_bytes == 0
+
+
+def test_writer_refuses_foreign_log(tmp_path):
+    log = str(tmp_path / "log.wal")
+    WalWriter(log, store_crc=1).close()
+    with pytest.raises(StorageError, match="header mismatch"):
+        WalWriter(log, store_crc=2)
+
+
+def test_scan_classifies_torn_vs_corrupt(tmp_path):
+    log = str(tmp_path / "log.wal")
+    writer = WalWriter(log, store_crc=9)
+    writer.append(_sample_record(version=1))
+    writer.append(_sample_record(version=2))
+    writer.close()
+    clean = scan_wal(log)
+    full = os.path.getsize(log)
+
+    # Every proper prefix that is not a record boundary scans as torn
+    # with exactly the already-committed records intact.
+    with open(log, "rb") as handle:
+        data = handle.read()
+    for cut in (full - 1, full - len(COMMIT_MARKER),
+                clean.record_ends[0] + 3, HEADER_SIZE + 1):
+        torn_log = str(tmp_path / "torn.wal")
+        with open(torn_log, "wb") as handle:
+            handle.write(data[:cut])
+        scan = scan_wal(torn_log)
+        assert scan.tail_state == "torn", cut
+        expected = sum(1 for end in clean.record_ends if end <= cut)
+        assert len(scan.records) == expected
+        assert scan.committed_length == ([HEADER_SIZE]
+                                         + clean.record_ends)[expected]
+
+    # In-place damage on a complete frame is corrupt, not torn.
+    bad_log = str(tmp_path / "bad.wal")
+    with open(bad_log, "wb") as handle:
+        handle.write(data)
+    from repro.storage.faults import corrupt_byte
+    corrupt_byte(bad_log, clean.record_ends[0] + 30)
+    scan = scan_wal(bad_log)
+    assert scan.tail_state == "corrupt"
+    assert len(scan.records) == 1  # the first record survives
+
+    # Bad magic and short headers are corrupt too.
+    corrupt_byte(bad_log, 0)
+    assert scan_wal(bad_log).tail_state == "corrupt"
+    with open(str(tmp_path / "short.wal"), "wb") as handle:
+        handle.write(wal_header(9)[:HEADER_SIZE - 2])
+    assert scan_wal(str(tmp_path / "short.wal")).tail_state == "corrupt"
+
+
+def test_scan_missing_and_empty_logs_are_clean(tmp_path):
+    missing = scan_wal(str(tmp_path / "nope.wal"))
+    assert (missing.tail_state, missing.records) == ("clean", [])
+    empty = str(tmp_path / "empty.wal")
+    open(empty, "wb").close()
+    assert scan_wal(empty).tail_state == "clean"
+
+
+def test_repair_wal_truncates_torn_requires_force_for_corrupt(tmp_path):
+    log = str(tmp_path / "log.wal")
+    writer = WalWriter(log, store_crc=4)
+    writer.append(_sample_record(version=1))
+    writer.close()
+    committed = os.path.getsize(log)
+    with open(log, "ab") as handle:
+        handle.write(b"\x01\x02\x03")
+    scan = repair_wal(log)
+    assert os.path.getsize(log) == committed
+    assert len(scan.records) == 1
+
+    from repro.storage.faults import corrupt_byte
+    corrupt_byte(log, committed - 2)  # inside the commit marker
+    with pytest.raises(StorageError, match="force"):
+        repair_wal(log)
+    repair_wal(log, force=True)
+    assert os.path.getsize(log) == HEADER_SIZE
+
+    # Unreadable header: repair (forced) removes the file entirely.
+    corrupt_byte(log, 1)
+    with pytest.raises(StorageError):
+        repair_wal(log)
+    repair_wal(log, force=True)
+    assert not os.path.exists(log)
+
+
+def test_truncate_to_guards_the_header(tmp_path):
+    log = str(tmp_path / "log.wal")
+    reset_wal(log, 1)
+    with pytest.raises(ValueError, match="header"):
+        truncate_to(log, HEADER_SIZE - 1)
+
+
+# --------------------------------------------------------------------------- #
+# durable updater commits
+# --------------------------------------------------------------------------- #
+def test_durable_updater_commits_one_record_per_batch(tmp_path):
+    path, live, updater = _durable_store(tmp_path)
+    events = _events(30)
+    for start in range(0, 30, 5):
+        updater.apply_batch(events[start:start + 5])
+    log_scan = scan_wal(wal_path(path))
+    assert log_scan.tail_state == "clean"
+    assert len(log_scan.records) == updater.wal_commits == 6
+    assert log_scan.committed_version == updater.registry.dataset_version
+    assert updater.summary()["wal_commits"] == 6
+    summary = wal_summary(path)
+    assert summary["records"] == 6
+    assert summary["wal_bytes"] > HEADER_SIZE
+    live.store.close()
+
+
+def test_recovery_reproduces_live_state_exactly(tmp_path):
+    path, live, updater = _durable_store(tmp_path)
+    for start in range(0, 36, 4):
+        updater.apply_batch(_events(36)[start:start + 4])
+    expected_state = _object_state(live)
+    expected_order = list(live.objects)
+    expected_root, expected_height = live.root_id, live.height
+    live.store.close()
+
+    recovered = load_tree(path, recover=True)
+    try:
+        assert _object_state(recovered) == expected_state
+        # Replay preserves dict insertion order, not just content.
+        assert list(recovered.objects) == expected_order
+        assert (recovered.root_id, recovered.height) == \
+            (expected_root, expected_height)
+        assert_tree_valid(recovered)
+    finally:
+        recovered.store.close()
+
+
+def test_nonrecovering_load_refuses_a_live_wal(tmp_path):
+    path, live, updater = _durable_store(tmp_path)
+    updater.apply_batch(_events(4))
+    live.store.close()
+    with pytest.raises(StorageError, match="recover"):
+        load_tree(path)
+    # Explicit recovery (or writable mode, which implies it) still works.
+    tree = load_tree(path, recover=True)
+    tree.store.close()
+
+
+def test_stale_wal_is_ignored(tmp_path):
+    path, live, updater = _durable_store(tmp_path)
+    updater.apply_batch(_events(6))
+    live.store.close()
+    # Simulate pack crashing after publishing the folded checkpoint but
+    # before deleting the log: re-checkpoint over the store, keep the log.
+    recovered = load_tree(path, recover=True)
+    log = wal_path(path)
+    with open(log, "rb") as handle:
+        stale_log = handle.read()
+    try:
+        save_tree(recovered, path)
+    finally:
+        recovered.store.close()
+    with open(log, "wb") as handle:
+        handle.write(stale_log)
+    assert wal_summary(path)["stale"] is True
+    # A plain (non-recover) load no longer trips over the superseded log,
+    # and an opened-writable store starts a fresh log for the new CRC.
+    tree = load_tree(path, writable=True)
+    try:
+        assert scan_wal(log).store_crc == file_crc32(path)
+        assert scan_wal(log).records == []
+    finally:
+        tree.store.close()
+
+
+def test_pack_folds_wal_and_reclaims_dead_pages(tmp_path):
+    path, live, updater = _durable_store(tmp_path)
+    for start in range(0, 24, 6):
+        updater.apply_batch(_events(24)[start:start + 6])
+    expected_state = _object_state(live)
+    version = updater.registry.dataset_version
+    live.store.close()
+
+    before = wal_summary(path)
+    assert before["dead_pages"] > 0
+    info = pack(path)
+    assert info["records_folded"] == before["records"] == 4
+    assert info["committed_version"] == version
+    assert info["dead_pages_reclaimed"] == before["dead_pages"]
+    assert not os.path.exists(wal_path(path))
+
+    packed = load_tree(path)
+    try:
+        assert _object_state(packed) == expected_state
+        # Pack writes the canonical checkpoint form: sorted object order,
+        # exactly like a fresh save_tree of the same content.
+        assert list(packed.objects) == sorted(packed.objects)
+        assert_tree_valid(packed)
+    finally:
+        packed.store.close()
+    after = wal_summary(path)
+    assert after["wal_present"] is False
+    assert after["dead_pages"] == 0
+
+
+def test_pack_refuses_corrupt_wal(tmp_path):
+    from repro.storage.faults import corrupt_byte
+    path, live, updater = _durable_store(tmp_path)
+    updater.apply_batch(_events(5))
+    live.store.close()
+    corrupt_byte(wal_path(path), HEADER_SIZE + 20)
+    with pytest.raises(StorageError, match="corrupt"):
+        pack(path)
+
+
+def test_wal_summary_reports_torn_tails_without_mutating(tmp_path):
+    path, live, updater = _durable_store(tmp_path)
+    for start in range(0, 8, 4):
+        updater.apply_batch(_events(8)[start:start + 4])
+    live.store.close()
+    log = wal_path(path)
+    size = os.path.getsize(log)
+    with open(log, "r+b") as handle:
+        handle.truncate(size - 5)
+    summary = wal_summary(path)
+    assert summary["tail_state"] == "torn"
+    assert summary["tail_bytes"] > 0
+    assert summary["records"] == 1
+    # The scan-only summary must not repair the file.
+    assert os.path.getsize(log) == size - 5
+
+
+def test_writable_backend_requires_wal_for_commit(tmp_path):
+    records = make_records(40, seed=3)
+    tree = bulk_load_str(records, size_model=SizeModel(page_bytes=256))
+    path = str(tmp_path / "plain.rpro")
+    save_tree(tree, path)
+    cow = load_tree(path, copy_on_write=True)
+    try:
+        assert isinstance(cow.store, PagedFileBackend)
+        assert cow.store.wal is None
+        with pytest.raises(StorageError, match="write-ahead log"):
+            cow.store.commit_record(_sample_record())
+    finally:
+        cow.store.close()

@@ -1,0 +1,217 @@
+"""Fault-injection tests: torn writes, bit rot, and the crash-point matrix."""
+
+import os
+import random
+
+import pytest
+
+from repro.core.server import ServerQueryProcessor
+from repro.geometry import Rect
+from repro.rtree import SizeModel, assert_tree_valid, bulk_load_str
+from repro.storage import StorageError
+from repro.storage.faults import (
+    FaultyFile,
+    InjectedCrash,
+    assert_crash_point_recovery,
+    corrupt_byte,
+    crash_point_offsets,
+    faulty_opener,
+)
+from repro.storage.paged import load_tree, save_tree
+from repro.storage.wal import (
+    HEADER_SIZE,
+    WalRecord,
+    WalWriter,
+    repair_wal,
+    scan_wal,
+    wal_path,
+)
+from repro.updates import DatasetUpdater
+from repro.updates.stream import UpdateEvent
+
+from tests.conftest import make_records
+
+
+# --------------------------------------------------------------------------- #
+# FaultyFile unit behaviour
+# --------------------------------------------------------------------------- #
+def test_faulty_file_crashes_after_byte_budget(tmp_path):
+    path = str(tmp_path / "budget.bin")
+    handle = FaultyFile(open(path, "wb"), crash_after_bytes=10)
+    assert handle.write(b"123456") == 6
+    with pytest.raises(InjectedCrash):
+        handle.write(b"789012345")  # would land bytes 7..15
+    handle.close()
+    # Exactly the budget landed on disk — the prefix a dead process leaves.
+    assert os.path.getsize(path) == 10
+    with open(path, "rb") as check:
+        assert check.read() == b"1234567890"
+
+
+def test_faulty_file_short_write_cuts_one_op(tmp_path):
+    path = str(tmp_path / "short.bin")
+    handle = FaultyFile(open(path, "wb"), short_write_at_op=(1, 2))
+    handle.write(b"aaaa")
+    with pytest.raises(InjectedCrash):
+        handle.write(b"bbbb")
+    handle.close()
+    with open(path, "rb") as check:
+        assert check.read() == b"aaaabb"
+
+
+def test_faulty_file_garbles_in_flight_without_crashing(tmp_path):
+    path = str(tmp_path / "garble.bin")
+    handle = FaultyFile(open(path, "wb"), garble_at=(5, 0xFF))
+    handle.write(b"0123")
+    handle.write(b"4567")  # offset 5 is this write's second byte
+    handle.close()
+    with open(path, "rb") as check:
+        data = check.read()
+    assert data[:5] == b"01234"
+    assert data[5] == ord("5") ^ 0xFF
+    assert data[6:] == b"67"
+
+
+def test_faulty_file_stays_dead_after_crash(tmp_path):
+    path = str(tmp_path / "dead.bin")
+    handle = FaultyFile(open(path, "wb"), crash_after_bytes=0)
+    with pytest.raises(InjectedCrash):
+        handle.write(b"x")
+    for operation in (lambda: handle.write(b"y"), handle.flush,
+                      handle.fileno, handle.tell):
+        with pytest.raises(InjectedCrash):
+            operation()
+    handle.close()  # closing a dead handle is fine (the OS does it too)
+
+
+# --------------------------------------------------------------------------- #
+# WalWriter under injected crashes
+# --------------------------------------------------------------------------- #
+def _record(version, blob=b"payload-bytes"):
+    return WalRecord(version=version, root_id=1, height=1, next_page_id=2,
+                     pages=((1, blob),), objects=((version, blob),))
+
+
+def test_crash_mid_append_leaves_recoverable_torn_tail(tmp_path):
+    log = str(tmp_path / "log.wal")
+    writer = WalWriter(log, store_crc=5)
+    writer.append(_record(1))
+    committed = os.path.getsize(log)
+    writer.close()
+
+    crasher = WalWriter(log, store_crc=5,
+                        opener=faulty_opener(crash_after_bytes=7))
+    with pytest.raises(InjectedCrash):
+        crasher.append(_record(2))
+    crasher.close()
+    assert os.path.getsize(log) == committed + 7
+
+    scan = scan_wal(log)
+    assert scan.tail_state == "torn"
+    assert len(scan.records) == 1
+    repair_wal(log)
+    assert os.path.getsize(log) == committed
+    survivor = WalWriter(log, store_crc=5)
+    survivor.append(_record(2))
+    survivor.close()
+    assert [r.version for r in scan_wal(log).records] == [1, 2]
+
+
+def test_garbled_append_is_corrupt_not_torn(tmp_path):
+    log = str(tmp_path / "log.wal")
+    writer = WalWriter(log, store_crc=5,
+                       opener=faulty_opener(garble_at=(HEADER_SIZE + 20, 0x40)))
+    writer.append(_record(1))  # lands fully, but one payload byte is rotten
+    writer.close()
+    scan = scan_wal(log)
+    assert scan.tail_state == "corrupt"
+    assert "checksum" in scan.tail_error
+    with pytest.raises(StorageError, match="force"):
+        repair_wal(log)
+
+
+# --------------------------------------------------------------------------- #
+# crash-point matrix over a real durable store
+# --------------------------------------------------------------------------- #
+def _store_with_history(tmp_path, batches=4, batch_size=5):
+    """A checkpoint + WAL of ``batches`` commits, with per-batch oracles."""
+    records = make_records(90, seed=52)
+    tree = bulk_load_str(records, size_model=SizeModel(page_bytes=512))
+    path = str(tmp_path / "store.rpro")
+    save_tree(tree, path)
+    live = load_tree(path, writable=True)
+    updater = DatasetUpdater(live, ServerQueryProcessor(live))
+    states = [dict(live.objects)]
+    rng = random.Random(13)
+    index = 0
+    for _ in range(batches):
+        events = []
+        for _ in range(batch_size):
+            kind = ("insert", "modify", "delete")[index % 3]
+            object_id = 500 + index if kind == "insert" else rng.randrange(90)
+            mbr = size = None
+            if kind in ("insert", "modify"):
+                x, y = rng.random(), rng.random()
+                mbr = Rect(x, y, min(1.0, x + 0.01), min(1.0, y + 0.01))
+                size = 600 + index
+            events.append(UpdateEvent(index=index, arrival_time=float(index),
+                                      kind=kind, object_id=object_id,
+                                      mbr=mbr, size_bytes=size))
+            index += 1
+        updater.apply_batch(events)
+        states.append(dict(live.objects))
+    live.store.close()
+    return path, states
+
+
+def test_crash_point_matrix_sampled(tmp_path):
+    path, states = _store_with_history(tmp_path)
+    offsets = crash_point_offsets(path)
+    boundaries = {0, HEADER_SIZE, offsets[-1]}
+    boundaries.update(scan_wal(wal_path(path)).record_ends)
+    # Every record boundary, its neighbours, and a stride sample between.
+    sampled = sorted(boundary + delta for boundary in boundaries
+                     for delta in (-1, 0, 1)
+                     if boundary + delta in set(offsets))
+    sampled += [offset for offset in offsets[::17] if offset not in sampled]
+    work = tmp_path / "clones"
+    work.mkdir()
+    checked = assert_crash_point_recovery(path, states, str(work),
+                                          offsets=sorted(set(sampled)))
+    assert checked >= len(boundaries) * 2
+
+
+@pytest.mark.slow
+def test_crash_point_matrix_exhaustive(tmp_path):
+    path, states = _store_with_history(tmp_path)
+    work = tmp_path / "clones"
+    work.mkdir()
+    checked = assert_crash_point_recovery(path, states, str(work))
+    log_size = os.path.getsize(wal_path(path))
+    # [0] plus every byte length from the header to the full log.
+    assert checked == log_size - HEADER_SIZE + 2
+
+
+def test_matrix_harness_rejects_bad_oracle_counts(tmp_path):
+    path, states = _store_with_history(tmp_path, batches=2)
+    work = tmp_path / "clones"
+    work.mkdir()
+    with pytest.raises(ValueError, match="oracle states"):
+        assert_crash_point_recovery(path, states[:-1], str(work))
+
+
+def test_garbled_wal_refuses_silent_recovery(tmp_path):
+    path, states = _store_with_history(tmp_path, batches=2)
+    log = wal_path(path)
+    corrupt_byte(log, scan_wal(log).record_ends[0] + 40)
+    with pytest.raises(StorageError, match="corrupt"):
+        load_tree(path, recover=True)
+    # After a forced repair the first batch's state is recovered.
+    repair_wal(log, force=True)
+    tree = load_tree(path, recover=True)
+    try:
+        assert {k: (r.size_bytes, r.mbr) for k, r in tree.objects.items()} \
+            == {k: (r.size_bytes, r.mbr) for k, r in states[1].items()}
+        assert_tree_valid(tree)
+    finally:
+        tree.store.close()

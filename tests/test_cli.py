@@ -209,17 +209,25 @@ def test_fleet_rejects_workers_with_updates():
 
 
 def test_fleet_rejects_resume_with_update_flags(tmp_path):
-    with pytest.raises(SystemExit, match="not resumable"):
+    with pytest.raises(SystemExit, match="--resume"):
         main(["fleet", "--resume", str(tmp_path), "--update-rate", "0.5"])
-    with pytest.raises(SystemExit, match="not resumable"):
+    with pytest.raises(SystemExit, match="--resume"):
         main(["fleet", "--resume", str(tmp_path), "--consistency", "ttl"])
+    with pytest.raises(SystemExit, match="--durable"):
+        main(["fleet", "--resume", str(tmp_path), "--durable"])
 
 
-def test_fleet_rejects_halt_with_updates(tmp_path):
-    with pytest.raises(SystemExit, match="dynamic"):
-        main(["fleet", "--clients", "2", "--queries", "2", "--objects", "150",
-              "--update-rate", "0.5", "--halt-after", "2",
-              "--session-dir", str(tmp_path / "s")])
+def test_fleet_halt_and_resume_dynamic(tmp_path, capsys):
+    """Halting mid-run now works for updating fleets too."""
+    session_dir = str(tmp_path / "session")
+    assert main(["fleet", "--clients", "2", "--queries", "4", "--objects",
+                 "200", "--update-rate", "0.3", "--consistency", "versioned",
+                 "--halt-after", "4", "--session-dir", session_dir]) == 0
+    assert "halted after 4" in capsys.readouterr().out
+    assert main(["fleet", "--resume", session_dir]) == 0
+    output = capsys.readouterr().out
+    assert "resumed from" in output
+    assert "server updates:" in output
 
 
 def test_fleet_update_run_reports_server_updates(capsys):
@@ -229,3 +237,100 @@ def test_fleet_update_run_reports_server_updates(capsys):
     output = capsys.readouterr().out
     assert "versioned consistency" in output
     assert "server updates:" in output
+
+
+# --------------------------------------------------------------------------- #
+# durability: --durable, persist recover / pack, WAL verify paths
+# --------------------------------------------------------------------------- #
+DYNAMIC = ["--clients", "2", "--queries", "4", "--objects", "200",
+           "--update-rate", "0.3", "--consistency", "versioned"]
+
+
+def _durable_store(tmp_path, capsys):
+    """A store a durable CLI fleet has written WAL commits into."""
+    store = str(tmp_path / "server.rpro")
+    assert main(["persist", "save-tree", "--out", store] + TINY) == 0
+    assert main(["fleet", "--store", store, "--durable"] + DYNAMIC) == 0
+    output = capsys.readouterr().out
+    assert "durable WAL" in output and "WAL commits" in output
+    return store
+
+
+def test_fleet_durable_requires_dynamic_fleet_and_store(tmp_path):
+    store = str(tmp_path / "server.rpro")
+    with pytest.raises(SystemExit, match="dynamic"):
+        main(["fleet", "--clients", "2", "--queries", "2", "--objects", "150",
+              "--store", store, "--durable"])
+    with pytest.raises(SystemExit, match="disk store"):
+        main(["fleet", "--durable"] + DYNAMIC)
+
+
+def test_durable_fleet_then_info_verify_pack(tmp_path, capsys):
+    store = _durable_store(tmp_path, capsys)
+    assert main(["persist", "info", store]) == 0
+    output = capsys.readouterr().out
+    assert "wal:" in output and "committed record(s)" in output
+
+    assert main(["persist", "verify", store] + TINY) == 0
+    output = capsys.readouterr().out
+    assert output.startswith("OK") and "WAL clean" in output
+
+    assert main(["persist", "pack", store]) == 0
+    output = capsys.readouterr().out
+    assert "folded" in output
+    assert main(["persist", "info", store]) == 0
+    assert "wal: none" in capsys.readouterr().out
+
+
+def test_persist_recover_truncates_torn_tail(tmp_path, capsys):
+    import os
+    from repro.storage.wal import wal_path
+
+    store = _durable_store(tmp_path, capsys)
+    log = wal_path(store)
+    size = os.path.getsize(log)
+    with open(log, "r+b") as handle:
+        handle.truncate(size - 3)
+
+    assert main(["persist", "verify", store] + TINY) == 0
+    output = capsys.readouterr().out
+    assert output.startswith("RECOVERABLE") and "torn tail" in output
+
+    assert main(["persist", "recover", store]) == 0
+    output = capsys.readouterr().out
+    assert "truncated" in output
+    assert main(["persist", "verify", store] + TINY) == 0
+    assert capsys.readouterr().out.startswith("OK")
+
+
+def test_persist_recover_corrupt_tail_needs_force(tmp_path, capsys):
+    from repro.storage.faults import corrupt_byte
+    from repro.storage.wal import scan_wal, wal_path
+
+    store = _durable_store(tmp_path, capsys)
+    log = wal_path(store)
+    corrupt_byte(log, scan_wal(log).record_ends[0] + 25)
+
+    with pytest.raises(SystemExit, match="VERIFY FAILED"):
+        main(["persist", "verify", store] + TINY)
+    with pytest.raises(SystemExit, match="force"):
+        main(["persist", "recover", store])
+    assert main(["persist", "recover", store, "--force"]) == 0
+    assert "(forced)" in capsys.readouterr().out
+
+
+def test_persist_recover_nothing_to_do(tmp_path, capsys):
+    store = str(tmp_path / "server.rpro")
+    assert main(["persist", "save-tree", "--out", store] + TINY) == 0
+    capsys.readouterr()
+    assert main(["persist", "recover", store]) == 0
+    assert "nothing to recover" in capsys.readouterr().out
+
+
+def test_persist_pack_without_wal_is_a_noop_rewrite(tmp_path, capsys):
+    store = str(tmp_path / "server.rpro")
+    assert main(["persist", "save-tree", "--out", store] + TINY) == 0
+    capsys.readouterr()
+    assert main(["persist", "pack", store]) == 0
+    output = capsys.readouterr().out
+    assert "0 WAL record(s)" in output
