@@ -68,7 +68,7 @@ HOT_PATH_PACKAGES = ("repro/geometry/*", "repro/rtree/*", "repro/core/*")
 #: the per-module strict sections in ``mypy.ini`` must name the same set.
 STRICT_TYPING_PACKAGES = ("repro/geometry/*", "repro/rtree/*",
                           "repro/storage/*", "repro/updates/*",
-                          "repro/analysis/*")
+                          "repro/analysis/*", "repro/net/*")
 
 #: Packages where iteration order feeds query results, eviction choices or
 #: digests — DET03's scope.

@@ -163,6 +163,10 @@ def _run_fleet(args: argparse.Namespace) -> str:
             raise SystemExit(
                 "repro fleet: error: --shards cannot be combined with "
                 "--resume (sharded fleets are not resumable)")
+        if args.transport != "inproc":
+            raise SystemExit(
+                "repro fleet: error: --transport cannot be combined with "
+                "--resume (networked fleets are not resumable)")
         from repro.sim.restart import resume_fleet
         try:
             result, state = resume_fleet(args.resume)
@@ -195,6 +199,9 @@ def _run_fleet(args: argparse.Namespace) -> str:
             import dataclasses
             fleet = dataclasses.replace(fleet, shards=args.shards,
                                         partitioner=args.partitioner)
+        if args.transport != "inproc":
+            import dataclasses
+            fleet = dataclasses.replace(fleet, transport=args.transport)
     except ValueError as error:
         # Cross-group validation (duplicate names, non-positive totals) that
         # parse_group_spec cannot see: fail like an argparse error, not a
@@ -203,6 +210,10 @@ def _run_fleet(args: argparse.Namespace) -> str:
 
     if args.halt_after is not None:
         from repro.sim.restart import run_fleet_interrupted
+        if args.transport != "inproc":
+            raise SystemExit("repro fleet: error: --halt-after is "
+                             "inproc-only (networked fleets are not "
+                             "resumable)")
         if not args.session_dir:
             raise SystemExit("repro fleet: error: --halt-after requires "
                              "--session-dir to persist the session")
@@ -232,6 +243,8 @@ def _run_fleet(args: argparse.Namespace) -> str:
                  f"{fleet.update_rate:g} updates/s")
     if args.durable:
         mode += ", durable WAL"
+    if fleet.is_networked:
+        mode += f", loopback {fleet.transport} transport"
     if fleet.is_sharded:
         server_side = (f"{fleet.shards} shard(s) "
                        f"[{fleet.partitioner} partitioner]")
@@ -242,7 +255,55 @@ def _run_fleet(args: argparse.Namespace) -> str:
                       f"{len(fleet.groups)} groups, {server_side} ({mode})")
     if result.update_summary:
         report += _update_summary_line(result.update_summary)
+    if result.net_summary:
+        reconciled = ("reconciled exactly"
+                      if result.net_summary.get("all_reconciled")
+                      else "NOT reconciled")
+        report += (f"\nLoopback bytes: client channels vs server ledgers "
+                   f"{reconciled} across "
+                   f"{len(result.net_summary.get('clients', []))} clients")
     return report
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    """Run a standalone wire-protocol server until interrupted."""
+    import asyncio
+
+    from repro.net.server import ReproServer
+    from repro.sim.runner import build_shared_state
+
+    base = SimulationConfig.scaled(query_count=args.queries,
+                                   object_count=args.objects,
+                                   seed=args.seed).with_overrides(
+        dataset_name=args.dataset)
+    if args.transport == "uds" and not args.path:
+        raise SystemExit("repro serve: error: --transport uds requires "
+                         "--path")
+
+    async def main() -> None:
+        shared = build_shared_state(base)
+        try:
+            server = ReproServer(shared.server, shared.size_model)
+            if args.transport == "uds":
+                where = await server.listen_uds(args.path)
+                print(f"serving {base.object_count} objects on uds "
+                      f"{where}", flush=True)
+            else:
+                host, port = await server.listen_tcp(args.host, args.port)
+                print(f"serving {base.object_count} objects on tcp "
+                      f"{host}:{port}", flush=True)
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await server.close()
+        finally:
+            shared.tree.store.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return "server stopped"
 
 
 def _run_figure(args: argparse.Namespace) -> str:
@@ -568,6 +629,13 @@ examples:
   repro fleet --clients 8 --update-rate 0.05 --consistency versioned --store server.rpro --durable
   repro fleet --clients 12 --shards 4 --partitioner grid
   repro persist save-shards --out ./shards --shards 4 && repro fleet --shards 4 --store ./shards
+  repro fleet --clients 8 --transport uds
+  repro fleet --clients 8 --transport tcp --consistency versioned --update-rate 0.05
+""",
+    "serve": """\
+examples:
+  repro serve --transport tcp --port 7007
+  repro serve --transport uds --path /tmp/repro.sock --objects 8000
 """,
     "figure": """\
 examples:
@@ -682,6 +750,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "store's write-ahead log so the run is "
                             "crash-safe on disk (requires --store and a "
                             "dynamic fleet)")
+    fleet.add_argument("--transport", choices=("inproc", "uds", "tcp"),
+                       default="inproc",
+                       help="where the shared server lives: in the same "
+                            "process (default) or behind a loopback UNIX / "
+                            "TCP socket speaking the repro.net wire "
+                            "protocol (byte-identical results)")
     fleet.add_argument("--halt-after", type=int, default=None, metavar="N",
                        help="stop after N global events and persist the "
                             "session (requires --session-dir)")
@@ -691,6 +765,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume a halted session from DIR and run it to "
                             "completion (ignores the other fleet options)")
     fleet.set_defaults(handler=_run_fleet)
+
+    serve = subparsers.add_parser(
+        "serve", help="run a standalone wire-protocol server",
+        epilog=_EXAMPLES["serve"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    serve.add_argument("--transport", choices=("uds", "tcp"), default="tcp",
+                       help="listen on a UNIX socket (--path) or a TCP "
+                            "port (default: tcp)")
+    serve.add_argument("--path", default=None, metavar="SOCKET",
+                       help="UNIX socket path for --transport uds")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks a free one and prints it "
+                            "(default: 0)")
+    serve.add_argument("--queries", type=int, default=400,
+                       help="query-count knob of the generating config "
+                            "(affects adaptation defaults only; default: "
+                            "400)")
+    serve.add_argument("--objects", type=int, default=4_000,
+                       help="number of data objects (default: 4000)")
+    serve.add_argument("--dataset", choices=("NE", "RD", "UNIFORM"),
+                       default="NE",
+                       help="synthetic dataset family (default: NE)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="dataset seed (default: 7)")
+    serve.set_defaults(handler=_run_serve)
 
     figure = subparsers.add_parser(
         "figure", help="regenerate a figure from the paper",

@@ -1,0 +1,363 @@
+"""The loopback-networked fleet runner and the saturation probe.
+
+``run_networked_fleet`` runs an ordinary :class:`~repro.sim.fleet
+.FleetConfig` with the server behind a real socket: the deterministic
+server state is built in-process exactly as the simulated runner builds
+it, a :class:`~repro.net.server.ReproServer` serves it from a background
+event-loop thread, and every client session gets a
+:class:`~repro.net.client.RemoteSessionClient` as its server handle — the
+sessions, consistency protocols and replay loops are the *same objects*
+running the same code, which is why the equivalence suite can demand
+byte-identical per-query costs and cache digests against the in-process
+run.
+
+The byte story per client: queries and consistency handshakes bill their
+modelled bytes to the client's own
+:class:`~repro.network.channel.WirelessChannel`; the server keeps a
+mirror ledger per connection; :attr:`FleetResult.net_summary` reports
+both sides and whether they reconciled exactly.
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.client import (
+    ClientPool,
+    Endpoint,
+    NetValidationService,
+    RemoteSessionClient,
+)
+from repro.net.server import ReproServer, ServerThread
+from repro.network.channel import WirelessChannel
+from repro.sim.config import SimulationConfig
+from repro.rtree.sizes import SizeModel
+from repro.sim.fleet import (
+    FleetClientSpec,
+    FleetConfig,
+    build_dynamic_events,
+    build_fleet_events,
+    check_dynamic_models,
+    finalize_fleet_results,
+    replay_dynamic_events,
+    replay_fleet_events,
+)
+from repro.sim.metrics import ClientResult, FleetResult
+from repro.sim.runner import (
+    SharedServerState,
+    build_shared_state,
+    generate_trace,
+)
+from repro.sim.sessions import GroundTruthCache, make_session
+from repro.updates.validation import LocalValidationService
+
+#: Transports `repro fleet` accepts; "inproc" is the simulated default.
+TRANSPORTS = ("inproc", "uds", "tcp")
+
+
+def make_endpoint(thread: ServerThread) -> Endpoint:
+    """The client-side endpoint of a started :class:`ServerThread`."""
+    kind, where = thread.address
+    if kind == "uds":
+        return Endpoint(transport="uds", path=str(where))
+    host, port = where  # type: ignore[misc]
+    return Endpoint(transport="tcp", host=host, port=int(port))
+
+
+class _CatalogInvalidatingUpdater:
+    """Apply updates through the real updater, then dirty every catalogue.
+
+    In-process sessions read ``server.root_id`` live, so a root split is
+    visible instantly; remote handles cache the catalogue, so each applied
+    update marks it stale and the next read re-fetches (free metadata,
+    like the in-process property read).
+    """
+
+    def __init__(self, updater: object,
+                 handles: Sequence[RemoteSessionClient]) -> None:
+        self.updater = updater
+        self.handles = list(handles)
+
+    def apply(self, event: object) -> None:
+        self.updater.apply(event)  # type: ignore[attr-defined]
+        for handle in self.handles:
+            handle.invalidate_catalog()
+
+    def summary(self) -> Dict[str, object]:
+        return dict(self.updater.summary())  # type: ignore[attr-defined]
+
+
+def _reconcile(channel: WirelessChannel,
+               ledger: Dict[str, int]) -> Dict[str, object]:
+    """One client's two-sided byte accounting, with the exact-match bit."""
+    server_uplink = ledger["uplink_bytes"] + ledger["sync_uplink_bytes"]
+    server_downlink = (ledger["downlink_bytes"]
+                       + ledger["sync_downlink_bytes"])
+    return {
+        "client_uplink_bytes": channel.uplink_bytes_total,
+        "client_downlink_bytes": channel.downlink_bytes_total,
+        "server_uplink_bytes": server_uplink,
+        "server_downlink_bytes": server_downlink,
+        "queries_served": ledger["queries_served"],
+        "wire_bytes_to_server": ledger["wire_bytes_in"],
+        "wire_bytes_from_server": ledger["wire_bytes_out"],
+        "reconciled": (server_uplink == channel.uplink_bytes_total
+                       and server_downlink == channel.downlink_bytes_total),
+    }
+
+
+def run_networked_fleet(fleet: FleetConfig, transport: str) -> FleetResult:
+    """Run ``fleet`` with the server behind a loopback socket.
+
+    ``transport`` is ``"uds"`` or ``"tcp"`` (``"inproc"`` belongs to the
+    simulated :func:`~repro.sim.fleet.run_fleet`).  Sharded fleets route
+    the wire protocol to the scatter-gather router; dynamic fleets apply
+    the shared mutation history in-process between queries, exactly as the
+    simulated runner does.  Returns the ordinary :class:`FleetResult`
+    plus a :attr:`~repro.sim.metrics.FleetResult.net_summary` with the
+    per-client byte reconciliation.
+    """
+    if transport not in ("uds", "tcp"):
+        raise ValueError(f"unknown networked transport {transport!r}; "
+                         "expected uds or tcp")
+    check_dynamic_models(fleet, kind="networked")
+    if fleet.is_sharded:
+        return _run_sharded(fleet, transport)
+    return _run_single(fleet, transport)
+
+
+def _run_single(fleet: FleetConfig, transport: str) -> FleetResult:
+    specs = fleet.client_specs()
+    shared = build_shared_state(fleet.base)
+    try:
+        updater = None
+        validation = None
+        if fleet.is_dynamic:
+            from repro.updates import DatasetUpdater
+            updater = DatasetUpdater(shared.tree, shared.server,
+                                     ground_truth=shared.ground_truth)
+            validation = LocalValidationService(updater)
+        result = _serve_and_replay(fleet, specs, shared.server,
+                                   shared.size_model, shared.tree,
+                                   shared.ground_truth, updater, transport)
+        if updater is not None:
+            result.update_summary = dict(updater.summary())
+            result.update_summary["consistency"] = fleet.consistency
+        return result
+    finally:
+        shared.tree.store.close()
+
+
+def _run_sharded(fleet: FleetConfig, transport: str) -> FleetResult:
+    from repro.sharding import ShardedUpdater, build_sharded_state
+    shard_count = fleet.shards if fleet.shards is not None else 1
+    state = build_sharded_state(fleet.base, shard_count,
+                                partitioner=fleet.partitioner)
+    specs = fleet.client_specs()
+    try:
+        ground_truth = GroundTruthCache(state.view)
+        updater = None
+        if fleet.is_dynamic:
+            updater = ShardedUpdater(state.router, ground_truth=ground_truth)
+        result = _serve_and_replay(fleet, specs, state.router,
+                                   state.size_model, state.view,
+                                   ground_truth, updater, transport)
+        shard_summary = dict(state.router.stats.summary())
+        shard_summary["shards"] = shard_count
+        shard_summary["partitioner"] = (fleet.partitioner or "grid").lower()
+        shard_summary["objects_per_shard"] = [shard.object_count
+                                              for shard in state.shards]
+        result.shard_summary = shard_summary
+        if updater is not None:
+            result.update_summary = dict(updater.summary())
+            result.update_summary["consistency"] = fleet.consistency
+        return result
+    finally:
+        state.close()
+
+
+def _serve_and_replay(fleet: FleetConfig, specs: Sequence[FleetClientSpec],
+                      server: object, size_model: SizeModel, tree: object,
+                      ground_truth: GroundTruthCache,
+                      updater: Optional[object],
+                      transport: str) -> FleetResult:
+    """The shared core: serve, dial one handle per client, replay, close."""
+    from repro.updates import make_protocol
+    validation = (LocalValidationService(updater)
+                  if updater is not None else None)
+    repro_server = ReproServer(server, size_model, validation=validation)
+    with tempfile.TemporaryDirectory(prefix="repro-net-") as workdir:
+        thread = ServerThread(repro_server, transport,
+                              path=f"{workdir}/server.sock")
+        thread.start()
+        handles: List[RemoteSessionClient] = []
+        try:
+            endpoint = make_endpoint(thread)
+            sessions = {}
+            channels: Dict[int, WirelessChannel] = {}
+            for spec in specs:
+                channel = WirelessChannel()
+                handle = RemoteSessionClient(
+                    endpoint, size_model,
+                    client_name=f"client-{spec.client_id}", channel=channel)
+                handles.append(handle)
+                channels[spec.client_id] = channel
+                consistency = None
+                if fleet.is_dynamic:
+                    consistency = make_protocol(
+                        fleet.consistency, size_model=size_model,
+                        ttl_seconds=fleet.ttl_seconds,
+                        service=NetValidationService(handle))
+                sessions[spec.client_id] = make_session(
+                    spec.model, tree, spec.config, server=handle,
+                    replacement_policy=spec.replacement_policy,
+                    ground_truth=ground_truth, consistency=consistency)
+            results = {spec.client_id: ClientResult(
+                client_id=spec.client_id, group=spec.group, model=spec.model)
+                for spec in specs}
+            if fleet.is_dynamic:
+                assert updater is not None
+                wrapped = _CatalogInvalidatingUpdater(updater, handles)
+                replay_dynamic_events(wrapped, sessions, results,
+                                      build_dynamic_events(fleet, specs))
+            else:
+                replay_fleet_events(sessions, results,
+                                    build_fleet_events(specs))
+            finalize_fleet_results(sessions, results)
+            summary: Dict[str, object] = {"transport": transport}
+            clients_summary = []
+            for spec, handle in zip(specs, handles):
+                handle.close()
+                entry: Dict[str, object] = {"client_id": spec.client_id}
+                entry.update(_reconcile(channels[spec.client_id],
+                                        handle.server_ledger()))
+                entry["retries"] = handle.retries
+                clients_summary.append(entry)
+            summary["clients"] = clients_summary
+            summary["all_reconciled"] = all(entry["reconciled"]
+                                            for entry in clients_summary)
+            result = FleetResult(clients=[results[spec.client_id]
+                                          for spec in specs])
+            result.net_summary = summary
+            return result
+        finally:
+            for handle in handles:
+                handle.close()
+            thread.stop()
+
+
+# --------------------------------------------------------------------------- #
+# the saturation probe behind the net_fleet bench scenario
+# --------------------------------------------------------------------------- #
+def saturation_probe(base: SimulationConfig, connections: Sequence[int],
+                     queries_per_connection: int,
+                     transport: str = "uds") -> Dict[str, object]:
+    """Latency of one server under a ladder of concurrent connections.
+
+    For each rung, ``n`` threads each open their own connection and replay
+    ``queries_per_connection`` raw queries (no client cache — every query
+    is a full server round trip), recording per-query wall latency.  The
+    result ids of every (connection, query) pair are compared against a
+    direct in-process execution of the same query, so the fingerprint's
+    ``results_match`` bit is deterministic even though the latencies are
+    not.
+    """
+    shared = build_shared_state(base)
+    server = ReproServer(shared.server, shared.size_model)
+    rows: List[Dict[str, object]] = []
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-net-") as workdir:
+            thread = ServerThread(server, transport,
+                                  path=f"{workdir}/server.sock")
+            thread.start()
+            try:
+                endpoint = make_endpoint(thread)
+                for rung in connections:
+                    rows.append(_probe_rung(endpoint, shared, base, rung,
+                                            queries_per_connection))
+            finally:
+                thread.stop()
+    finally:
+        shared.tree.store.close()
+    return {
+        "transport": transport,
+        "queries_per_connection": queries_per_connection,
+        "connections": list(connections),
+        "rungs": rows,
+        "results_match": all(row["results_match"] for row in rows),
+    }
+
+
+def _probe_queries(base: SimulationConfig, worker: int,
+                   count: int) -> List[object]:
+    """A worker's deterministic query list (distinct per-worker seeds)."""
+    config = base.with_overrides(
+        query_count=count,
+        mobility_seed=base.mobility_seed + 7919 * (worker + 1),
+        workload_seed=base.workload_seed + 6007 * (worker + 1))
+    return [record.query for record in generate_trace(config)]
+
+
+def _probe_rung(endpoint: Endpoint, shared: SharedServerState,
+                base: SimulationConfig,
+                rung: int, per_connection: int) -> Dict[str, object]:
+    latencies: List[List[float]] = [[] for _ in range(rung)]
+    mismatches = [0] * rung
+    errors: List[str] = []
+    barrier = threading.Barrier(rung)
+    expected = [
+        [sorted(shared.server.execute(query).result_object_ids())
+         for query in _probe_queries(base, worker, per_connection)]
+        for worker in range(rung)]
+
+    def work(worker: int) -> None:
+        queries = _probe_queries(base, worker, per_connection)
+        pool = ClientPool(endpoint, shared.size_model,
+                          client_name=f"probe-{worker}", capacity=1)
+        client = RemoteSessionClient(endpoint, shared.size_model, pool=pool)
+        try:
+            barrier.wait()
+            for index, query in enumerate(queries):
+                start = time.perf_counter()  # repro: allow[DET02] latency measurement of the wire round trip
+                response = client.execute(query)
+                elapsed = time.perf_counter() - start  # repro: allow[DET02] latency measurement of the wire round trip
+                latencies[worker].append(elapsed)
+                got = sorted(response.result_object_ids())
+                if got != expected[worker][index]:
+                    mismatches[worker] += 1
+        except Exception as error:  # collected, not raised across threads
+            errors.append(f"worker {worker}: {type(error).__name__}: "
+                          f"{error}")
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=work, args=(worker,),
+                                name=f"probe-{worker}")
+               for worker in range(rung)]
+    for worker_thread in threads:
+        worker_thread.start()
+    for worker_thread in threads:
+        worker_thread.join()
+    if errors:
+        raise RuntimeError("saturation probe failed: " + "; ".join(errors))
+    flat = sorted(lat for worker in latencies for lat in worker)
+    return {
+        "connections": rung,
+        "queries": len(flat),
+        "p50_ms": round(_percentile(flat, 0.50) * 1000.0, 3),
+        "p99_ms": round(_percentile(flat, 0.99) * 1000.0, 3),
+        "mean_ms": round(statistics.fmean(flat) * 1000.0, 3) if flat else 0.0,
+        "results_match": sum(mismatches) == 0,
+    }
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for empty input)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]

@@ -17,7 +17,11 @@ Scales
 
 Only deterministic metrics (byte counts, hit rates, modelled response time)
 go into fingerprints — wall-clock-derived values like measured CPU seconds
-are excluded by construction.
+are excluded by construction.  The one deliberate exception is
+``net_fleet``, whose per-rung ``p50_ms`` / ``p99_ms`` entries measure real
+socket round trips: it reports a connections-vs-latency table and is
+therefore never gated against a baseline (its deterministic
+``results_match`` bit still certifies correctness).
 """
 
 from __future__ import annotations
@@ -60,6 +64,10 @@ SCALES["default"].update({"durable_clients": 8, "durable_queries": 20,
                           "durable_rate_milli": 300})
 SCALES["smoke"].update({"durable_clients": 4, "durable_queries": 8,
                         "durable_objects": 600, "durable_rate_milli": 250})
+SCALES["default"].update({"net_connections": 8, "net_queries": 10,
+                          "net_objects": 2_000})
+SCALES["smoke"].update({"net_connections": 4, "net_queries": 6,
+                        "net_objects": 600})
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
                         "byte_hit_rate", "false_miss_rate", "response_time")
@@ -337,6 +345,43 @@ def durable_updates(scale: Dict[str, int]) -> Fingerprint:
     return fingerprint
 
 
+def net_fleet(scale: Dict[str, int]) -> Fingerprint:
+    """Loopback server saturation: connections vs p50/p99 query latency.
+
+    One :class:`~repro.net.server.ReproServer` behind a UNIX socket serves
+    a doubling ladder of concurrent connections (1, 2, 4, ... up to
+    ``net_connections``); every connection replays ``net_queries`` raw
+    queries and each (connection, query) result set is checked against a
+    direct in-process execution.  Unlike every other scenario the
+    ``c<n>.p50_ms`` / ``c<n>.p99_ms`` entries are wall-clock — real socket
+    round trips — so ``net_fleet`` runs ungated in CI; only the
+    ``results_match`` bit and the rung shape are reproducible.
+    """
+    from repro.net.fleet import saturation_probe
+
+    base = SimulationConfig.scaled(query_count=scale["net_queries"],
+                                   object_count=scale["net_objects"])
+    ladder: List[int] = []
+    rung = 1
+    while rung <= scale["net_connections"]:
+        ladder.append(rung)
+        rung *= 2
+    probe = saturation_probe(base, ladder,
+                             queries_per_connection=scale["net_queries"],
+                             transport="uds")
+    fingerprint: Fingerprint = {
+        "results_match": 1.0 if probe["results_match"] else 0.0,
+        "rungs": float(len(ladder)),
+        "queries_per_connection": float(probe["queries_per_connection"]),
+    }
+    for row in probe["rungs"]:
+        prefix = f"c{row['connections']}"
+        fingerprint[f"{prefix}.queries"] = float(row["queries"])
+        fingerprint[f"{prefix}.p50_ms"] = _round(row["p50_ms"])
+        fingerprint[f"{prefix}.p99_ms"] = _round(row["p99_ms"])
+    return fingerprint
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
@@ -346,6 +391,7 @@ SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "update_churn": update_churn,
     "sharded_fleet": sharded_fleet,
     "durable_updates": durable_updates,
+    "net_fleet": net_fleet,
 }
 
 

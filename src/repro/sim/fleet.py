@@ -104,6 +104,7 @@ class FleetConfig:
     update_seed: int = 4242
     shards: Optional[int] = None
     partitioner: str = "grid"
+    transport: str = "inproc"
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -127,6 +128,10 @@ class FleetConfig:
             raise ValueError(f"unknown partitioner {self.partitioner!r}; "
                              f"expected one of "
                              f"{', '.join(PARTITIONER_METHODS)}")
+        from repro.net.fleet import TRANSPORTS
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}; "
+                             f"expected one of {', '.join(TRANSPORTS)}")
 
     @property
     def is_dynamic(self) -> bool:
@@ -137,6 +142,11 @@ class FleetConfig:
     def is_sharded(self) -> bool:
         """True when the fleet runs through the sharded execution tier."""
         return self.shards is not None
+
+    @property
+    def is_networked(self) -> bool:
+        """True when the server sits behind a loopback socket."""
+        return self.transport != "inproc"
 
     @staticmethod
     def make(base: SimulationConfig, groups: Sequence[ClientGroupSpec],
@@ -276,6 +286,11 @@ def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
     statistics, so these fleets also run serially; ``store_path`` then
     names a shard-store *directory* (see ``repro persist save-shards``)
     and ``durable`` commits through one write-ahead log per shard.
+
+    A *networked* fleet (``fleet.transport`` of ``uds`` or ``tcp``) puts
+    the same server behind a loopback socket via
+    :func:`repro.net.fleet.run_networked_fleet` — pinned byte-identical
+    to the in-process run by the ``tests/net`` equivalence suite.
     """
     if durable and not fleet.is_dynamic:
         raise ValueError(
@@ -285,6 +300,17 @@ def run_fleet(fleet: FleetConfig, max_workers: Optional[int] = None,
     if durable and store_path is None:
         raise ValueError("durable mode needs a disk store to log to "
                          "(pass store_path)")
+    if fleet.is_networked:
+        if max_workers is not None and max_workers > 1:
+            raise ValueError(
+                "a networked fleet serializes its clients through one "
+                "loopback server; run it serially")
+        if store_path is not None or durable:
+            raise ValueError(
+                "networked fleets build their server state in memory; "
+                "disk stores and durable mode are inproc-only for now")
+        from repro.net.fleet import run_networked_fleet
+        return run_networked_fleet(fleet, fleet.transport)
     if fleet.is_sharded:
         if max_workers is not None and max_workers > 1:
             raise ValueError(

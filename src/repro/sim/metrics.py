@@ -215,6 +215,11 @@ class FleetResult:
     # (queries routed, shards pruned, pages read — see repro.sharding);
     # None for single-server fleets.
     shard_summary: Optional[Dict] = None
+    # Loopback-networked fleets only: the transport plus the per-client
+    # byte reconciliation between the client's WirelessChannel totals and
+    # the server's connection ledgers (see repro.net.fleet); None for
+    # in-process fleets.
+    net_summary: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         self.clients.sort(key=lambda client: client.client_id)

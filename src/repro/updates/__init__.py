@@ -18,6 +18,10 @@ churn and the machinery that keeps proactive client caches honest about it:
   protocols: version-stamped lazy validation (``versioned``), a TTL
   baseline (``ttl``) and the no-op staleness baseline (``none``), all
   billing their wire traffic through the byte-accurate cost model;
+* :mod:`repro.updates.validation` — the validation-service abstraction the
+  versioned protocol talks to: the in-process implementation answers from
+  the live updater, the networked one (:mod:`repro.net`) ships the same
+  stamps over a socket and decodes the same verdicts;
 * :mod:`repro.updates.oracle` — naive linear-scan query oracles over the
   current object set, the reference the property-based differential
   harness compares every cached answer against.
@@ -33,6 +37,12 @@ from repro.updates.protocol import (
     make_protocol,
 )
 from repro.updates.registry import VersionRegistry
+from repro.updates.validation import (
+    LocalValidationService,
+    ValidationService,
+    ValidationStamp,
+    ValidationVerdict,
+)
 from repro.updates.stream import (
     CONSISTENCY_MODES,
     UpdateEvent,
@@ -45,9 +55,13 @@ __all__ = [
     "CacheSyncReport",
     "ConsistencyProtocol",
     "DatasetUpdater",
+    "LocalValidationService",
     "TTLProtocol",
     "UpdateEvent",
     "UpdateStreamConfig",
+    "ValidationService",
+    "ValidationStamp",
+    "ValidationVerdict",
     "VersionRegistry",
     "VersionedProtocol",
     "generate_update_stream",

@@ -41,6 +41,14 @@ from repro.core.server import ServerQueryProcessor, ServerResponse
 from repro.rtree.sizes import SizeModel
 from repro.updates.applier import DatasetUpdater
 from repro.updates.stream import CONSISTENCY_MODES
+from repro.updates.validation import (
+    DROP,
+    REFRESH,
+    LocalValidationService,
+    ValidationService,
+    ValidationStamp,
+    ValidationVerdict,
+)
 
 #: Wire bytes of one version stamp (a 32-bit counter).
 VERSION_BYTES = 4
@@ -173,24 +181,54 @@ class TTLProtocol(ConsistencyProtocol):
 
 
 class VersionedProtocol(ConsistencyProtocol):
-    """Version-stamped nodes with lazy validation against the live server."""
+    """Version-stamped nodes with lazy validation against a server service.
+
+    The protocol is pure client-side logic: it builds one
+    :class:`~repro.updates.validation.ValidationStamp` per cached item,
+    hands the batch to a
+    :class:`~repro.updates.validation.ValidationService` and applies the
+    verdicts in stamp order.  With the default
+    :class:`~repro.updates.validation.LocalValidationService` this is the
+    classic in-process deployment; with the networked service the same
+    stamps travel over the wire and the same verdicts come back, which is
+    what keeps the loopback fleets byte-identical.
+    """
 
     name = "versioned"
 
-    def __init__(self, updater: DatasetUpdater,
-                 size_model: Optional[SizeModel] = None) -> None:
+    def __init__(self, updater: Optional[DatasetUpdater] = None,
+                 size_model: Optional[SizeModel] = None,
+                 service: Optional[ValidationService] = None) -> None:
+        if service is None:
+            if updater is None:
+                raise ValueError("VersionedProtocol needs an updater or a "
+                                 "validation service")
+            service = LocalValidationService(updater)
+        if size_model is None:
+            if updater is None:
+                raise ValueError("a service-backed VersionedProtocol needs "
+                                 "an explicit size_model")
+            size_model = updater.tree.size_model
         self.updater = updater
-        self.size_model = size_model or updater.tree.size_model
+        self.service = service
+        self.size_model = size_model
         self._node_versions: Dict[int, int] = {}
         self._object_versions: Dict[int, int] = {}
 
     # -- helpers --------------------------------------------------------- #
-    def _parent_matches(self, state: CacheItemState,
-                        parent_id: Optional[int]) -> bool:
-        """Does the cached hierarchy position equal the live tree's?"""
-        if state.parent_key is None:
-            return parent_id is None
-        return state.parent_key == f"node:{parent_id}"
+    def _stamp_for(self, state: CacheItemState) -> ValidationStamp:
+        """The identity/version stamp one cached item piggybacks uplink."""
+        parent_id: Optional[int] = None
+        if state.parent_key is not None:
+            parent_id = int(state.parent_key.partition(":")[2])
+        if state.is_index_item:
+            item_id = state.payload.node_id
+            cached = self._node_versions.get(item_id, 1)
+        else:
+            item_id = state.payload.object_id
+            cached = self._object_versions.get(item_id, 1)
+        return ValidationStamp(is_node=state.is_index_item, item_id=item_id,
+                               cached_version=cached, parent_id=parent_id)
 
     def _drop(self, cache: ProactiveCache, key: str,
               report: CacheSyncReport) -> None:
@@ -226,84 +264,78 @@ class VersionedProtocol(ConsistencyProtocol):
             for object_id, version in self._object_versions.items()
             if f"obj:{object_id}" in cache.items}
         keys = list(cache.items)
+        stamps = [self._stamp_for(cache.items[key]) for key in keys]
         stamp_bytes = self.size_model.pointer_bytes + VERSION_BYTES
         report.uplink_bytes = (self.size_model.query_header_bytes
                                + stamp_bytes * len(keys))
         # Verdict vector: one byte per validated item, plus the header.
         report.downlink_bytes = self.size_model.query_header_bytes + len(keys)
-        for key in keys:
+        verdicts = self.service.validate(stamps)
+        if len(verdicts) != len(stamps):
+            raise ValueError(f"validation service answered {len(verdicts)} "
+                             f"verdicts for {len(stamps)} stamps")
+        for key, stamp, verdict in zip(keys, stamps, verdicts):
             state = cache.items.get(key)
-            if state is None:  # removed with an ancestor's subtree
+            if state is None:  # removed with an earlier key's drop cascade
                 continue
-            if state.is_index_item:
-                self._validate_node(cache, key, state, report, context)
+            if stamp.is_node:
+                self._apply_node_verdict(cache, key, state, stamp, verdict,
+                                         report, context)
             else:
-                self._validate_object(cache, key, state, report, context)
+                self._apply_object_verdict(cache, key, stamp, verdict,
+                                           report, context)
+        self.service.finish_sync(report.uplink_bytes, report.downlink_bytes)
         return report
 
-    def _validate_node(self, cache: ProactiveCache, key: str,
-                       state: CacheItemState,
-                       report: CacheSyncReport,
-                       context: Optional[dict]) -> None:
-        registry = self.updater.registry
-        tree = self.updater.tree
-        node_id = state.payload.node_id
-        current = registry.node_version(node_id)
-        if current is None or node_id not in tree.store:
+    def _apply_node_verdict(self, cache: ProactiveCache, key: str,
+                            state: CacheItemState, stamp: ValidationStamp,
+                            verdict: ValidationVerdict,
+                            report: CacheSyncReport,
+                            context: Optional[dict]) -> None:
+        if verdict.action == DROP:
             self._drop(cache, key, report)
             return
-        if current == self._node_versions.get(node_id, 1):
+        if verdict.action != REFRESH:
             return
-        node = tree.store.peek(node_id)
-        if not node.entries or not self._parent_matches(state, node.parent_id):
-            self._drop(cache, key, report)
-            return
-        snapshot = full_node_snapshot(self.updater.server, node_id)
+        snapshot = verdict.node
+        if snapshot is None:
+            raise ValueError("node REFRESH verdict without a snapshot")
         size = snapshot.size_bytes(self.size_model)
         report.downlink_bytes += size
         cache.refresh_item(key, snapshot, size, context)
         report.refreshed_items += 1
-        self._node_versions[node_id] = current
-        if node.is_leaf:
+        self._node_versions[stamp.item_id] = verdict.version
+        if verdict.is_leaf:
             # Cached objects filed under this leaf must still be owned by
             # it; a split may have moved them to a sibling page.
-            owned = {entry.object_id for entry in node.entries}
+            owned = {element.object_id
+                     for element in snapshot.elements.values()
+                     if element.object_id is not None}
             for child_key in list(state.cached_children):
                 child = cache.items.get(child_key)
                 if (child is not None and not child.is_index_item
                         and child.payload.object_id not in owned):
                     self._drop(cache, child_key, report)
 
-    def _validate_object(self, cache: ProactiveCache, key: str,
-                         state: CacheItemState,
-                         report: CacheSyncReport,
-                         context: Optional[dict]) -> None:
-        registry = self.updater.registry
-        tree = self.updater.tree
-        object_id = state.payload.object_id
-        current = registry.object_version(object_id)
-        if current is None:
+    def _apply_object_verdict(self, cache: ProactiveCache, key: str,
+                              stamp: ValidationStamp,
+                              verdict: ValidationVerdict,
+                              report: CacheSyncReport,
+                              context: Optional[dict]) -> None:
+        if verdict.action == DROP:
             self._drop(cache, key, report)
             return
-        if current == self._object_versions.get(object_id, 1):
+        if verdict.action != REFRESH:
             return
-        record = tree.objects.get(object_id)
-        parent_key = state.parent_key
-        still_owned = False
-        if record is not None and parent_key is not None:
-            leaf_id = int(parent_key.partition(":")[2])
-            if leaf_id in tree.store:
-                still_owned = any(e.object_id == object_id
-                                  for e in tree.store.peek(leaf_id).entries)
-        if record is None or not still_owned:
-            self._drop(cache, key, report)
-            return
-        payload = CachedObject(object_id=object_id, mbr=record.mbr,
+        record = verdict.record
+        if record is None:
+            raise ValueError("object REFRESH verdict without a record")
+        payload = CachedObject(object_id=stamp.item_id, mbr=record.mbr,
                                size_bytes=record.size_bytes)
         report.downlink_bytes += record.size_bytes
         cache.refresh_item(key, payload, record.size_bytes, context)
         report.refreshed_items += 1
-        self._object_versions[object_id] = current
+        self._object_versions[stamp.item_id] = verdict.version
 
     # -- persistence (dynamic halt/resume) -------------------------------- #
     # repro: allow[STM01] updater and size_model are live wiring the
@@ -329,31 +361,39 @@ class VersionedProtocol(ConsistencyProtocol):
     # -- learning versions from responses --------------------------------- #
     def note_response(self, cache: ProactiveCache, response: ServerResponse,
                       now: float) -> None:
-        """Stamp the versions the server just shipped for cached items."""
-        registry = self.updater.registry
-        for snapshot in response.index_snapshots:
-            if cache.has_node(snapshot.node_id):
-                version = registry.node_version(snapshot.node_id)
-                if version is not None:
-                    self._node_versions[snapshot.node_id] = version
-        for delivery in response.deliveries:
-            object_id = delivery.record.object_id
-            if cache.has_object(object_id):
-                version = registry.object_version(object_id)
-                if version is not None:
-                    self._object_versions[object_id] = version
+        """Stamp the versions the server just shipped for cached items.
+
+        The server stamped the shipped content with its current versions,
+        so the lookup is metadata the response already carried — it is not
+        billed as extra traffic, locally or over the wire.
+        """
+        node_ids = [snapshot.node_id for snapshot in response.index_snapshots
+                    if cache.has_node(snapshot.node_id)]
+        object_ids = [delivery.record.object_id
+                      for delivery in response.deliveries
+                      if cache.has_object(delivery.record.object_id)]
+        if not node_ids and not object_ids:
+            return
+        node_versions, object_versions = self.service.current_versions(
+            node_ids, object_ids)
+        self._node_versions.update(node_versions)
+        self._object_versions.update(object_versions)
 
 
 def make_protocol(mode: str, updater: Optional[DatasetUpdater] = None,
                   size_model: Optional[SizeModel] = None,
-                  ttl_seconds: float = 120.0) -> Optional[ConsistencyProtocol]:
+                  ttl_seconds: float = 120.0,
+                  service: Optional[ValidationService] = None,
+                  ) -> Optional[ConsistencyProtocol]:
     """Instantiate a consistency protocol by CLI name.
 
     Returns ``None`` for ``"none"``: the staleness baseline attaches no
     protocol object at all, so the static code path stays literally
     untouched — which is what makes the zero-update digest-identity
     guarantee trivial to uphold.  ``versioned`` requires an ``updater``
-    (it validates against the updater's registry and live tree).
+    (it validates against the updater's registry and live tree) or an
+    explicit validation ``service`` (the networked deployments pass the
+    wire-backed one, plus the fleet's shared ``size_model``).
     """
     key = (mode or "none").lower()
     if key not in CONSISTENCY_MODES:
@@ -363,6 +403,7 @@ def make_protocol(mode: str, updater: Optional[DatasetUpdater] = None,
         return None
     if key == "ttl":
         return TTLProtocol(ttl_seconds=ttl_seconds)
-    if updater is None:
-        raise ValueError("versioned consistency needs a DatasetUpdater")
-    return VersionedProtocol(updater, size_model=size_model)
+    if updater is None and service is None:
+        raise ValueError("versioned consistency needs a DatasetUpdater or "
+                         "a ValidationService")
+    return VersionedProtocol(updater, size_model=size_model, service=service)

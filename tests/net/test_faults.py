@@ -1,0 +1,310 @@
+"""The client pool's fault battery: kills, torn frames, garbled frames.
+
+Every failure must surface as a typed :mod:`repro.net.frames` error or a
+successful retry, and an acknowledged query must never be double-billed:
+the channel bills only decoded responses, the server ledgers only shipped
+ones, and the two reconcile exactly even across a retry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import tempfile
+import threading
+
+import pytest
+
+from repro.geometry import Rect
+from repro.net import codec, frames
+from repro.net.client import Endpoint, RemoteSessionClient
+from repro.net.fleet import make_endpoint
+from repro.net.frames import ConnectionLost, FrameError
+from repro.net.server import ReproServer, ServerThread
+from repro.network.channel import WirelessChannel
+from repro.rtree.sizes import SizeModel
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_shared_state, generate_trace
+from repro.workload.queries import RangeQuery
+
+
+@pytest.fixture(scope="module")
+def shared_state():
+    base = SimulationConfig.scaled(query_count=6, object_count=500)
+    shared = build_shared_state(base)
+    try:
+        yield base, shared
+    finally:
+        shared.tree.store.close()
+
+
+def _queries(base, count):
+    return [record.query for record in generate_trace(base)][:count]
+
+
+# --------------------------------------------------------------------------- #
+# a server that was never there
+# --------------------------------------------------------------------------- #
+def test_dead_endpoint_is_a_typed_error(tmp_path):
+    endpoint = Endpoint(transport="uds", path=str(tmp_path / "nobody.sock"))
+    channel = WirelessChannel()
+    client = RemoteSessionClient(endpoint, SizeModel(), channel=channel)
+    with pytest.raises(ConnectionLost):
+        client.execute(RangeQuery(window=Rect(0, 0, 1, 1)))
+    assert client.retries == 1  # the dial itself was retried once
+    assert (channel.uplink_bytes_total, channel.downlink_bytes_total) == (0, 0)
+
+
+# --------------------------------------------------------------------------- #
+# server killed between queries, then restarted: reconnect and resume
+# --------------------------------------------------------------------------- #
+def test_killed_server_surfaces_then_reconnect_resumes(shared_state):
+    base, shared = shared_state
+    first, second = _queries(base, 2)
+    with tempfile.TemporaryDirectory(prefix="repro-net-kill-") as workdir:
+        path = f"{workdir}/server.sock"
+        thread = ServerThread(ReproServer(shared.server, shared.size_model),
+                              "uds", path=path)
+        thread.start()
+        channel = WirelessChannel()
+        client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                     channel=channel)
+        try:
+            survivor = client.execute(first)
+            thread.stop()
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(path)
+            with pytest.raises(ConnectionLost):
+                client.execute(second)
+            billed_after_kill = (channel.uplink_bytes_total,
+                                 channel.downlink_bytes_total)
+
+            revived = ServerThread(
+                ReproServer(shared.server, shared.size_model), "uds",
+                path=path)
+            revived.start()
+            try:
+                resumed = client.execute(second)
+            finally:
+                client.close()
+                revived.stop()
+        finally:
+            thread.stop()
+
+    # The failed attempt billed nothing; only the two decoded responses did.
+    clean_channel = _clean_totals(shared, [first, second])
+    assert survivor.result_object_ids() \
+        == shared.server.execute(first).result_object_ids()
+    assert resumed.result_object_ids() \
+        == shared.server.execute(second).result_object_ids()
+    assert billed_after_kill \
+        == (first.descriptor_bytes(shared.size_model),
+            shared.server.execute(first).downlink_bytes(shared.size_model))
+    assert (channel.uplink_bytes_total,
+            channel.downlink_bytes_total) == clean_channel
+
+
+def _clean_totals(shared, queries):
+    """Channel totals of a fault-free run over the same queries."""
+    with tempfile.TemporaryDirectory(prefix="repro-net-clean-") as workdir:
+        thread = ServerThread(ReproServer(shared.server, shared.size_model),
+                              "uds", path=f"{workdir}/server.sock")
+        thread.start()
+        channel = WirelessChannel()
+        client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                     channel=channel)
+        try:
+            for query in queries:
+                client.execute(query)
+        finally:
+            client.close()
+            thread.stop()
+    return channel.uplink_bytes_total, channel.downlink_bytes_total
+
+
+# --------------------------------------------------------------------------- #
+# a response torn mid-frame: retry on a fresh connection, bill once
+# --------------------------------------------------------------------------- #
+class _ChokeProxy:
+    """TCP proxy that cuts server→client mid-frame on the first connection.
+
+    The first proxied connection forwards only ``cut_after`` bytes from
+    the server before closing both sides — enough for the HELLO_ACK, not
+    for the first RESPONSE, so the client sees a *torn* frame.  Every
+    later connection is forwarded untouched.
+    """
+
+    def __init__(self, target_host: str, target_port: int,
+                 cut_after: int) -> None:
+        self._target = (target_host, target_port)
+        self._budget = cut_after
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client_side, _ = self._listener.accept()
+            except OSError:
+                return
+            budget, self._budget = self._budget, None
+            upstream = socket.create_connection(self._target)
+            threading.Thread(target=self._pump,
+                             args=(client_side, upstream, None),
+                             daemon=True).start()
+            threading.Thread(target=self._pump,
+                             args=(upstream, client_side, budget),
+                             daemon=True).start()
+
+    @staticmethod
+    def _pump(source: socket.socket, sink: socket.socket,
+              budget) -> None:
+        sent = 0
+        try:
+            while True:
+                chunk = source.recv(4096)
+                if not chunk:
+                    break
+                if budget is not None and sent + len(chunk) > budget:
+                    sink.sendall(chunk[:budget - sent])
+                    break
+                sink.sendall(chunk)
+                sent += len(chunk)
+        except OSError:
+            pass
+        # shutdown (not just close) so a peer blocked in recv sees EOF
+        # immediately — that is the torn frame the client must observe.
+        for sock in (source, sink):
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+def test_torn_response_retries_once_and_bills_once(shared_state):
+    base, shared = shared_state
+    (query,) = _queries(base, 1)
+    hello_ack_wire = frames.HEADER_BYTES + len(codec.encode_hello_ack(
+        shared.server.root_id, shared.server.root_mbr, False))
+    thread = ServerThread(ReproServer(shared.server, shared.size_model),
+                          "tcp")
+    thread.start()
+    proxy = _ChokeProxy(thread.host, thread.port,
+                        cut_after=hello_ack_wire + 8)
+    channel = WirelessChannel()
+    client = RemoteSessionClient(
+        Endpoint(transport="tcp", host="127.0.0.1", port=proxy.port),
+        shared.size_model, channel=channel)
+    try:
+        response = client.execute(query)
+    finally:
+        client.close()
+        proxy.close()
+        thread.stop()
+
+    local = shared.server.execute(query)
+    assert response.result_object_ids() == local.result_object_ids()
+    assert client.retries == 1
+    # Billed exactly once, on the decoded retry — never for the torn try.
+    assert channel.uplink_bytes_total \
+        == query.descriptor_bytes(shared.size_model)
+    assert channel.downlink_bytes_total \
+        == local.downlink_bytes(shared.size_model)
+    # The BYE ledger covers only the surviving connection and reconciles:
+    # the torn connection acknowledged nothing on either side.
+    ledger = client.server_ledger()
+    assert ledger["queries_served"] == 1
+    assert ledger["uplink_bytes"] == channel.uplink_bytes_total
+    assert ledger["downlink_bytes"] == channel.downlink_bytes_total
+
+
+# --------------------------------------------------------------------------- #
+# a garbled response: typed error, no retry, nothing billed
+# --------------------------------------------------------------------------- #
+def _fake_server(respond):
+    """A raw-socket server that handshakes, then hands off to ``respond``."""
+    listener = socket.create_server(("127.0.0.1", 0))
+
+    def serve() -> None:
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            try:
+                frame_type, _ = frames.read_frame_socket(conn)
+                assert frame_type == frames.HELLO
+                frames.write_frame_socket(
+                    conn, frames.HELLO_ACK,
+                    codec.encode_hello_ack(1, Rect(0, 0, 1, 1), False))
+                respond(conn)
+            except Exception:
+                pass
+            finally:
+                with contextlib.suppress(OSError):
+                    conn.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    return listener
+
+
+def test_garbled_response_is_a_typed_error_and_bills_nothing():
+    def respond(conn: socket.socket) -> None:
+        frames.read_frame_socket(conn)  # the QUERY
+        data = bytearray(frames.encode_frame(frames.RESPONSE, b"\x00" * 64))
+        data[frames.HEADER_BYTES + 5] ^= 0xFF  # damage the payload, not CRC
+        conn.sendall(bytes(data))
+
+    listener = _fake_server(respond)
+    channel = WirelessChannel()
+    client = RemoteSessionClient(
+        Endpoint(transport="tcp", host="127.0.0.1",
+                 port=listener.getsockname()[1]),
+        SizeModel(), channel=channel)
+    try:
+        with pytest.raises(FrameError):
+            client.execute(RangeQuery(window=Rect(0, 0, 1, 1)))
+        # Garbled streams are not retried: the server may have acted.
+        assert client.retries == 0
+        assert (channel.uplink_bytes_total,
+                channel.downlink_bytes_total) == (0, 0)
+    finally:
+        client.close()
+        listener.close()
+
+
+# --------------------------------------------------------------------------- #
+# a client that dies mid-frame must not wedge the server
+# --------------------------------------------------------------------------- #
+def test_half_written_client_frame_leaves_the_server_healthy(shared_state):
+    base, shared = shared_state
+    (query,) = _queries(base, 1)
+    with tempfile.TemporaryDirectory(prefix="repro-net-half-") as workdir:
+        thread = ServerThread(ReproServer(shared.server, shared.size_model),
+                              "uds", path=f"{workdir}/server.sock")
+        thread.start()
+        try:
+            endpoint = make_endpoint(thread)
+            rude = endpoint.connect(5.0)
+            frames.write_frame_socket(
+                rude, frames.HELLO,
+                codec.encode_hello("rude", shared.size_model))
+            frames.read_frame_socket(rude)  # HELLO_ACK
+            payload = codec.encode_query_request(query, None, None)
+            rude.sendall(frames.encode_frame(frames.QUERY, payload)[:7])
+            rude.close()
+
+            polite = RemoteSessionClient(endpoint, shared.size_model)
+            try:
+                response = polite.execute(query)
+            finally:
+                polite.close()
+            assert response.result_object_ids() \
+                == shared.server.execute(query).result_object_ids()
+        finally:
+            thread.stop()

@@ -1,0 +1,166 @@
+"""The loopback deployment's equivalence contract.
+
+A fleet served over a real socket (UDS or TCP) must be **byte-identical**
+to the in-process fleet: every deterministic per-query cost field, every
+final cache digest, every cache byte count — for static fleets, for all
+three consistency modes under churn, and for sharded fleets.  On top of
+the cost identity, every client's ``WirelessChannel`` totals must
+reconcile *exactly* with the server's per-connection ledgers
+(``net_summary``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import default_fleet, run_fleet
+
+ALL_TRANSPORTS = ("uds", "tcp")
+
+
+def _small_fleet(policy="GRD3", queries=10, objects=800, clients=4):
+    base = SimulationConfig.scaled(query_count=queries, object_count=objects
+                                   ).with_overrides(replacement_policy=policy)
+    return default_fleet(clients, base=base)
+
+
+def _deterministic_cost(cost):
+    return (cost.query_index, cost.query_type, cost.uplink_bytes,
+            cost.downlink_bytes, cost.downloaded_result_bytes,
+            cost.confirmed_cached_bytes, cost.index_downlink_bytes,
+            cost.result_bytes, cost.cached_result_bytes, cost.saved_bytes,
+            cost.contacted_server, cost.server_page_reads,
+            cost.sync_uplink_bytes, cost.sync_downlink_bytes,
+            cost.refreshed_items, cost.invalidated_items, cost.response_time)
+
+
+def _assert_byte_identical(reference, networked):
+    for ref_client, net_client in zip(reference.clients, networked.clients):
+        assert ([_deterministic_cost(cost) for cost in ref_client.costs]
+                == [_deterministic_cost(cost) for cost in net_client.costs])
+        assert ref_client.final_cache_digest == net_client.final_cache_digest
+        assert ref_client.final_cache_used_bytes \
+            == net_client.final_cache_used_bytes
+
+
+def _assert_reconciled(networked, transport, clients):
+    summary = networked.net_summary
+    assert summary is not None
+    assert summary["transport"] == transport
+    assert summary["all_reconciled"] is True
+    assert len(summary["clients"]) == clients
+    for entry in summary["clients"]:
+        assert entry["reconciled"] is True
+        assert entry["retries"] == 0
+        assert entry["client_uplink_bytes"] == entry["server_uplink_bytes"]
+        assert entry["client_downlink_bytes"] \
+            == entry["server_downlink_bytes"]
+        assert entry["queries_served"] > 0
+        # Raw wire bytes exist but never enter the modelled accounting.
+        assert entry["wire_bytes_to_server"] > entry["client_uplink_bytes"] \
+            or entry["wire_bytes_to_server"] > 0
+
+
+def _networked(fleet, transport):
+    return run_fleet(dataclasses.replace(fleet, transport=transport))
+
+
+# --------------------------------------------------------------------------- #
+# static fleets
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("transport", ALL_TRANSPORTS)
+@pytest.mark.parametrize("policy", ["GRD3", "LRU"])
+def test_static_fleet_is_byte_identical(transport, policy):
+    fleet = _small_fleet(policy=policy)
+    reference = run_fleet(fleet)
+    networked = _networked(fleet, transport)
+    _assert_byte_identical(reference, networked)
+    _assert_reconciled(networked, transport, clients=4)
+    assert reference.net_summary is None
+
+
+# --------------------------------------------------------------------------- #
+# dynamic fleets: all three consistency modes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("consistency", ["versioned", "ttl", "none"])
+def test_dynamic_fleet_is_byte_identical_over_uds(consistency):
+    fleet = dataclasses.replace(_small_fleet(), update_rate=0.05,
+                                consistency=consistency)
+    reference = run_fleet(fleet)
+    networked = _networked(fleet, "uds")
+    _assert_byte_identical(reference, networked)
+    _assert_reconciled(networked, "uds", clients=4)
+    assert reference.update_summary == networked.update_summary
+
+
+def test_dynamic_versioned_fleet_is_byte_identical_over_tcp():
+    fleet = dataclasses.replace(_small_fleet(), update_rate=0.05,
+                                consistency="versioned")
+    reference = run_fleet(fleet)
+    networked = _networked(fleet, "tcp")
+    _assert_byte_identical(reference, networked)
+    _assert_reconciled(networked, "tcp", clients=4)
+
+
+def test_versioned_sync_traffic_lands_in_the_ledger():
+    """Under churn the handshake bytes show up on both sides and agree."""
+    fleet = dataclasses.replace(_small_fleet(), update_rate=0.1,
+                                consistency="versioned")
+    networked = _networked(fleet, "uds")
+    sync_uplink = sum(cost.sync_uplink_bytes for client in networked.clients
+                      for cost in client.costs)
+    assert sync_uplink > 0
+    client_uplink = sum(entry["client_uplink_bytes"]
+                        for entry in networked.net_summary["clients"])
+    plain_uplink = sum(cost.uplink_bytes - cost.sync_uplink_bytes
+                      for client in networked.clients
+                      for cost in client.costs)
+    assert client_uplink == plain_uplink + sync_uplink
+
+
+# --------------------------------------------------------------------------- #
+# sharded fleets behind the wire
+# --------------------------------------------------------------------------- #
+def test_sharded_fleet_is_byte_identical_over_uds():
+    fleet = dataclasses.replace(_small_fleet(), shards=2)
+    reference = run_fleet(fleet)
+    networked = _networked(fleet, "uds")
+    _assert_byte_identical(reference, networked)
+    _assert_reconciled(networked, "uds", clients=4)
+    assert networked.shard_summary["shards"] == 2
+    assert reference.shard_summary["queries_routed"] \
+        == networked.shard_summary["queries_routed"]
+
+
+def test_sharded_versioned_fleet_is_byte_identical_over_uds():
+    fleet = dataclasses.replace(_small_fleet(), shards=2, update_rate=0.05,
+                                consistency="versioned")
+    reference = run_fleet(fleet)
+    networked = _networked(fleet, "uds")
+    _assert_byte_identical(reference, networked)
+    _assert_reconciled(networked, "uds", clients=4)
+    assert reference.update_summary == networked.update_summary
+
+
+# --------------------------------------------------------------------------- #
+# config guard rails
+# --------------------------------------------------------------------------- #
+def test_unknown_transport_is_rejected():
+    fleet = _small_fleet()
+    with pytest.raises(ValueError, match="transport"):
+        dataclasses.replace(fleet, transport="carrier-pigeon")
+
+
+def test_networked_fleet_rejects_parallel_workers():
+    fleet = dataclasses.replace(_small_fleet(), transport="uds")
+    with pytest.raises(ValueError, match="serial"):
+        run_fleet(fleet, max_workers=2)
+
+
+def test_networked_fleet_rejects_disk_stores(tmp_path):
+    fleet = dataclasses.replace(_small_fleet(), transport="uds")
+    with pytest.raises(ValueError, match="inproc"):
+        run_fleet(fleet, store_path=str(tmp_path / "pages.db"))

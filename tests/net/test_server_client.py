@@ -1,0 +1,305 @@
+"""Server/client integration over a real loopback socket.
+
+Covers the handshake contract (protocol version and size-model pinning),
+the request surface (queries, catalogue, node fetch, BYE ledgers), the
+typed error paths, and the concurrency regression the server's serial
+dispatcher guarantees: N concurrent sessions produce exactly the
+per-session results, digests and byte totals of a serial replay —
+including under the versioned consistency protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import tempfile
+import threading
+
+import pytest
+
+from repro.net import codec, frames
+from repro.net.client import (
+    Connection,
+    NetValidationService,
+    RemoteSessionClient,
+)
+from repro.net.fleet import make_endpoint
+from repro.net.frames import RemoteError
+from repro.net.server import ReproServer, ServerThread
+from repro.network.channel import WirelessChannel
+from repro.rtree.partition_tree import PartitionTree
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_shared_state, generate_trace
+from repro.sim.sessions import make_session
+from repro.updates import DatasetUpdater, make_protocol
+from repro.updates.validation import LocalValidationService
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A static server behind a UNIX socket, plus its in-process twin."""
+    base = SimulationConfig.scaled(query_count=8, object_count=600)
+    shared = build_shared_state(base)
+    repro_server = ReproServer(shared.server, shared.size_model)
+    with tempfile.TemporaryDirectory(prefix="repro-net-test-") as workdir:
+        thread = ServerThread(repro_server, "uds",
+                              path=f"{workdir}/server.sock")
+        thread.start()
+        try:
+            yield base, shared, repro_server, thread
+        finally:
+            thread.stop()
+    shared.tree.store.close()
+
+
+@pytest.fixture(scope="module")
+def served_versioned():
+    """A dynamic-capable server: validation service wired, no churn yet."""
+    base = SimulationConfig.scaled(query_count=8, object_count=600)
+    shared = build_shared_state(base)
+    updater = DatasetUpdater(shared.tree, shared.server,
+                             ground_truth=shared.ground_truth)
+    repro_server = ReproServer(shared.server, shared.size_model,
+                               validation=LocalValidationService(updater))
+    with tempfile.TemporaryDirectory(prefix="repro-net-test-") as workdir:
+        thread = ServerThread(repro_server, "uds",
+                              path=f"{workdir}/server.sock")
+        thread.start()
+        try:
+            yield base, shared, repro_server, thread
+        finally:
+            thread.stop()
+    shared.tree.store.close()
+
+
+# --------------------------------------------------------------------------- #
+# handshake
+# --------------------------------------------------------------------------- #
+def test_handshake_ships_the_catalogue(served):
+    _, shared, _, thread = served
+    client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name="hs-check")
+    try:
+        assert client.root_id == shared.server.root_id
+        assert client.root_mbr == shared.server.root_mbr
+    finally:
+        client.close()
+
+
+def test_size_model_mismatch_is_a_typed_error(served):
+    _, shared, _, thread = served
+    skewed = dataclasses.replace(shared.size_model,
+                                 pointer_bytes=shared.size_model.pointer_bytes
+                                 + 4)
+    with pytest.raises(RemoteError) as excinfo:
+        Connection(make_endpoint(thread), skewed, "hs-skewed", 5.0)
+    assert excinfo.value.code == "size-model-mismatch"
+
+
+def test_protocol_version_mismatch_is_a_typed_error(served):
+    _, shared, _, thread = served
+    hello = codec.encode_hello("hs-version", shared.size_model)
+    futuristic = struct.pack("<H", codec.PROTOCOL_VERSION + 1) + hello[2:]
+    sock = make_endpoint(thread).connect(5.0)
+    try:
+        frames.write_frame_socket(sock, frames.HELLO, futuristic)
+        frame_type, payload = frames.read_frame_socket(sock)
+        assert frame_type == frames.ERROR
+        code, _ = codec.decode_error(payload)
+        assert code == "version-mismatch"
+    finally:
+        sock.close()
+
+
+def test_first_frame_must_be_hello(served):
+    _, _, _, thread = served
+    sock = make_endpoint(thread).connect(5.0)
+    try:
+        frames.write_frame_socket(sock, frames.CATALOG_REQ, b"")
+        frame_type, payload = frames.read_frame_socket(sock)
+        assert frame_type == frames.ERROR
+        assert codec.decode_error(payload)[0] == "bad-hello"
+    finally:
+        sock.close()
+
+
+# --------------------------------------------------------------------------- #
+# the request surface
+# --------------------------------------------------------------------------- #
+def test_remote_queries_match_the_in_process_server(served):
+    base, shared, _, thread = served
+    channel = WirelessChannel()
+    client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name="rq-check", channel=channel)
+    try:
+        for record in generate_trace(base):
+            local = shared.server.execute(record.query)
+            remote = client.execute(record.query)
+            assert remote.result_object_ids() == local.result_object_ids()
+            assert remote.downlink_bytes(shared.size_model) \
+                == local.downlink_bytes(shared.size_model)
+            assert len(remote.index_snapshots) == len(local.index_snapshots)
+        assert channel.uplink_bytes_total > 0
+        assert channel.downlink_bytes_total > 0
+    finally:
+        client.close()
+
+
+def test_catalogue_refetch_is_free(served):
+    _, shared, _, thread = served
+    channel = WirelessChannel()
+    client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name="cat-check", channel=channel)
+    try:
+        assert client.root_id == shared.server.root_id
+        client.invalidate_catalog()
+        assert client.root_id == shared.server.root_id
+        assert (channel.uplink_bytes_total, channel.downlink_bytes_total) \
+            == (0, 0)
+    finally:
+        client.close()
+
+
+def test_partition_tree_for_fetches_remote_pages(served):
+    _, shared, _, thread = served
+    client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name="pt-check")
+    try:
+        tree = client.partition_tree_for(shared.server.root_id)
+        assert isinstance(tree, PartitionTree)
+        with pytest.raises(KeyError):
+            client.partition_tree_for(10 ** 9)
+    finally:
+        client.close()
+
+
+def test_bye_ledger_reconciles_with_the_channel(served):
+    base, shared, repro_server, thread = served
+    channel = WirelessChannel()
+    client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name="bye-check", channel=channel)
+    queries = [record.query for record in generate_trace(base)][:3]
+    for query in queries:
+        client.execute(query)
+    client.close()
+    ledger = client.server_ledger()
+    assert ledger["queries_served"] == len(queries)
+    assert ledger["uplink_bytes"] == channel.uplink_bytes_total
+    assert ledger["downlink_bytes"] == channel.downlink_bytes_total
+    assert ledger["sync_uplink_bytes"] == 0
+    assert ledger["wire_bytes_in"] > 0 and ledger["wire_bytes_out"] > 0
+    assert repro_server.final_ledgers["bye-check"]["queries_served"] \
+        == len(queries)
+
+
+# --------------------------------------------------------------------------- #
+# typed error paths
+# --------------------------------------------------------------------------- #
+def test_sync_without_validation_is_a_typed_error(served):
+    _, shared, _, thread = served
+    client = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name="sync-check")
+    try:
+        with pytest.raises(RemoteError) as excinfo:
+            NetValidationService(client).validate([])
+        assert excinfo.value.code == "no-validation"
+    finally:
+        client.close()
+
+
+def test_undecodable_query_is_a_typed_error(served):
+    _, shared, _, thread = served
+    connection = Connection(make_endpoint(thread), shared.size_model,
+                            "badq-check", 5.0)
+    try:
+        with pytest.raises(RemoteError) as excinfo:
+            connection.exchange(frames.QUERY, b"\x07garbage")
+        assert excinfo.value.code == "bad-query"
+    finally:
+        connection.close()
+
+
+def test_non_request_frame_is_a_typed_error(served):
+    _, shared, _, thread = served
+    connection = Connection(make_endpoint(thread), shared.size_model,
+                            "resp-check", 5.0)
+    try:
+        with pytest.raises(RemoteError) as excinfo:
+            connection.exchange(frames.RESPONSE, b"")
+        assert excinfo.value.code == "unexpected-frame"
+    finally:
+        connection.close()
+
+
+# --------------------------------------------------------------------------- #
+# concurrency regression: concurrent sessions == serial replay
+# --------------------------------------------------------------------------- #
+def _session_trace(base, worker, queries=6):
+    config = base.with_overrides(
+        query_count=queries,
+        mobility_seed=base.mobility_seed + 101 * (worker + 1),
+        workload_seed=base.workload_seed + 211 * (worker + 1))
+    return config, list(generate_trace(config))
+
+
+def _run_session(thread, shared, base, worker, barrier=None,
+                 versioned=False):
+    """One full session; returns (result ids per query, digest, totals)."""
+    config, records = _session_trace(base, worker)
+    channel = WirelessChannel()
+    handle = RemoteSessionClient(make_endpoint(thread), shared.size_model,
+                                 client_name=f"conc-{worker}",
+                                 channel=channel)
+    consistency = None
+    if versioned:
+        consistency = make_protocol("versioned",
+                                    size_model=shared.size_model,
+                                    service=NetValidationService(handle))
+    session = make_session("APRO", shared.tree, config, server=handle,
+                           consistency=consistency)
+    if barrier is not None:
+        barrier.wait()
+    results = []
+    for record in records:
+        session.process(record)
+        results.append(sorted(session.last_result_ids))
+    digest = session.cache.content_digest()
+    handle.close()
+    return (results, digest,
+            (channel.uplink_bytes_total, channel.downlink_bytes_total))
+
+
+def _serial_vs_concurrent(served_fixture, versioned):
+    base, shared, _, thread = served_fixture
+    workers = 4
+    serial = [_run_session(thread, shared, base, worker,
+                           versioned=versioned)
+              for worker in range(workers)]
+    concurrent = [None] * workers
+    errors = []
+    barrier = threading.Barrier(workers)
+
+    def run(worker):
+        try:
+            concurrent[worker] = _run_session(thread, shared, base, worker,
+                                              barrier=barrier,
+                                              versioned=versioned)
+        except Exception as error:  # surfaced below, not lost in the thread
+            errors.append(f"worker {worker}: {error!r}")
+
+    threads = [threading.Thread(target=run, args=(worker,))
+               for worker in range(workers)]
+    for worker_thread in threads:
+        worker_thread.start()
+    for worker_thread in threads:
+        worker_thread.join()
+    assert not errors, errors
+    assert concurrent == serial
+
+
+def test_concurrent_sessions_match_serial_replay(served):
+    _serial_vs_concurrent(served, versioned=False)
+
+
+def test_concurrent_versioned_sessions_match_serial_replay(served_versioned):
+    _serial_vs_concurrent(served_versioned, versioned=True)

@@ -18,7 +18,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
 
 REQUIRED_GUIDES = ("architecture.md", "replacement-policies.md", "cli.md",
-                   "persistence.md", "updates.md", "sharding.md")
+                   "persistence.md", "updates.md", "sharding.md",
+                   "networking.md")
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
@@ -51,7 +52,7 @@ def test_architecture_guide_has_the_layer_diagram():
     text = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
     assert "```mermaid" in text, "architecture.md lost its mermaid layer map"
     for layer in ("geometry", "rtree", "storage", "core", "sharding",
-                  "sim", "perf"):
+                  "net", "sim", "perf"):
         assert layer in text
 
 
