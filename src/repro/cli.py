@@ -163,6 +163,10 @@ def _run_fleet(args: argparse.Namespace) -> str:
             raise SystemExit(
                 "repro fleet: error: --shards cannot be combined with "
                 "--resume (sharded fleets are not resumable)")
+        if args.router_cache or args.router_cache_bytes is not None:
+            raise SystemExit(
+                "repro fleet: error: --router-cache cannot be combined "
+                "with --resume (sharded fleets are not resumable)")
         if args.transport != "inproc":
             raise SystemExit(
                 "repro fleet: error: --transport cannot be combined with "
@@ -199,6 +203,14 @@ def _run_fleet(args: argparse.Namespace) -> str:
             import dataclasses
             fleet = dataclasses.replace(fleet, shards=args.shards,
                                         partitioner=args.partitioner)
+        if args.router_cache or args.router_cache_bytes is not None:
+            import dataclasses
+            from repro.sharding import DEFAULT_CACHE_BYTES
+            fleet = dataclasses.replace(
+                fleet, router_cache=True,
+                router_cache_bytes=(args.router_cache_bytes
+                                    if args.router_cache_bytes is not None
+                                    else DEFAULT_CACHE_BYTES))
         if args.transport != "inproc":
             import dataclasses
             fleet = dataclasses.replace(fleet, transport=args.transport)
@@ -248,6 +260,8 @@ def _run_fleet(args: argparse.Namespace) -> str:
     if fleet.is_sharded:
         server_side = (f"{fleet.shards} shard(s) "
                        f"[{fleet.partitioner} partitioner]")
+        if fleet.router_cache:
+            server_side += " + router result cache"
     else:
         server_side = "1 shared server"
     report = format_fleet_report(
@@ -628,6 +642,7 @@ examples:
   repro fleet --clients 8 --update-rate 0.05 --consistency ttl --ttl 200
   repro fleet --clients 8 --update-rate 0.05 --consistency versioned --store server.rpro --durable
   repro fleet --clients 12 --shards 4 --partitioner grid
+  repro fleet --clients 12 --shards 4 --router-cache --router-cache-bytes 131072
   repro persist save-shards --out ./shards --shards 4 && repro fleet --shards 4 --store ./shards
   repro fleet --clients 8 --transport uds
   repro fleet --clients 8 --transport tcp --consistency versioned --update-rate 0.05
@@ -734,6 +749,15 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--partitioner", choices=("grid", "kd"), default="grid",
                        help="spatial partitioner for --shards: uniform grid "
                             "cells or kd median splits (default: grid)")
+    fleet.add_argument("--router-cache", action="store_true",
+                       help="attach the router-level partition-result cache "
+                            "(requires --shards): repeated queries skip "
+                            "shards memoised as empty for their canonical "
+                            "grid variants, result-identically")
+    fleet.add_argument("--router-cache-bytes", type=int, default=None,
+                       metavar="N",
+                       help="fact-store budget for --router-cache in bytes "
+                            "(default: 65536; implies --router-cache)")
     fleet.add_argument("--update-rate", type=float, default=0.0, metavar="RATE",
                        help="server-side dataset updates per simulated second "
                             "(insert/delete/modify mix; default: 0 = static)")

@@ -54,7 +54,7 @@ def format_fleet_report(result, title: str = "Fleet simulation") -> str:
     shard_rows = result.shard_rows()
     if shard_rows:
         columns = ("shard", "objects", "queries_routed", "shards_pruned",
-                   "pages_read")
+                   "shards_skipped", "pages_read")
         blocks.extend([
             "",
             format_table(list(columns),
@@ -62,6 +62,17 @@ def format_fleet_report(result, title: str = "Fleet simulation") -> str:
                           for row in shard_rows],
                          title="Shard routing"),
         ])
+        summary = result.shard_summary
+        if summary.get("router_cache"):
+            blocks.extend([
+                "",
+                format_kv("Router result cache", {
+                    "cache_hits": summary.get("cache_hits", 0),
+                    "cache_misses": summary.get("cache_misses", 0),
+                    "cache_probes": summary.get("cache_probes", 0),
+                    "shards_skipped": summary.get("total_skipped", 0),
+                }),
+            ])
     return "\n".join(blocks)
 
 

@@ -153,12 +153,19 @@ def _run_single(fleet: FleetConfig, transport: str) -> FleetResult:
 
 
 def _run_sharded(fleet: FleetConfig, transport: str) -> FleetResult:
-    from repro.sharding import ShardedUpdater, build_sharded_state
+    from repro.sharding import (
+        PartitionResultCache,
+        ShardedUpdater,
+        build_sharded_state,
+    )
     shard_count = fleet.shards if fleet.shards is not None else 1
     state = build_sharded_state(fleet.base, shard_count,
                                 partitioner=fleet.partitioner)
     specs = fleet.client_specs()
     try:
+        if fleet.router_cache:
+            state.router.attach_result_cache(
+                PartitionResultCache(capacity_bytes=fleet.router_cache_bytes))
         ground_truth = GroundTruthCache(state.view)
         updater = None
         if fleet.is_dynamic:
@@ -166,12 +173,7 @@ def _run_sharded(fleet: FleetConfig, transport: str) -> FleetResult:
         result = _serve_and_replay(fleet, specs, state.router,
                                    state.size_model, state.view,
                                    ground_truth, updater, transport)
-        shard_summary = dict(state.router.stats.summary())
-        shard_summary["shards"] = shard_count
-        shard_summary["partitioner"] = (fleet.partitioner or "grid").lower()
-        shard_summary["objects_per_shard"] = [shard.object_count
-                                              for shard in state.shards]
-        result.shard_summary = shard_summary
+        result.shard_summary = state.shard_summary(fleet.partitioner)
         if updater is not None:
             result.update_summary = dict(updater.summary())
             result.update_summary["consistency"] = fleet.consistency

@@ -68,6 +68,12 @@ SCALES["default"].update({"net_connections": 8, "net_queries": 10,
                           "net_objects": 2_000})
 SCALES["smoke"].update({"net_connections": 4, "net_queries": 6,
                         "net_objects": 600})
+SCALES["default"].update({"hotspot_queries": 300, "hotspot_objects": 4_000,
+                          "hotspot_shards": 6, "hotspot_sites": 12,
+                          "hotspot_grid": 48})
+SCALES["smoke"].update({"hotspot_queries": 80, "hotspot_objects": 1_000,
+                        "hotspot_shards": 4, "hotspot_sites": 8,
+                        "hotspot_grid": 48})
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
                         "byte_hit_rate", "false_miss_rate", "response_time")
@@ -382,6 +388,80 @@ def net_fleet(scale: Dict[str, int]) -> Fingerprint:
     return fingerprint
 
 
+def hotspot_cache(scale: Dict[str, int]) -> Fingerprint:
+    """Zipf-skewed hotspot windows: partition-result cache vs plain scatter.
+
+    A seed-deterministic stream of repeated range windows — drawn
+    Zipf-skewed from a handful of hotspot sites with small jitter —
+    replays cold (no client cache, every query a full virtual-root
+    scatter) against two identical sharded deployments: one plain, one
+    with the router-level partition-result cache attached.  The
+    fingerprint pins a ``results_match`` bit (the cache's equivalence
+    contract: identical per-query result id sets), the deterministic
+    cache-health counters (``shards_skipped``, hit rate, probes, per-run
+    page reads) and — like ``net_fleet`` — real wall-clock entries
+    (``off_ms`` / ``on_ms`` / ``speedup``), so the scenario runs ungated
+    in CI: only the deterministic counters are reproducible.
+    """
+    import random
+    import time
+
+    from repro.geometry import Rect
+    from repro.sharding import PartitionResultCache, build_sharded_state
+    from repro.workload.queries import RangeQuery
+
+    base = SimulationConfig.scaled(query_count=scale["hotspot_queries"],
+                                   object_count=scale["hotspot_objects"])
+    rng = random.Random(4099)
+    sites = [(rng.random(), rng.random())
+             for _ in range(scale["hotspot_sites"])]
+    weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(sites))]
+    queries: List[RangeQuery] = []
+    half, jitter = 0.015, 0.005
+    for _ in range(scale["hotspot_queries"]):
+        site_x, site_y = rng.choices(sites, weights)[0]
+        x = min(1.0, max(0.0, site_x + rng.uniform(-jitter, jitter)))
+        y = min(1.0, max(0.0, site_y + rng.uniform(-jitter, jitter)))
+        queries.append(RangeQuery(window=Rect(
+            max(0.0, x - half), max(0.0, y - half),
+            min(1.0, x + half), min(1.0, y + half))))
+
+    def replay(with_cache: bool):
+        state = build_sharded_state(base, scale["hotspot_shards"], "grid")
+        try:
+            if with_cache:
+                state.router.attach_result_cache(
+                    PartitionResultCache(grid=scale["hotspot_grid"]))
+            results = []
+            start = time.perf_counter()  # repro: allow[DET02] wall-clock replay timing (ungated fingerprint entries)
+            for query in queries:
+                response = state.router.execute(query)
+                results.append(sorted(response.result_object_ids()))
+            elapsed = time.perf_counter() - start  # repro: allow[DET02] wall-clock replay timing (ungated fingerprint entries)
+            return results, elapsed, state.shard_summary("grid")
+        finally:
+            state.close()
+
+    off_results, off_seconds, off_summary = replay(with_cache=False)
+    on_results, on_seconds, on_summary = replay(with_cache=True)
+    consults = on_summary["cache_hits"] + on_summary["cache_misses"]
+    return {
+        "results_match": 1.0 if off_results == on_results else 0.0,
+        "queries": float(len(queries)),
+        "shards": float(scale["hotspot_shards"]),
+        "shards_skipped": float(on_summary["total_skipped"]),
+        "cache_hit_rate": _round(on_summary["cache_hits"] / consults)
+        if consults else 0.0,
+        "cache_probes": float(on_summary["cache_probes"]),
+        "pages_read_off": float(off_summary["total_pages_read"]),
+        "pages_read_on": float(on_summary["total_pages_read"]),
+        "off_ms": round(off_seconds * 1000.0, 3),
+        "on_ms": round(on_seconds * 1000.0, 3),
+        "speedup": round(off_seconds / on_seconds, 3)
+        if on_seconds > 0 else 0.0,
+    }
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
@@ -392,6 +472,7 @@ SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "sharded_fleet": sharded_fleet,
     "durable_updates": durable_updates,
     "net_fleet": net_fleet,
+    "hotspot_cache": hotspot_cache,
 }
 
 

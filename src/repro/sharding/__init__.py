@@ -28,7 +28,16 @@ rolled up into the ordinary cost accounting.  See ``docs/sharding.md``.
 """
 
 from repro.sharding.partitioner import PARTITIONER_METHODS, ShardPlan, make_plan
-from repro.sharding.router import RouterStats, ShardRouter, ShardedTreeView
+from repro.sharding.result_cache import (
+    DEFAULT_CACHE_BYTES,
+    PartitionResultCache,
+)
+from repro.sharding.router import (
+    RouterStats,
+    ShardRouter,
+    ShardStats,
+    ShardedTreeView,
+)
 from repro.sharding.shard import (
     NODE_ID_STRIDE,
     ShardServer,
@@ -53,13 +62,16 @@ from repro.sharding.storage import (
 from repro.sharding.updater import ShardedUpdater
 
 __all__ = [
+    "DEFAULT_CACHE_BYTES",
     "MANIFEST_NAME",
     "NODE_ID_STRIDE",
     "PARTITIONER_METHODS",
+    "PartitionResultCache",
     "RouterStats",
     "ShardPlan",
     "ShardRouter",
     "ShardServer",
+    "ShardStats",
     "ShardedServerState",
     "ShardedTreeView",
     "ShardedUpdater",

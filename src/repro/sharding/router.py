@@ -63,7 +63,7 @@ from repro.sharding.shard import NODE_ID_STRIDE, ShardServer, shard_index_for_no
 from repro.workload.queries import JoinQuery, KNNQuery, Query, RangeQuery
 
 
-class RouterStats:
+class ShardStats:
     """Deterministic per-shard routing counters of one router instance."""
 
     def __init__(self, shard_count: int) -> None:
@@ -72,6 +72,7 @@ class RouterStats:
         self.queries_routed = [0] * shard_count
         self.pages_read = [0] * shard_count
         self.shards_pruned = [0] * shard_count
+        self.shards_skipped = [0] * shard_count
 
     def record_visit(self, shard_index: int, pages: int) -> None:
         """One query reached ``shard_index`` and read ``pages`` pages there."""
@@ -89,17 +90,33 @@ class RouterStats:
         """
         self.shards_pruned[shard_index] += 1
 
+    def record_skip(self, shard_index: int) -> None:
+        """One *result-cache* skip of ``shard_index``.
+
+        Counts shards the partition-result cache proved irrelevant (empty
+        for the query's canonical variants / beyond the memoised kNN
+        bound), so the scatter never contacted them even though root-MBR
+        pruning alone would have.  Always 0 without ``--router-cache``.
+        """
+        self.shards_skipped[shard_index] += 1
+
     def summary(self) -> Dict:
         """Roll-up for fleet reports and perf fingerprints."""
         return {
             "queries": self.queries,
             "queries_routed": list(self.queries_routed),
             "shards_pruned": list(self.shards_pruned),
+            "shards_skipped": list(self.shards_skipped),
             "pages_read": list(self.pages_read),
             "total_routed": sum(self.queries_routed),
             "total_pruned": sum(self.shards_pruned),
+            "total_skipped": sum(self.shards_skipped),
             "total_pages_read": sum(self.pages_read),
         }
+
+
+#: Backward-compatible alias (pre-PR-9 name of :class:`ShardStats`).
+RouterStats = ShardStats
 
 
 class ShardedObjectView(Mapping):
@@ -224,7 +241,10 @@ class ShardRouter:
         self.shards = list(shards)
         self.plan = plan
         self.size_model = size_model or shards[0].tree.size_model
-        self.stats = RouterStats(len(shards))
+        self.stats = ShardStats(len(shards))
+        #: Optional partition-result cache (see ``result_cache.py``);
+        #: attached with :meth:`attach_result_cache`.
+        self.result_cache = None
         #: object id -> owning shard index, maintained across updates.
         self._owner: Dict[int, int] = {
             object_id: index
@@ -270,6 +290,16 @@ class ShardRouter:
         """The non-empty shards, in shard order."""
         return [(index, shard) for index, shard in enumerate(self.shards)
                 if not shard.is_empty]
+
+    def attach_result_cache(self, cache) -> None:
+        """Consult ``cache`` (a :class:`PartitionResultCache`) per scatter."""
+        self.result_cache = cache
+        cache.bind(self)
+
+    def note_shard_mutated(self, shard_index: int) -> None:
+        """An applied update touched ``shard_index`` (fences cached facts)."""
+        if self.result_cache is not None:
+            self.result_cache.note_shard_mutated(shard_index)
 
     def refresh_virtual_root(self) -> bool:
         """Rebuild the virtual root from the live shard roots.
@@ -343,6 +373,8 @@ class ShardRouter:
             response = self.shards[0].server.execute(query, remainder, policy)
             self.stats.record_visit(0, response.accessed_node_count)
             return response
+        if self.result_cache is not None:
+            self.result_cache.begin_query()
         start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
         frontier = (remainder.frontier if remainder is not None
                     else self._default_frontier(query))
@@ -428,6 +460,29 @@ class ShardRouter:
     def _scatter_range(self, query: RangeQuery, frontier: List[FrontierItem],
                        policy: SupportingIndexPolicy) -> ServerResponse:
         window = query.window
+        cache = self.result_cache
+        # One root-MBR read per live shard per query: Node.mbr recomputes
+        # its bounding box on every access, so the cache plan and the
+        # virtual expansion below share this snapshot.
+        shard_mbrs = {index: shard.root_mbr
+                      for index, shard in self.live_shards()}
+        allowed: Optional[set] = None
+        if cache is not None:
+            # Conjunctive hit-set intersection over the window's canonical
+            # variants: a shard absent from any variant's hit-set holds no
+            # object intersecting the window and is skipped wholesale (the
+            # window is contained in every variant rectangle, so results
+            # are untouched — see result_cache.py "Safety").
+            allowed = cache.plan_range(
+                window, [(index, shard) for index, shard in self.live_shards()
+                         if shard_mbrs[index].intersects(window)])
+        skip_noted: set = set()
+
+        def note_skip(index: int) -> None:
+            if index not in skip_noted:
+                skip_noted.add(index)
+                self.stats.record_skip(index)
+
         shard_items: Dict[int, List[FrontierItem]] = {}
         virtual_hit = False
         for item in frontier:
@@ -435,15 +490,20 @@ class ShardRouter:
             if self._is_virtual_target(target):
                 virtual_hit = True
                 for index, shard in self.live_shards():
-                    if shard.root_mbr.intersects(window):
+                    if not shard_mbrs[index].intersects(window):
+                        self.stats.record_prune(index)
+                    elif allowed is not None and index not in allowed:
+                        note_skip(index)
+                    else:
                         shard_items.setdefault(index, []).append(
                             (FrontierTarget.for_node(shard.root_id,
-                                                     shard.root_mbr),))
-                    else:
-                        self.stats.record_prune(index)
+                                                     shard_mbrs[index]),))
                 continue
             index = self._route_target(target)
             if index is None:
+                continue
+            if allowed is not None and index not in allowed:
+                note_skip(index)
                 continue
             shard_items.setdefault(index, []).append(item)
         merged = ServerResponse()
@@ -454,6 +514,8 @@ class ShardRouter:
             response = shard.server.execute(
                 query, RemainderQuery(query=query, frontier=shard_items[index]),
                 policy)
+            if cache is not None and response.deliveries:
+                cache.record_range_delivery(window, index)
             self._merge_shard_response(merged, index, response)
         return merged
 
@@ -478,6 +540,7 @@ class ShardRouter:
                 shard_min[index] = distance
 
         virtual_hit = False
+        pure_scatter = True
         for item in frontier:
             target = item[0]
             if self._is_virtual_target(target):
@@ -490,10 +553,25 @@ class ShardRouter:
                                                       priority=distance),),
                              distance)
                 continue
+            pure_scatter = False
             index = self._route_target(target)
             if index is None:
                 continue
             add_item(index, item, target.mbr.min_dist_to_point(point))
+
+        # A-priori skipping from the memoised kNN bound: safe only for a
+        # full virtual-root scatter asking for the complete k (a partial
+        # client frontier may hold some of the counted objects itself, so
+        # those runs keep the ordinary candidate-bound pruning below).
+        cache = self.result_cache
+        if (cache is not None and virtual_hit and pure_scatter
+                and k_needed == query.k):
+            bound = cache.knn_bound(point, k_needed)
+            if bound is not None:
+                for index in sorted(shard_items):
+                    if shard_min[index] > bound:
+                        del shard_items[index]
+                        self.stats.record_skip(index)
 
         merged = ServerResponse()
         if virtual_hit:
@@ -556,6 +634,23 @@ class ShardRouter:
         virtual_hit = False
         results: Dict[int, Optional[int]] = {}
         examined = 0
+        cache = self.result_cache
+        allowed: Optional[set] = None
+        if cache is not None:
+            # Both members of a qualifying pair must intersect the window,
+            # so the join expands only the window's hit-set; a plan of None
+            # proves the result empty (fewer than two objects in the
+            # snapped window anywhere in the deployment).
+            plan = cache.plan_join(
+                window, [(index, shard) for index, shard in self.live_shards()
+                         if shard.root_mbr.intersects(window)])
+            allowed = plan if plan is not None else set()
+        skip_noted: set = set()
+
+        def note_skip(index: int) -> None:
+            if index not in skip_noted:
+                skip_noted.add(index)
+                self.stats.record_skip(index)
 
         # Sides mirror the single server's layout with the owning shard
         # appended: ("node", node_id, code, mbr, shard) and
@@ -565,12 +660,18 @@ class ShardRouter:
                 owner = self._owner.get(target.object_id)
                 if owner is None:
                     return None
+                if allowed is not None and owner not in allowed:
+                    note_skip(owner)
+                    return None
                 return ("object", target.object_id, target.mbr,
                         target.parent_node_id, owner)
             if self._is_virtual_target(target):
                 return ("node", self.virtual_root_id, "", self.root_mbr, None)
             index = self._route_target(target)
             if index is None or target.node_id not in self.shards[index].tree.store:
+                return None
+            if allowed is not None and index not in allowed:
+                note_skip(index)
                 return None
             return ("node", target.node_id, target.code or "", target.mbr, index)
 
@@ -606,8 +707,19 @@ class ShardRouter:
             nonlocal virtual_hit
             if side[1] == self.virtual_root_id:
                 virtual_hit = True
-                return [("node", shard.root_id, "", shard.root_mbr, index)
-                        for index, shard in self.live_shards()]
+                if allowed is None:
+                    return [("node", shard.root_id, "", shard.root_mbr, index)
+                            for index, shard in self.live_shards()]
+                sides: List[Tuple] = []
+                for index, shard in self.live_shards():
+                    if index in allowed:
+                        sides.append(("node", shard.root_id, "",
+                                      shard.root_mbr, index))
+                    elif shard.root_mbr.intersects(window):
+                        note_skip(index)
+                    else:
+                        self.stats.record_prune(index)
+                return sides
             cache_key = (side[1], side[2])
             cached = expand_cache.get(cache_key)
             if cached is not None:
@@ -685,6 +797,14 @@ class ShardRouter:
                 if dx * dx + dy * dy <= threshold_sq:
                     push((child, other, True))
 
+        if cache is not None and results:
+            # Hit-set strengthening: every result object intersects the
+            # window, so its owning shard is positively non-empty for the
+            # window's variants.
+            for owner in sorted({self._owner[object_id]
+                                 for object_id in results
+                                 if object_id in self._owner}):
+                cache.record_range_delivery(window, owner)
         merged = ServerResponse(
             deliveries=[ObjectDelivery(self.tree.objects[object_id], parent,
                                        confirm_only=object_id in client_held)

@@ -79,6 +79,27 @@ class ShardedServerState:
     def size_model(self) -> SizeModel:
         return self.router.size_model
 
+    def shard_summary(self, partitioner: str = "grid") -> Dict:
+        """The fleet-facing routing summary block of this deployment.
+
+        The *single* assembly point shared by the in-process and networked
+        fleet runners, so counter keys cannot drift between the two (the
+        nets-vs-inproc equivalence tests compare these dicts wholesale).
+        Always includes the result-cache counters — zero for cache-off
+        runs — so downstream consumers see a stable key set.
+        """
+        summary = dict(self.router.stats.summary())
+        summary["shards"] = len(self.shards)
+        summary["partitioner"] = (partitioner or "grid").lower()
+        summary["objects_per_shard"] = [shard.object_count
+                                        for shard in self.shards]
+        cache = self.router.result_cache
+        summary["router_cache"] = cache is not None
+        summary["cache_hits"] = cache.hits if cache is not None else 0
+        summary["cache_misses"] = cache.misses if cache is not None else 0
+        summary["cache_probes"] = cache.probes if cache is not None else 0
+        return summary
+
     def close(self) -> None:
         """Release every shard's storage backend."""
         for shard in self.shards:

@@ -64,19 +64,22 @@ class ShardedUpdater:
             if router.owner_of(event.object_id) is not None:
                 self.skipped += 1
                 return False
-            target = router.plan.region_index_for(event.mbr.center())
-            applied = self._shard_updaters[target].apply(event)
+            touched = router.plan.region_index_for(event.mbr.center())
+            applied = self._shard_updaters[touched].apply(event)
             if applied:
-                router.adopt_object(event.object_id, target)
+                router.adopt_object(event.object_id, touched)
         else:
-            owner = router.owner_of(event.object_id)
-            if owner is None:
+            touched = router.owner_of(event.object_id)
+            if touched is None:
                 self.skipped += 1
                 return False
-            applied = self._shard_updaters[owner].apply(event)
+            applied = self._shard_updaters[touched].apply(event)
             if applied and event.kind == "delete":
                 router.release_object(event.object_id)
         if applied:
+            # Fence the partition-result cache's facts for the mutated
+            # shard (the registry has already stamped the new version).
+            router.note_shard_mutated(touched)
             router.refresh_virtual_root()
             if self.ground_truth is not None:
                 self.ground_truth.clear()

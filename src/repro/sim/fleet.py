@@ -93,6 +93,13 @@ class FleetConfig:
     scatter-gather router instead of one server.  ``None`` (the default)
     keeps the classic single-server path untouched; ``shards=1`` runs the
     sharded machinery degenerately and is byte-identical to it.
+
+    ``router_cache`` attaches the router-level partition-result cache
+    (:class:`~repro.sharding.result_cache.PartitionResultCache`) with a
+    ``router_cache_bytes`` fact budget: repeated/overlapping queries skip
+    shards the cache proves empty for their canonical variants.  Cache-on
+    runs are result-identical to cache-off runs (same per-query result
+    sets and ``result_bytes``); only wire-level accounting may differ.
     """
 
     base: SimulationConfig
@@ -105,6 +112,8 @@ class FleetConfig:
     shards: Optional[int] = None
     partitioner: str = "grid"
     transport: str = "inproc"
+    router_cache: bool = False
+    router_cache_bytes: int = 65536
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -132,6 +141,11 @@ class FleetConfig:
         if self.transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {self.transport!r}; "
                              f"expected one of {', '.join(TRANSPORTS)}")
+        if self.router_cache and self.shards is None:
+            raise ValueError("router_cache needs a sharded fleet "
+                             "(set shards)")
+        if self.router_cache_bytes <= 0:
+            raise ValueError("router_cache_bytes must be positive")
 
     @property
     def is_dynamic(self) -> bool:
@@ -574,7 +588,11 @@ def run_sharded_fleet(fleet: FleetConfig,
     ``durable=True`` commits every shard's update batches to that shard's
     write-ahead log).
     """
-    from repro.sharding import ShardedUpdater, build_sharded_state
+    from repro.sharding import (
+        PartitionResultCache,
+        ShardedUpdater,
+        build_sharded_state,
+    )
     from repro.updates import make_protocol
     shard_count = fleet.shards if fleet.shards is not None else 1
     check_dynamic_models(fleet, kind="sharded")
@@ -585,6 +603,9 @@ def run_sharded_fleet(fleet: FleetConfig,
                                 writable=fleet.update_rate > 0,
                                 durable=durable)
     router = state.router
+    if fleet.router_cache:
+        router.attach_result_cache(
+            PartitionResultCache(capacity_bytes=fleet.router_cache_bytes))
     updater = None
     try:
         ground_truth = GroundTruthCache(state.view)
@@ -609,11 +630,7 @@ def run_sharded_fleet(fleet: FleetConfig,
         else:
             replay_fleet_events(sessions, results, build_fleet_events(specs))
         finalize_fleet_results(sessions, results)
-        shard_summary = dict(router.stats.summary())
-        shard_summary["shards"] = shard_count
-        shard_summary["partitioner"] = (fleet.partitioner or "grid").lower()
-        shard_summary["objects_per_shard"] = [shard.object_count
-                                              for shard in state.shards]
+        shard_summary = state.shard_summary(fleet.partitioner)
     finally:
         state.close()
     result = FleetResult(clients=[results[spec.client_id] for spec in specs])

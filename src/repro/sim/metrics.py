@@ -291,21 +291,38 @@ class FleetResult:
         fleet ran: queries routed to the shard, router-level prunes
         (virtual-root scatters and kNN bound checks that skipped it
         without a visit — client-side pruning shows up as a low routed
-        count instead), pages read there, and the shard's current object
-        count.  Returns an empty list for single-server fleets.
+        count instead), partition-result-cache skips (``--router-cache``
+        proving the shard empty for the query's canonical variants), pages
+        read there, and the shard's current object count.  Returns an
+        empty list for single-server fleets.
         """
         summary = self.shard_summary
         if not summary:
             return []
-        objects = summary.get("objects_per_shard",
-                              [0] * len(summary["queries_routed"]))
+        routed = summary.get("queries_routed") or []
+        shard_count = len(routed)
+
+        def column(key: str) -> List:
+            # Summaries written before a counter existed (e.g. resumed
+            # pre-PR-9 session snapshots have no "shards_skipped") default
+            # to zeros instead of raising KeyError.
+            values = summary.get(key)
+            if isinstance(values, (list, tuple)) and len(values) == shard_count:
+                return list(values)
+            return [0] * shard_count
+
+        objects = column("objects_per_shard")
+        pruned = column("shards_pruned")
+        skipped = column("shards_skipped")
+        pages = column("pages_read")
         return [{
             "shard": float(index),
             "objects": float(objects[index]),
-            "queries_routed": float(summary["queries_routed"][index]),
-            "shards_pruned": float(summary["shards_pruned"][index]),
-            "pages_read": float(summary["pages_read"][index]),
-        } for index in range(len(summary["queries_routed"]))]
+            "queries_routed": float(routed[index]),
+            "shards_pruned": float(pruned[index]),
+            "shards_skipped": float(skipped[index]),
+            "pages_read": float(pages[index]),
+        } for index in range(shard_count)]
 
     def windowed_queries_per_second(self, windows: int = 20) -> List[float]:
         """Fleet-wide arrival rate over ``windows`` equal slices of the run."""

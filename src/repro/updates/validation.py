@@ -145,14 +145,21 @@ class LocalValidationService(ValidationService):
         if current == stamp.cached_version:
             return ValidationVerdict(action=VALID)
         record = tree.objects.get(object_id)
-        still_owned = False
-        if record is not None and stamp.parent_id is not None:
-            leaf_id = stamp.parent_id
-            if leaf_id in tree.store:
-                still_owned = any(entry.object_id == object_id
-                                  for entry in tree.store.peek(leaf_id).entries)
-        if record is None or not still_owned:
+        if record is None:
             return ValidationVerdict(action=DROP)
+        if stamp.parent_id is not None:
+            # The client holds the object under a cached leaf: the live
+            # hierarchy must still agree before a refresh-in-place is safe.
+            leaf_id = stamp.parent_id
+            still_owned = (leaf_id in tree.store
+                           and any(entry.object_id == object_id
+                                   for entry in
+                                   tree.store.peek(leaf_id).entries))
+            if not still_owned:
+                return ValidationVerdict(action=DROP)
+        # A root-attached stamp (parent_id=None) makes no hierarchy claim:
+        # the record still existing is all a refresh needs.  (Pre-PR-9 this
+        # path dropped every version-changed parentless object outright.)
         return ValidationVerdict(action=REFRESH, version=current,
                                  record=record)
 

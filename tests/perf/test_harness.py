@@ -62,6 +62,15 @@ def test_sharded_fleet_scenario_pins_result_equivalence():
     assert routed > 0
 
 
+def test_hotspot_cache_scenario_pins_skips_and_equivalence():
+    """Cache-on must answer identically AND actually skip shards."""
+    fingerprint = SCENARIOS["hotspot_cache"](SCALES["smoke"])
+    assert fingerprint["results_match"] == 1.0
+    assert fingerprint["shards_skipped"] > 0
+    assert 0.0 < fingerprint["cache_hit_rate"] <= 1.0
+    assert fingerprint["pages_read_on"] < fingerprint["pages_read_off"]
+
+
 def test_report_round_trip(tmp_path):
     current = make_report({"a": 1.0, "b": 2.0})
     baseline = make_report({"a": 2.0, "b": 2.0})

@@ -1,0 +1,175 @@
+"""Property-based lane for the router-level partition-result cache.
+
+A seed-deterministic driver interleaves random server-side updates with
+random queries through one proactive session against a *sharded* router
+with the partition-result cache attached, across both partitioners, and
+checks after every operation:
+
+(a) **oracle equality** — under ``versioned`` consistency every query's
+    result id set equals a naive linear-scan oracle over the current
+    object set, no matter which shards the cache skipped or which facts
+    an update batch just invalidated;
+
+(b) **differential identity** — the same op sequence replayed cache-off
+    produces the identical per-op result id sets (the cache changes
+    routing, never answers);
+
+(c) **digest determinism** — replaying the logged ops against a fresh
+    cache-on system reproduces the exact client cache ``content_digest``
+    after every op.
+
+On failure the driver shrinks greedily to a minimal failing op list,
+mirroring :mod:`tests.proptest.test_dynamic_properties`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.rtree import SizeModel, assert_tree_valid
+from repro.sim.config import SimulationConfig
+from repro.sim.sessions import ProactiveSession
+from repro.sharding import PartitionResultCache, ShardedUpdater
+from repro.sharding.partitioner import make_plan
+from repro.sharding.router import ShardRouter
+from repro.sharding.shard import build_shards
+from repro.updates import make_protocol, oracle_results
+from repro.workload.trace import TraceRecord
+
+from tests.proptest.test_dynamic_properties import (
+    generate_ops,
+    make_initial_records,
+)
+
+PARTITIONERS = ("grid", "kd")
+SHARDS = 3
+CACHE_BYTES = 2_048        # small enough that fact eviction happens
+SEQUENCES = 120            # per partitioner (the full lane)
+SMOKE_SEQUENCES = 20       # per partitioner in the fast lane
+
+
+def build_cached_system(seed: int, partitioner: str, with_cache: bool):
+    """One fresh sharded deployment + updater + proactive session."""
+    plan = make_plan(make_initial_records(seed), SHARDS, method=partitioner)
+    shards = build_shards(plan, size_model=SizeModel(page_bytes=256))
+    router = ShardRouter(shards, plan)
+    if with_cache:
+        router.attach_result_cache(
+            PartitionResultCache(capacity_bytes=CACHE_BYTES))
+    updater = ShardedUpdater(router)
+    config = SimulationConfig.tiny().with_overrides(
+        explicit_cache_bytes=9_000, replacement_policy="GRD3")
+    protocol = make_protocol("versioned", updater=updater,
+                             size_model=router.size_model)
+    session = ProactiveSession(router.tree, config, server=router,
+                               replacement_policy="GRD3",
+                               consistency=protocol)
+    return router, updater, session
+
+
+def run_cached_sequence(seed: int, partitioner: str,
+                        ops: Optional[List[Tuple]] = None,
+                        with_cache: bool = True,
+                        check: bool = True):
+    """Execute one op sequence; returns (per-op digests, per-op result ids)."""
+    if ops is None:
+        ops = generate_ops(seed)
+    router, updater, session = build_cached_system(seed, partitioner,
+                                                   with_cache)
+    digests: List[str] = []
+    results: List[Optional[frozenset]] = []
+    now = 0.0
+    query_index = 0
+    for op in ops:
+        now += 1.0
+        if op[0] == "update":
+            updater.apply(op[1])
+            results.append(None)
+            if check:
+                for shard in router.shards:
+                    if not shard.is_empty:
+                        assert_tree_valid(shard.tree)
+        else:
+            _, query, position = op
+            record = TraceRecord(index=query_index, position=position,
+                                 think_time=1.0, query=query,
+                                 arrival_time=now)
+            query_index += 1
+            session.process(record)
+            got = set(session.last_result_ids)
+            results.append(frozenset(got))
+            if check:
+                want = set(oracle_results(router.tree.objects, query))
+                assert got == want, (
+                    f"cache-on versioned results diverge from the oracle: "
+                    f"extra={sorted(got - want)} missing={sorted(want - got)}")
+                session.cache.validate()
+        digests.append(session.cache.content_digest())
+    return digests, results
+
+
+# --------------------------------------------------------------------------- #
+# shrink-on-failure
+# --------------------------------------------------------------------------- #
+def _fails(seed: int, partitioner: str, ops: List[Tuple]) -> bool:
+    try:
+        digests, results = run_cached_sequence(seed, partitioner, ops=ops)
+        replay, _ = run_cached_sequence(seed, partitioner, ops=ops,
+                                        check=False)
+        if digests != replay:
+            return True
+        _, reference = run_cached_sequence(seed, partitioner, ops=ops,
+                                           with_cache=False, check=False)
+        return results != reference
+    except AssertionError:
+        return True
+
+
+def check_cached_sequence(seed: int, partitioner: str) -> None:
+    """Run one sequence with all checks; shrink and re-raise on failure."""
+    ops = generate_ops(seed)
+    try:
+        digests, results = run_cached_sequence(seed, partitioner, ops=ops)
+        # (c) digest determinism on replay.
+        replay, _ = run_cached_sequence(seed, partitioner, ops=ops,
+                                        check=False)
+        assert digests == replay, "cache-on digest diverged on replay"
+        # (b) differential identity against the cache-off twin.
+        _, reference = run_cached_sequence(seed, partitioner, ops=ops,
+                                           with_cache=False, check=False)
+        assert results == reference, "cache-on results diverge from cache-off"
+    except AssertionError as error:
+        shrunk = list(ops)
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(shrunk)):
+                trial = shrunk[:index] + shrunk[index + 1:]
+                if trial and _fails(seed, partitioner, trial):
+                    shrunk = trial
+                    changed = True
+                    break
+        raise AssertionError(
+            f"seed={seed} partitioner={partitioner}: {error}\n"
+            f"minimal failing op list ({len(shrunk)} ops):\n"
+            + "\n".join(f"  {op!r}" for op in shrunk)) from error
+
+
+# --------------------------------------------------------------------------- #
+# the test matrix
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+def test_cache_on_random_ops_smoke(partitioner):
+    """Fast lane: a couple dozen sequences per partitioner."""
+    for seed in range(SMOKE_SEQUENCES):
+        check_cached_sequence(seed, partitioner)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+def test_cache_on_random_ops_full(partitioner):
+    """Full lane: 120 sequences per partitioner (the acceptance bar)."""
+    for seed in range(SMOKE_SEQUENCES, SEQUENCES):
+        check_cached_sequence(seed, partitioner)

@@ -1,0 +1,184 @@
+"""The partition-result cache's equivalence contract.
+
+Cache-on fleets must be **result-identical** to cache-off fleets: same
+per-query result sets and ``result_bytes`` for every client — static and
+under churn, for every consistency mode, in-process and over loopback
+sockets.  Skipping shards changes what travels (and therefore snapshots,
+downlink and client cache contents), never what a query answers; under
+versioned consistency the answers stay oracle-exact while updates land.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import (
+    ClientGroupSpec,
+    FleetConfig,
+    default_fleet,
+    run_fleet,
+)
+from repro.sim.sessions import make_session
+from repro.sharding import (
+    PartitionResultCache,
+    ShardedUpdater,
+    build_sharded_state,
+)
+from repro.updates import make_protocol
+
+
+def _small_fleet(queries=10, objects=800, clients=4, **overrides):
+    base = SimulationConfig.scaled(query_count=queries, object_count=objects)
+    fleet = default_fleet(clients, base=base)
+    return dataclasses.replace(fleet, shards=overrides.pop("shards", 3),
+                               **overrides)
+
+
+def _cached(fleet, cache_bytes=64 * 1024):
+    return dataclasses.replace(fleet, router_cache=True,
+                               router_cache_bytes=cache_bytes)
+
+
+def _assert_result_identical(off, on):
+    for off_client, on_client in zip(off.clients, on.clients):
+        assert ([cost.result_bytes for cost in off_client.costs]
+                == [cost.result_bytes for cost in on_client.costs])
+        assert ([cost.query_type for cost in off_client.costs]
+                == [cost.query_type for cost in on_client.costs])
+
+
+# --------------------------------------------------------------------------- #
+# result identity: static
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("shards,partitioner", [(3, "grid"), (4, "kd")])
+def test_cache_on_static_fleet_is_result_identical(shards, partitioner):
+    fleet = _small_fleet(shards=shards, partitioner=partitioner)
+    _assert_result_identical(run_fleet(fleet), run_fleet(_cached(fleet)))
+
+
+def test_cache_on_matches_under_byte_starved_budgets():
+    """Constant eviction churn must never change answers."""
+    fleet = _small_fleet()
+    _assert_result_identical(run_fleet(fleet),
+                             run_fleet(_cached(fleet, cache_bytes=256)))
+
+
+# --------------------------------------------------------------------------- #
+# result identity: dynamic, all consistency modes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("consistency", ["versioned", "ttl", "none"])
+def test_cache_on_dynamic_fleet_is_result_identical(consistency):
+    fleet = dataclasses.replace(_small_fleet(), update_rate=0.08,
+                                consistency=consistency)
+    off = run_fleet(fleet)
+    on = run_fleet(_cached(fleet))
+    _assert_result_identical(off, on)
+    assert off.update_summary["applied"] == on.update_summary["applied"]
+    assert off.update_summary["live_objects"] \
+        == on.update_summary["live_objects"]
+
+
+def test_cache_on_result_ids_match_per_query():
+    """Stronger than bytes: per-query result id sets match cache-off."""
+    base = SimulationConfig.scaled(query_count=12, object_count=800)
+    fleet = default_fleet(3, base=base)
+    specs = fleet.client_specs()
+
+    def replay(with_cache):
+        from repro.sim.fleet import build_fleet_events
+        state = build_sharded_state(fleet.base, 4, "grid")
+        try:
+            if with_cache:
+                state.router.attach_result_cache(
+                    PartitionResultCache(capacity_bytes=64 * 1024))
+            sessions = {spec.client_id: make_session(
+                spec.model, state.view, spec.config, server=state.router)
+                for spec in specs}
+            ids_per_event = []
+            for _, client_id, record in build_fleet_events(specs):
+                sessions[client_id].process(record)
+                ids_per_event.append((client_id,
+                                      set(sessions[client_id].last_result_ids)))
+            return ids_per_event, state.router.stats.summary()
+        finally:
+            state.close()
+
+    reference, _ = replay(with_cache=False)
+    cached, summary = replay(with_cache=True)
+    assert reference == cached
+    assert summary["total_skipped"] >= 0
+
+
+def test_cache_on_dynamic_versioned_matches_oracle_per_query():
+    """Cache-on versioned answers equal the linear-scan oracle every query."""
+    from repro.sim.fleet import build_dynamic_events
+    from repro.updates.oracle import oracle_results
+
+    base = SimulationConfig.scaled(query_count=12, object_count=700)
+    fleet = dataclasses.replace(
+        FleetConfig.make(base, [ClientGroupSpec(name="only", clients=2)]),
+        update_rate=0.1, consistency="versioned")
+    specs = fleet.client_specs()
+    state = build_sharded_state(fleet.base, 3, "kd")
+    try:
+        state.router.attach_result_cache(
+            PartitionResultCache(capacity_bytes=16 * 1024))
+        updater = ShardedUpdater(state.router)
+        sessions = {spec.client_id: make_session(
+            spec.model, state.view, spec.config, server=state.router,
+            consistency=make_protocol("versioned", updater=updater,
+                                      size_model=state.size_model))
+            for spec in specs}
+        for kind, _, client_id, payload in build_dynamic_events(fleet, specs):
+            if kind == "update":
+                updater.apply(payload)
+            else:
+                session = sessions[client_id]
+                session.process(payload)
+                expected = oracle_results(state.view.objects, payload.query)
+                assert session.last_result_ids == set(expected), payload
+    finally:
+        state.close()
+
+
+# --------------------------------------------------------------------------- #
+# the cache must actually do something
+# --------------------------------------------------------------------------- #
+def test_hot_window_replay_skips_shards_and_counts_hits():
+    """Repeated windows over clustered data produce real shard skips."""
+    base = SimulationConfig.scaled(query_count=40, object_count=900)
+    fleet = dataclasses.replace(default_fleet(4, base=base), shards=4)
+    on = run_fleet(_cached(fleet))
+    summary = on.shard_summary
+    assert summary["router_cache"] is True
+    assert summary["cache_hits"] + summary["cache_misses"] > 0
+    assert summary["total_skipped"] > 0
+    assert summary["total_skipped"] == sum(summary["shards_skipped"])
+    # And the off-run reports zero skips with the same key set.
+    off_summary = run_fleet(fleet).shard_summary
+    assert off_summary["total_skipped"] == 0
+    assert off_summary["cache_hits"] == off_summary["cache_misses"] == 0
+    assert set(off_summary) == set(summary)
+
+
+# --------------------------------------------------------------------------- #
+# in-process vs loopback parity
+# --------------------------------------------------------------------------- #
+def test_networked_cache_on_fleet_matches_in_process():
+    fleet = _cached(_small_fleet(queries=8, clients=3))
+    in_process = run_fleet(fleet)
+    networked = run_fleet(dataclasses.replace(fleet, transport="uds"))
+    _assert_result_identical(in_process, networked)
+    assert set(in_process.shard_summary) == set(networked.shard_summary)
+    assert in_process.shard_summary["router_cache"] is True
+    assert networked.shard_summary["router_cache"] is True
+
+
+def test_shard_summary_key_set_is_stable_across_runners():
+    fleet = _small_fleet(queries=6, clients=2)
+    in_process = run_fleet(fleet)
+    networked = run_fleet(dataclasses.replace(fleet, transport="uds"))
+    assert set(in_process.shard_summary) == set(networked.shard_summary)

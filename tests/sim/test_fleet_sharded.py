@@ -47,12 +47,51 @@ def test_shard_summary_and_rows_are_populated():
     rows = result.shard_rows()
     assert len(rows) == 3
     assert rows[0].keys() == {"shard", "objects", "queries_routed",
-                              "shards_pruned", "pages_read"}
+                              "shards_pruned", "shards_skipped", "pages_read"}
+    assert all(row["shards_skipped"] == 0 for row in rows)  # cache off
     assert sum(row["queries_routed"] for row in rows) \
         == summary["total_routed"]
     # A single-server fleet carries no shard block.
     assert run_fleet(_fleet()).shard_summary is None
     assert FleetResult(clients=[]).shard_rows() == []
+
+
+def test_shard_rows_tolerates_pre_pr9_summaries():
+    """Summaries saved before newer counters existed load as zeros.
+
+    A resumed pre-PR-9 session snapshot carries no ``shards_skipped`` (and
+    an even older one might miss other per-shard lists); ``shard_rows``
+    must fill per-key defaults rather than raise.
+    """
+    legacy = {
+        "queries": 9,
+        "queries_routed": [4, 5],
+        "shards_pruned": [1, 0],
+        "pages_read": [7, 8],
+        "objects_per_shard": [250, 250],
+        "shards": 2,
+        "partitioner": "grid",
+        # no "shards_skipped", no cache counters
+    }
+    rows = FleetResult(clients=[], shard_summary=legacy).shard_rows()
+    assert len(rows) == 2
+    assert [row["shards_skipped"] for row in rows] == [0.0, 0.0]
+    assert [row["queries_routed"] for row in rows] == [4.0, 5.0]
+    assert [row["pages_read"] for row in rows] == [7.0, 8.0]
+    # A malformed per-shard list (wrong length) also degrades to zeros.
+    legacy["shards_pruned"] = [1]
+    rows = FleetResult(clients=[], shard_summary=legacy).shard_rows()
+    assert [row["shards_pruned"] for row in rows] == [0.0, 0.0]
+
+
+def test_router_cache_config_validation():
+    with pytest.raises(ValueError):
+        _fleet(router_cache=True)  # needs a sharded fleet
+    with pytest.raises(ValueError):
+        _fleet(shards=2, router_cache=True, router_cache_bytes=0)
+    fleet = _fleet(shards=2, router_cache=True)
+    result = run_fleet(fleet)
+    assert result.shard_summary["router_cache"] is True
 
 
 def test_restart_round_trips_shard_fields_and_rejects_sharded_halt(tmp_path):

@@ -1,0 +1,173 @@
+"""Verdict-semantics regressions for the validation service.
+
+Pinned here: the full verdict table of ``_validate_object`` — most
+importantly the PR-9 fix that a *root-attached* object stamp
+(``parent_id=None``) whose record still exists is REFRESHed, not silently
+DROPped (pre-PR-9 every version-changed parentless object was dropped
+outright, forcing a full re-download on the next query).  The networked
+service must mirror the same verdicts over the wire.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_shared_state
+from repro.updates import DatasetUpdater
+from repro.updates.stream import UpdateEvent
+from repro.updates.validation import (
+    DROP,
+    REFRESH,
+    VALID,
+    LocalValidationService,
+    ValidationStamp,
+)
+
+
+def _shared_system():
+    base = SimulationConfig.scaled(query_count=4, object_count=300)
+    shared = build_shared_state(base)
+    updater = DatasetUpdater(shared.tree, shared.server)
+    return shared, updater, LocalValidationService(updater)
+
+
+def _leaves_of(tree):
+    """Leaf node ids of ``tree``, discovered by a root-down walk."""
+    leaves = []
+    stack = [tree.root_id]
+    while stack:
+        node = tree.store.peek(stack.pop())
+        if node.is_leaf:
+            leaves.append(node.node_id)
+        else:
+            stack.extend(entry.child_id for entry in node.entries)
+    return leaves
+
+
+def _owning_leaf(tree, object_id):
+    for leaf_id in _leaves_of(tree):
+        if any(entry.object_id == object_id
+               for entry in tree.store.peek(leaf_id).entries):
+            return leaf_id
+    raise AssertionError(f"object {object_id} is owned by no leaf")
+
+
+def _modify(updater, object_id, index=0):
+    record = updater.tree.objects[object_id]
+    event = UpdateEvent(index=index, arrival_time=0.0, kind="modify",
+                        object_id=object_id, mbr=record.mbr,
+                        size_bytes=record.size_bytes + 16)
+    assert updater.apply(event)
+
+
+def _object_stamp(object_id, version, parent_id):
+    return ValidationStamp(is_node=False, item_id=object_id,
+                           cached_version=version, parent_id=parent_id)
+
+
+def test_object_verdict_table():
+    shared, updater, service = _shared_system()
+    try:
+        tree = shared.tree
+        object_id = sorted(tree.objects)[0]
+        leaf_id = _owning_leaf(tree, object_id)
+        stale_leaf = next(leaf for leaf in _leaves_of(tree)
+                          if leaf != leaf_id and not any(
+                              e.object_id == object_id
+                              for e in tree.store.peek(leaf).entries))
+        current = updater.registry.object_version(object_id)
+
+        # Unchanged version: VALID regardless of the hierarchy claim.
+        assert service.validate([
+            _object_stamp(object_id, current, leaf_id)])[0].action == VALID
+        assert service.validate([
+            _object_stamp(object_id, current, None)])[0].action == VALID
+
+        _modify(updater, object_id)
+        bumped = updater.registry.object_version(object_id)
+        assert bumped != current
+
+        # Version changed, still owned by the claimed leaf: REFRESH.
+        verdict = service.validate([
+            _object_stamp(object_id, current, leaf_id)])[0]
+        assert verdict.action == REFRESH
+        assert verdict.version == bumped
+        assert verdict.record is not None
+        assert verdict.record.object_id == object_id
+
+        # Version changed, claimed leaf no longer owns it: DROP.
+        assert service.validate([
+            _object_stamp(object_id, current, stale_leaf)])[0].action == DROP
+    finally:
+        shared.tree.store.close()
+
+
+def test_parentless_object_stamp_is_refreshed_not_dropped():
+    """The PR-9 fix: ``parent_id=None`` + live record => REFRESH."""
+    shared, updater, service = _shared_system()
+    try:
+        object_id = sorted(shared.tree.objects)[1]
+        old = updater.registry.object_version(object_id)
+        _modify(updater, object_id)
+        verdict = service.validate([
+            _object_stamp(object_id, old, None)])[0]
+        assert verdict.action == REFRESH
+        assert verdict.record is not None
+        assert verdict.record.size_bytes \
+            == shared.tree.objects[object_id].size_bytes
+    finally:
+        shared.tree.store.close()
+
+
+def test_deleted_object_is_dropped_for_any_parent_claim():
+    shared, updater, service = _shared_system()
+    try:
+        object_id = sorted(shared.tree.objects)[2]
+        leaf_id = _owning_leaf(shared.tree, object_id)
+        old = updater.registry.object_version(object_id)
+        assert updater.apply(UpdateEvent(index=0, arrival_time=0.0,
+                                         kind="delete", object_id=object_id))
+        for parent in (leaf_id, None):
+            assert service.validate([
+                _object_stamp(object_id, old, parent)])[0].action == DROP
+    finally:
+        shared.tree.store.close()
+
+
+def test_net_service_mirrors_parentless_refresh_over_the_wire():
+    """The loopback codec preserves ``parent_id=None`` and the verdict."""
+    from repro.net.client import NetValidationService, RemoteSessionClient
+    from repro.net.fleet import make_endpoint
+    from repro.net.server import ReproServer, ServerThread
+
+    shared, updater, local = _shared_system()
+    repro_server = ReproServer(shared.server, shared.size_model,
+                               validation=local)
+    with tempfile.TemporaryDirectory(prefix="repro-validation-") as workdir:
+        thread = ServerThread(repro_server, "uds",
+                              path=f"{workdir}/server.sock")
+        thread.start()
+        try:
+            client = RemoteSessionClient(make_endpoint(thread),
+                                         shared.size_model,
+                                         client_name="verdicts")
+            try:
+                remote = NetValidationService(client)
+                object_id = sorted(shared.tree.objects)[3]
+                leaf_id = _owning_leaf(shared.tree, object_id)
+                old = updater.registry.object_version(object_id)
+                _modify(updater, object_id)
+                stamps = [_object_stamp(object_id, old, None),
+                          _object_stamp(object_id, old, leaf_id)]
+                over_wire = remote.validate(stamps)
+                in_process = local.validate(stamps)
+                assert [v.action for v in over_wire] \
+                    == [v.action for v in in_process] == [REFRESH, REFRESH]
+                assert over_wire[0].record.object_id == object_id
+                assert over_wire[0].version == in_process[0].version
+            finally:
+                client.close()
+        finally:
+            thread.stop()
+    shared.tree.store.close()
