@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.analysis.checkers import (  # noqa: F401  (registration side effect)
     determinism,
     durability,
+    observability,
     structure,
     values,
 )

@@ -68,7 +68,17 @@ HOT_PATH_PACKAGES = ("repro/geometry/*", "repro/rtree/*", "repro/core/*")
 #: the per-module strict sections in ``mypy.ini`` must name the same set.
 STRICT_TYPING_PACKAGES = ("repro/geometry/*", "repro/rtree/*",
                           "repro/storage/*", "repro/updates/*",
-                          "repro/analysis/*", "repro/net/*")
+                          "repro/analysis/*", "repro/net/*",
+                          "repro/obs/*")
+
+#: Packages wired for instrumentation, where every wall-clock read must go
+#: through ``repro.obs.instrument.perf_clock`` — OBS01's scope.  Note that
+#: unlike DET02 this *includes* ``perf/``: the harness times things by
+#: design, but it must do so through the audited funnel (or carry a
+#: site-level waiver).
+INSTRUMENTED_PACKAGES = ("repro/sim/*", "repro/core/*", "repro/sharding/*",
+                         "repro/net/*", "repro/storage/*", "repro/updates/*",
+                         "repro/perf/*")
 
 #: Packages where iteration order feeds query results, eviction choices or
 #: digests — DET03's scope.
@@ -86,6 +96,7 @@ DEFAULT_CONFIG = LintConfig.make({
     "DET04": RuleScope(),
     "DUR01": RuleScope(include=DURABLE_WRITE_PACKAGES),
     "FLT01": RuleScope(),
+    "OBS01": RuleScope(include=INSTRUMENTED_PACKAGES),
     "STM01": RuleScope(),
     "SLT01": RuleScope(include=HOT_PATH_PACKAGES),
     "PRT01": RuleScope(),

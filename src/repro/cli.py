@@ -2,13 +2,18 @@
 
 Installed as the ``repro`` console script (also runnable as
 ``python -m repro.cli``; the legacy ``repro-spatial-cache`` alias is kept).
-Seven sub-commands are provided (see ``docs/cli.md`` for a full guide):
+Nine sub-commands are provided (see ``docs/cli.md`` for a full guide):
 
 * ``compare`` — run PAG / SEM / APRO (and optionally FPRO / CPRO) on one
   trace and print the headline metrics;
 * ``fleet`` — simulate many heterogeneous clients against one shared server
   and print per-group and server-load metrics; supports halting mid-run and
-  resuming from persisted cache snapshots (``--halt-after`` / ``--resume``);
+  resuming from persisted cache snapshots (``--halt-after`` / ``--resume``)
+  and a live ops dashboard while the run executes (``--status-port``);
+* ``serve`` — run a standalone wire-protocol server until interrupted,
+  optionally with the live ops dashboard on a second port;
+* ``trace`` — replay a seeded fleet under the recording instrument and
+  print a text flame view (optionally exporting one JSON line per query);
 * ``figure`` — regenerate one of the paper's figures (``6``–``11``,
   ``table61`` or ``overheads``);
 * ``params`` — print the Table 6.1 parameter sheet for a configuration;
@@ -28,7 +33,9 @@ import argparse
 from typing import List, Optional, Sequence
 
 from repro.experiments import fig6, fig7, fig8, fig9, fig10, fig11, overheads, table61
-from repro.experiments.report import format_fleet_report, format_table
+from repro.experiments.report import (
+    format_fleet_report, format_latency_line, format_table,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.fleet import ClientGroupSpec, FleetConfig, default_fleet, run_fleet
 from repro.sim.runner import run_comparison
@@ -146,6 +153,9 @@ def _update_summary_line(summary: dict) -> str:
 
 def _run_fleet(args: argparse.Namespace) -> str:
     from repro.storage import StorageError
+    if args.status_port is not None and (args.resume or args.halt_after):
+        raise SystemExit("repro fleet: error: --status-port cannot be "
+                         "combined with --resume/--halt-after")
     if args.resume:
         if args.update_rate or args.consistency != "none":
             # The session file is authoritative for a resumed fleet; the
@@ -241,42 +251,86 @@ def _run_fleet(args: argparse.Namespace) -> str:
                 f"{args.session_dir}.\nResume with: repro fleet --resume "
                 f"{args.session_dir}")
 
+    from contextlib import ExitStack
+    stack = ExitStack()
+    status_thread = None
+    if args.status_port is not None:
+        if args.workers and args.workers > 1:
+            raise SystemExit("repro fleet: error: --status-port needs a "
+                             "serial run (worker processes cannot share "
+                             "the in-process metrics registry)")
+        from repro.obs.instrument import activated
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.status import StatusBoard, StatusServerThread, \
+            board_active
+        from repro.obs.trace import Recorder
+        registry = MetricsRegistry()
+        board = StatusBoard(registry)
+        status_thread = StatusServerThread(board, port=args.status_port)
+        try:
+            status_thread.start()
+        except RuntimeError as error:
+            raise SystemExit(f"repro fleet: error: {error}")
+        stack.callback(status_thread.stop)
+        stack.enter_context(activated(Recorder(registry)))
+        stack.enter_context(board_active(board))
+        print(f"live ops: http://{status_thread.host}:{status_thread.port}/ "
+              f"(/status, /metrics)", flush=True)
     try:
-        result = run_fleet(fleet, max_workers=args.workers,
-                           store_path=args.store, durable=args.durable)
-    except (OSError, ValueError, StorageError) as error:
-        raise SystemExit(f"repro fleet: error: {error}")
-    mode = f"{args.workers} worker processes" if args.workers and args.workers > 1 \
-        else "serial"
-    if args.store:
-        mode += f", tree served from {args.store}"
-    if fleet.is_dynamic:
-        mode += (f", {fleet.consistency} consistency, "
-                 f"{fleet.update_rate:g} updates/s")
-    if args.durable:
-        mode += ", durable WAL"
-    if fleet.is_networked:
-        mode += f", loopback {fleet.transport} transport"
-    if fleet.is_sharded:
-        server_side = (f"{fleet.shards} shard(s) "
-                       f"[{fleet.partitioner} partitioner]")
-        if fleet.router_cache:
-            server_side += " + router result cache"
-    else:
-        server_side = "1 shared server"
-    report = format_fleet_report(
-        result, title=f"Fleet simulation — {fleet.total_clients} clients, "
-                      f"{len(fleet.groups)} groups, {server_side} ({mode})")
-    if result.update_summary:
-        report += _update_summary_line(result.update_summary)
-    if result.net_summary:
-        reconciled = ("reconciled exactly"
-                      if result.net_summary.get("all_reconciled")
-                      else "NOT reconciled")
-        report += (f"\nLoopback bytes: client channels vs server ledgers "
-                   f"{reconciled} across "
-                   f"{len(result.net_summary.get('clients', []))} clients")
-    return report
+        try:
+            result = run_fleet(fleet, max_workers=args.workers,
+                               store_path=args.store, durable=args.durable)
+        except (OSError, ValueError, StorageError) as error:
+            raise SystemExit(f"repro fleet: error: {error}")
+        mode = f"{args.workers} worker processes" if args.workers and args.workers > 1 \
+            else "serial"
+        if args.store:
+            mode += f", tree served from {args.store}"
+        if fleet.is_dynamic:
+            mode += (f", {fleet.consistency} consistency, "
+                     f"{fleet.update_rate:g} updates/s")
+        if args.durable:
+            mode += ", durable WAL"
+        if fleet.is_networked:
+            mode += f", loopback {fleet.transport} transport"
+        if fleet.is_sharded:
+            server_side = (f"{fleet.shards} shard(s) "
+                           f"[{fleet.partitioner} partitioner]")
+            if fleet.router_cache:
+                server_side += " + router result cache"
+        else:
+            server_side = "1 shared server"
+        report = format_fleet_report(
+            result, title=f"Fleet simulation — {fleet.total_clients} clients, "
+                          f"{len(fleet.groups)} groups, {server_side} ({mode})")
+        if result.update_summary:
+            report += _update_summary_line(result.update_summary)
+        if result.net_summary:
+            reconciled = ("reconciled exactly"
+                          if result.net_summary.get("all_reconciled")
+                          else "NOT reconciled")
+            report += (f"\nLoopback bytes: client channels vs server ledgers "
+                       f"{reconciled} across "
+                       f"{len(result.net_summary.get('clients', []))} clients")
+            latency = result.net_summary.get("latency")
+            if latency and latency.get("queries"):
+                report += "\n" + format_latency_line(latency)
+        if status_thread is not None and args.status_linger > 0:
+            # Scrapers (the CI smoke job, a browser on the dashboard) need
+            # the endpoint to outlive a fast run; the final sections and
+            # metrics stay scrapable until the linger expires.
+            import time
+            print(report)
+            print(f"status server lingering for {args.status_linger:g}s "
+                  f"(ctrl-c to stop)", flush=True)
+            try:
+                time.sleep(args.status_linger)
+            except KeyboardInterrupt:
+                pass
+            return "status server stopped"
+        return report
+    finally:
+        stack.close()
 
 
 def _run_serve(args: argparse.Namespace) -> str:
@@ -306,9 +360,37 @@ def _run_serve(args: argparse.Namespace) -> str:
                 host, port = await server.listen_tcp(args.host, args.port)
                 print(f"serving {base.object_count} objects on tcp "
                       f"{host}:{port}", flush=True)
+            status = None
+            if args.status_port is not None:
+                # The status server shares the wire server's loop; the
+                # recorder feeds the /metrics registry from the query path.
+                from repro.obs.instrument import activate
+                from repro.obs.registry import MetricsRegistry
+                from repro.obs.status import StatusBoard, StatusServer
+                from repro.obs.trace import MetricsRecorder
+                registry = MetricsRegistry()
+                board = StatusBoard(registry)
+                board.register("server", lambda: {
+                    "dataset": base.dataset_name,
+                    "objects": base.object_count,
+                    "transport": args.transport,
+                })
+                board.register("net", lambda: {
+                    "queue_depth": server.queue_depth(),
+                    "connections": server.connection_ledgers(),
+                })
+                activate(MetricsRecorder(registry))
+                status = StatusServer(board, port=args.status_port)
+                shost, sport = await status.start()
+                print(f"live ops: http://{shost}:{sport}/ "
+                      f"(/status, /metrics)", flush=True)
             try:
                 await asyncio.Event().wait()
             finally:
+                if status is not None:
+                    from repro.obs.instrument import deactivate as _deactivate
+                    _deactivate()
+                    await status.close()
                 await server.close()
         finally:
             shared.tree.store.close()
@@ -318,6 +400,44 @@ def _run_serve(args: argparse.Namespace) -> str:
     except KeyboardInterrupt:
         pass
     return "server stopped"
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    """Replay a seeded fleet under the recording instrument; print traces."""
+    import dataclasses
+
+    from repro.obs.instrument import activated
+    from repro.obs.trace import Recorder, render_flame, spans_to_jsonl
+
+    base = SimulationConfig.scaled(query_count=args.queries,
+                                   object_count=args.objects,
+                                   seed=args.seed).with_overrides(
+        dataset_name=args.dataset)
+    fleet = default_fleet(args.clients, base=base)
+    if args.shards is not None:
+        fleet = dataclasses.replace(fleet, shards=args.shards,
+                                    partitioner=args.partitioner)
+    if args.update_rate:
+        fleet = dataclasses.replace(fleet, update_rate=args.update_rate,
+                                    consistency="versioned")
+    recorder = Recorder(timing=args.timing)
+    try:
+        with activated(recorder):
+            run_fleet(fleet)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro trace: error: {error}")
+    if args.jsonl:
+        try:
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                spans_to_jsonl(recorder.roots, handle)
+        except OSError as error:
+            raise SystemExit(f"repro trace: error: cannot write "
+                             f"{args.jsonl}: {error}")
+    report = render_flame(recorder.roots, limit=args.limit)
+    if args.jsonl:
+        report += (f"\n{len(recorder.roots)} trace line(s) written to "
+                   f"{args.jsonl}")
+    return report
 
 
 def _run_figure(args: argparse.Namespace) -> str:
@@ -646,11 +766,21 @@ examples:
   repro persist save-shards --out ./shards --shards 4 && repro fleet --shards 4 --store ./shards
   repro fleet --clients 8 --transport uds
   repro fleet --clients 8 --transport tcp --consistency versioned --update-rate 0.05
+  repro fleet --clients 20 --shards 4 --router-cache --status-port 8765
+  repro fleet --clients 8 --status-port 0 --status-linger 30
 """,
     "serve": """\
 examples:
   repro serve --transport tcp --port 7007
   repro serve --transport uds --path /tmp/repro.sock --objects 8000
+  repro serve --transport tcp --port 7007 --status-port 8765
+""",
+    "trace": """\
+examples:
+  repro trace --clients 6 --queries 15
+  repro trace --shards 4 --partitioner grid --limit 64
+  repro trace --update-rate 0.05 --jsonl trace.jsonl
+  repro trace --timing
 """,
     "figure": """\
 examples:
@@ -788,6 +918,16 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--resume", default=None, metavar="DIR",
                        help="resume a halted session from DIR and run it to "
                             "completion (ignores the other fleet options)")
+    fleet.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                       help="serve the live ops dashboard (/, /status, "
+                            "/metrics) on 127.0.0.1:PORT while the run "
+                            "executes (serial runs only; 0 picks a free "
+                            "port)")
+    fleet.add_argument("--status-linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the status server up this long after the "
+                            "run completes, so scrapers can read the final "
+                            "sections (default: 0)")
     fleet.set_defaults(handler=_run_fleet)
 
     serve = subparsers.add_parser(
@@ -815,7 +955,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic dataset family (default: NE)")
     serve.add_argument("--seed", type=int, default=7,
                        help="dataset seed (default: 7)")
+    serve.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                       help="also serve the live ops dashboard (/, /status, "
+                            "/metrics) on 127.0.0.1:PORT (0 picks a free "
+                            "port)")
     serve.set_defaults(handler=_run_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="replay a seeded fleet under the tracer and print a "
+                      "flame view",
+        epilog=_EXAMPLES["trace"],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    trace.add_argument("--clients", type=int, default=6,
+                       help="total clients over the default heterogeneous "
+                            "groups (default: 6)")
+    trace.add_argument("--queries", type=int, default=15,
+                       help="queries per client (default: 15)")
+    trace.add_argument("--objects", type=int, default=2_000,
+                       help="number of data objects (default: 2000)")
+    trace.add_argument("--dataset", choices=("NE", "RD", "UNIFORM"),
+                       default="NE",
+                       help="synthetic dataset family (default: NE)")
+    trace.add_argument("--seed", type=int, default=7,
+                       help="dataset seed (default: 7)")
+    trace.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="trace a sharded fleet behind the "
+                            "scatter-gather router")
+    trace.add_argument("--partitioner", choices=("grid", "kd"),
+                       default="grid",
+                       help="spatial partitioner for --shards "
+                            "(default: grid)")
+    trace.add_argument("--update-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="dataset updates per simulated second under "
+                            "versioned consistency (default: 0 = static)")
+    trace.add_argument("--timing", action="store_true",
+                       help="record wall_elapsed_ms on spans (wall-clock: "
+                            "breaks byte-stability of the export)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="write one JSON line per traced query here")
+    trace.add_argument("--limit", type=int, default=48,
+                       help="span paths shown in the flame view "
+                            "(default: 48)")
+    trace.set_defaults(handler=_run_trace)
 
     figure = subparsers.add_parser(
         "figure", help="regenerate a figure from the paper",

@@ -31,6 +31,7 @@ from repro.core.items import (
     item_key_for_node,
     item_key_for_object,
 )
+from repro.obs import instrument as obs
 from repro.rtree.sizes import SizeModel
 
 
@@ -295,6 +296,8 @@ class ProactiveCache:
         else:
             self._object_bytes -= state.size_bytes
         self.evictions += 1
+        if obs.ENABLED:
+            obs.active().count("repro_cache_evictions_total", 1.0)
         if state.parent_key is not None:
             parent = self.items.get(state.parent_key)
             if parent is not None:
@@ -338,6 +341,9 @@ class ProactiveCache:
         """
         removed = self.evict_subtree(key)
         self.invalidations += len(removed)
+        if obs.ENABLED and removed:
+            obs.active().count("repro_cache_invalidations_total",
+                               float(len(removed)))
         return removed
 
     def refresh_item(self, key: str, payload: Payload, size_bytes: int,
@@ -366,6 +372,8 @@ class ProactiveCache:
         else:
             self._object_bytes += delta
         self.refreshes += 1
+        if obs.ENABLED:
+            obs.active().count("repro_cache_refreshes_total", 1.0)
 
     def restore_item(self, state: CacheItemState) -> None:
         """Re-admit a previously evicted item (GRD3's step-(6) correction).

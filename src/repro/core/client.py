@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -27,6 +26,8 @@ from repro.core.items import (
 )
 from repro.core.remainder import FrontierItem, RemainderQuery
 from repro.geometry import Point, Rect
+from repro.obs import instrument as obs
+from repro.obs.instrument import perf_clock
 from repro.workload.queries import JoinQuery, KNNQuery, Query, QueryType, RangeQuery
 
 
@@ -79,7 +80,7 @@ class ClientQueryProcessor:
     # ------------------------------------------------------------------ #
     def execute(self, query: Query) -> ClientExecution:
         """Run Algorithm 1 for ``query`` and return the local execution state."""
-        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+        start = perf_clock()
         if isinstance(query, RangeQuery):
             execution = self._execute_range(query)
         elif isinstance(query, KNNQuery):
@@ -88,7 +89,7 @@ class ClientQueryProcessor:
             execution = self._execute_join(query)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unsupported query type: {type(query)!r}")
-        execution.cpu_seconds = time.perf_counter() - start  # repro: allow[DET02] CPU-cost accounting
+        execution.cpu_seconds = perf_clock() - start
         return execution
 
     # ------------------------------------------------------------------ #

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -23,6 +22,8 @@ from repro.core.items import CacheEntry, FrontierTarget, TargetKind
 from repro.core.remainder import FrontierItem, RemainderQuery
 from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
 from repro.geometry import Point, Rect
+from repro.obs import instrument as obs
+from repro.obs.instrument import perf_clock
 from repro.rtree.entry import Entry, ObjectRecord
 from repro.rtree.partition_tree import PartitionTree, SuperEntry, build_partition_trees
 from repro.rtree.sizes import SizeModel
@@ -150,7 +151,7 @@ class ServerQueryProcessor:
         policy = policy or SupportingIndexPolicy.adaptive()
         if self.registry is not None:
             self.registry.pin()  # type: ignore[attr-defined]
-        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+        start = perf_clock()
         recorder: Dict[int, _AccessRecord] = {}
         frontier = remainder.frontier if remainder is not None else self._default_frontier(query)
         # Objects the client declared it already holds: their membership is
@@ -176,7 +177,12 @@ class ServerQueryProcessor:
             accessed_node_count=len(recorder),
             examined_elements=examined,
         )
-        response.cpu_seconds = time.perf_counter() - start  # repro: allow[DET02] CPU-cost accounting
+        response.cpu_seconds = perf_clock() - start
+        if obs.ENABLED:
+            obs.active().event("server.execute",
+                               pages=response.accessed_node_count,
+                               examined=examined,
+                               deliveries=len(response.deliveries))
         return response
 
     # ------------------------------------------------------------------ #

@@ -76,6 +76,19 @@ def format_fleet_report(result, title: str = "Fleet simulation") -> str:
     return "\n".join(blocks)
 
 
+def format_latency_line(latency: Mapping[str, object]) -> str:
+    """One-line wire-latency digest for networked fleet reports.
+
+    ``latency`` is a :func:`repro.net.fleet.latency_summary` dict.  The
+    percentiles are real socket round-trip times, so the line carries an
+    explicit wall-clock marker: unlike every other number in a fleet
+    report they are not reproducible across runs.
+    """
+    return (f"Wire latency over {latency['queries']} queries: "
+            f"p50 {latency['p50_ms']} ms, p99 {latency['p99_ms']} ms, "
+            f"mean {latency['mean_ms']} ms (wall-clock, non-deterministic)")
+
+
 def format_kv(title: str, values: Mapping[str, object]) -> str:
     """Render a key-value block (used for server-load / parameter reports)."""
     lines: List[str] = []

@@ -37,6 +37,8 @@ from repro.net.frames import (
     RemoteError,
 )
 from repro.network.channel import WirelessChannel
+from repro.obs import instrument as obs
+from repro.obs.instrument import perf_clock
 from repro.rtree.partition_tree import PartitionTree
 from repro.rtree.serialize import decode_node
 from repro.rtree.sizes import SizeModel
@@ -239,6 +241,10 @@ class RemoteSessionClient:
         self._catalog_dirty = False
         #: Transport-level retries that re-sent an unacknowledged query.
         self.retries = 0
+        #: Wall-clock round-trip of every executed query, in ms.  Real
+        #: socket latency: non-deterministic, surfaced in the net report's
+        #: latency block and the status server, never in fingerprints.
+        self.latencies: List[float] = []
 
     # -- catalogue -------------------------------------------------------- #
     @property
@@ -280,6 +286,7 @@ class RemoteSessionClient:
         double-bill, and the server's ledger likewise only counts answers
         it fully shipped.
         """
+        start = perf_clock()
         request = codec.encode_query_request(query, remainder, policy)
         payload = self._request_with_retry(frames.QUERY, request,
                                            frames.RESPONSE)
@@ -290,7 +297,13 @@ class RemoteSessionClient:
         else:
             uplink = query.descriptor_bytes(self.size_model)
         self.channel.send_uplink(uplink)
-        self.channel.send_downlink(response.downlink_bytes(self.size_model))
+        downlink = response.downlink_bytes(self.size_model)
+        self.channel.send_downlink(downlink)
+        self.latencies.append((perf_clock() - start) * 1000.0)
+        if obs.ENABLED:
+            obs.active().event("net.query", uplink_bytes=uplink,
+                               downlink_bytes=downlink,
+                               retries_so_far=self.retries)
         return response
 
     def partition_tree_for(self, node_id: int) -> PartitionTree:

@@ -34,6 +34,7 @@ from repro.net.client import (
 )
 from repro.net.server import ReproServer, ServerThread
 from repro.network.channel import WirelessChannel
+from repro.obs.status import publish
 from repro.sim.config import SimulationConfig
 from repro.rtree.sizes import SizeModel
 from repro.sim.fleet import (
@@ -221,6 +222,13 @@ def _serve_and_replay(fleet: FleetConfig, specs: Sequence[FleetClientSpec],
             results = {spec.client_id: ClientResult(
                 client_id=spec.client_id, group=spec.group, model=spec.model)
                 for spec in specs}
+            publish("net", lambda: {
+                "transport": transport,
+                "queue_depth": repro_server.queue_depth(),
+                "connections": repro_server.connection_ledgers(),
+                "latency": latency_summary([lat for handle in handles
+                                            for lat in handle.latencies]),
+            })
             if fleet.is_dynamic:
                 assert updater is not None
                 wrapped = _CatalogInvalidatingUpdater(updater, handles)
@@ -238,10 +246,13 @@ def _serve_and_replay(fleet: FleetConfig, specs: Sequence[FleetClientSpec],
                 entry.update(_reconcile(channels[spec.client_id],
                                         handle.server_ledger()))
                 entry["retries"] = handle.retries
+                entry["latency"] = latency_summary(handle.latencies)
                 clients_summary.append(entry)
             summary["clients"] = clients_summary
             summary["all_reconciled"] = all(entry["reconciled"]
                                             for entry in clients_summary)
+            summary["latency"] = latency_summary(
+                [lat for handle in handles for lat in handle.latencies])
             result = FleetResult(clients=[results[spec.client_id]
                                           for spec in specs])
             result.net_summary = summary
@@ -324,9 +335,9 @@ def _probe_rung(endpoint: Endpoint, shared: SharedServerState,
         try:
             barrier.wait()
             for index, query in enumerate(queries):
-                start = time.perf_counter()  # repro: allow[DET02] latency measurement of the wire round trip
+                start = time.perf_counter()  # repro: allow[DET02, OBS01] latency measurement of the wire round trip
                 response = client.execute(query)
-                elapsed = time.perf_counter() - start  # repro: allow[DET02] latency measurement of the wire round trip
+                elapsed = time.perf_counter() - start  # repro: allow[DET02, OBS01] latency measurement of the wire round trip
                 latencies[worker].append(elapsed)
                 got = sorted(response.result_object_ids())
                 if got != expected[worker][index]:
@@ -346,15 +357,11 @@ def _probe_rung(endpoint: Endpoint, shared: SharedServerState,
         worker_thread.join()
     if errors:
         raise RuntimeError("saturation probe failed: " + "; ".join(errors))
-    flat = sorted(lat for worker in latencies for lat in worker)
-    return {
-        "connections": rung,
-        "queries": len(flat),
-        "p50_ms": round(_percentile(flat, 0.50) * 1000.0, 3),
-        "p99_ms": round(_percentile(flat, 0.99) * 1000.0, 3),
-        "mean_ms": round(statistics.fmean(flat) * 1000.0, 3) if flat else 0.0,
-        "results_match": sum(mismatches) == 0,
-    }
+    flat = [lat * 1000.0 for worker in latencies for lat in worker]
+    row: Dict[str, object] = {"connections": rung}
+    row.update(latency_summary(flat))
+    row["results_match"] = sum(mismatches) == 0
+    return row
 
 
 def _percentile(ordered: List[float], fraction: float) -> float:
@@ -363,3 +370,20 @@ def _percentile(ordered: List[float], fraction: float) -> float:
         return 0.0
     rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
     return ordered[rank]
+
+
+def latency_summary(values_ms: Sequence[float]) -> Dict[str, object]:
+    """p50 / p99 / mean of per-query wall latencies (milliseconds).
+
+    The one latency-reporting shape shared by the saturation probe's
+    rungs, the networked fleet's ``net_summary`` latency blocks and the
+    status server — wall-clock throughout, so never part of a
+    deterministic fingerprint.
+    """
+    ordered = sorted(values_ms)
+    return {
+        "queries": len(ordered),
+        "p50_ms": round(_percentile(ordered, 0.50), 3),
+        "p99_ms": round(_percentile(ordered, 0.99), 3),
+        "mean_ms": round(statistics.fmean(ordered), 3) if ordered else 0.0,
+    }

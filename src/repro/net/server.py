@@ -105,6 +105,26 @@ class ReproServer:
         #: Final ledgers of connections that completed a BYE handshake,
         #: keyed by client name (reconciliation tests read these).
         self.final_ledgers: Dict[str, Dict[str, int]] = {}
+        #: Every connection ever accepted (closed ones keep their flag set);
+        #: the status server reads live ledgers out of this list.
+        self._connections: List[_Connection] = []
+
+    # ------------------------------------------------------------------ #
+    # status-server surface (read from another thread; plain int reads
+    # are atomic enough under the GIL for monitoring purposes)
+    # ------------------------------------------------------------------ #
+    def queue_depth(self) -> int:
+        """Queries admitted but not yet dispatched."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def connection_ledgers(self) -> Dict[str, Dict[str, int]]:
+        """Per-client wire ledgers: live connections overlaid on final ones."""
+        ledgers = {name: dict(ledger)
+                   for name, ledger in sorted(self.final_ledgers.items())}
+        for connection in self._connections:
+            if not connection.closed and connection.name:
+                ledgers[connection.name] = dict(connection.ledger)
+        return ledgers
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -207,6 +227,7 @@ class ReproServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         connection = _Connection(reader, writer)
+        self._connections.append(connection)
         try:
             if not await self._handshake(connection):
                 return

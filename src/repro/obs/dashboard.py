@@ -1,0 +1,87 @@
+"""The self-contained HTML dashboard page served at ``/`` by the status server.
+
+Pure stdlib-free static HTML + inline JS that polls ``/status`` every two
+seconds and renders the headline numbers (queries routed, router-cache hit
+rate, eviction churn, admission-queue depth) as tiles plus the raw section
+JSON underneath.  No external assets, so it works from a ``curl``-only box
+or an air-gapped lab.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro · live ops</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         margin: 2rem; background: #11151a; color: #d6dde4; }
+  h1 { font-size: 1.1rem; letter-spacing: .08em; }
+  #tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+  .tile { background: #1b232c; border: 1px solid #2c3946;
+          border-radius: 6px; padding: .7rem 1rem; min-width: 11rem; }
+  .tile .v { font-size: 1.5rem; color: #7fd0a8; }
+  .tile .k { font-size: .7rem; color: #8b9aa8; text-transform: uppercase; }
+  pre { background: #1b232c; border: 1px solid #2c3946; border-radius: 6px;
+        padding: 1rem; overflow-x: auto; font-size: .78rem; }
+  #err { color: #e08a8a; }
+  a { color: #86b3e0; }
+</style>
+</head>
+<body>
+<h1>repro fleet &mdash; live ops</h1>
+<p><a href="/status">/status</a> &middot; <a href="/metrics">/metrics</a>
+   <span id="err"></span></p>
+<div id="tiles"></div>
+<pre id="raw">loading&hellip;</pre>
+<script>
+function dig(obj, path) {
+  let cur = obj;
+  for (const key of path) {
+    if (cur == null || typeof cur !== "object") return null;
+    cur = cur[key];
+  }
+  return (typeof cur === "number") ? cur : null;
+}
+function tile(label, value) {
+  if (value === null) return "";
+  const shown = Number.isInteger(value) ? value : value.toFixed(3);
+  return `<div class="tile"><div class="v">${shown}</div>` +
+         `<div class="k">${label}</div></div>`;
+}
+async function refresh() {
+  try {
+    const reply = await fetch("/status");
+    const doc = await reply.json();
+    const s = doc.sections || {};
+    const hits = dig(s, ["shards", "cache_hits"]);
+    const probes = dig(s, ["shards", "cache_probes"]);
+    const tiles = [
+      tile("queries routed", dig(s, ["shards", "total_routed"])),
+      tile("shards skipped", dig(s, ["shards", "total_skipped"])),
+      tile("cache hit rate", (hits !== null && probes)
+           ? hits / probes : null),
+      tile("evictions", dig(s, ["cache", "evictions"])),
+      tile("refreshes", dig(s, ["cache", "refreshes"])),
+      tile("wal commits", dig(s, ["updates", "wal_commits"])),
+      tile("dataset version", dig(s, ["updates", "dataset_version"])),
+      tile("queue depth", dig(s, ["net", "queue_depth"])),
+      tile("net p99 ms", dig(s, ["net", "latency", "p99_ms"])),
+    ].join("");
+    document.getElementById("tiles").innerHTML = tiles;
+    document.getElementById("raw").textContent =
+        JSON.stringify(doc, null, 2);
+    document.getElementById("err").textContent = "";
+  } catch (exc) {
+    document.getElementById("err").textContent = " (poll failed: " + exc + ")";
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,202 @@
+"""Per-query tracing: the recording instrument, JSONL export, flame view.
+
+A :class:`Recorder` installed via :func:`repro.obs.instrument.activated`
+collects one :class:`Span` tree per query — the replay loop opens the root
+``query`` span, and the layers underneath (consistency protocol, proactive
+cache, shard router, per-shard R-tree traversal, WAL, wire client) attach
+events carrying the deterministic cost fields they already compute (pages
+read, bytes, shards skipped, sync verdicts).  With ``timing=False`` (the
+default) the trace is a pure function of the run's seeds and the JSONL
+export is byte-stable; ``timing=True`` adds clearly marked
+``wall_elapsed_ms`` fields that must never feed a fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
+
+from repro.obs.instrument import Instrument, perf_clock
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsRecorder", "Recorder", "Span", "render_flame",
+           "spans_to_jsonl"]
+
+
+@dataclass
+class Span:
+    """One node of a query's trace tree."""
+
+    name: str
+    fields: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    kind: str = "span"
+    #: Wall-clock duration in ms; only set when the recorder times spans,
+    #: and always excluded from deterministic comparisons.
+    wall_elapsed_ms: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly recursive form (sorted keys happen at dump time)."""
+        out: Dict[str, object] = {"name": self.name, "kind": self.kind}
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        if self.wall_elapsed_ms is not None:
+            out["wall_elapsed_ms"] = self.wall_elapsed_ms
+        return out
+
+
+class Recorder(Instrument):
+    """Recording instrument: span trees plus a metrics registry.
+
+    Not thread-safe by design — the replay loops are single-threaded and
+    the status server only *reads* the registry (atomic enough under the
+    GIL for monitoring purposes).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 timing: bool = False) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.timing = timing
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._events = self.registry.counter(
+            "repro_trace_events_total",
+            "Trace events recorded, labelled by event name.")
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    @contextmanager
+    def span(self, name: str, **fields: object) -> Iterator[None]:
+        span = Span(name=name, fields=dict(fields))
+        self._attach(span)
+        self._stack.append(span)
+        start = perf_clock() if self.timing else 0.0
+        try:
+            yield
+        finally:
+            if self.timing:
+                span.wall_elapsed_ms = (perf_clock() - start) * 1000.0
+            self._stack.pop()
+
+    def event(self, name: str, **fields: object) -> None:
+        self._attach(Span(name=name, fields=dict(fields), kind="event"))
+        self._events.inc(1.0, event=name)
+
+    def annotate(self, **fields: object) -> None:
+        if self._stack:
+            self._stack[-1].fields.update(fields)
+
+    def count(self, name: str, amount: float = 1.0,
+              **labels: object) -> None:
+        self.registry.counter(name).inc(amount, **labels)
+
+
+class MetricsRecorder(Instrument):
+    """Registry-only instrument: counters and event tallies, no span trees.
+
+    For long-lived processes (``repro serve --status-port``) where a
+    :class:`Recorder` would retain every span for the life of the server.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events = self.registry.counter(
+            "repro_trace_events_total",
+            "Trace events recorded, labelled by event name.")
+
+    def event(self, name: str, **fields: object) -> None:
+        self._events.inc(1.0, event=name)
+
+    def count(self, name: str, amount: float = 1.0,
+              **labels: object) -> None:
+        self.registry.counter(name).inc(amount, **labels)
+
+
+def spans_to_jsonl(roots: Sequence[Span], stream: Optional[TextIO] = None
+                   ) -> str:
+    """One JSON line per root span (i.e. one line per traced query).
+
+    Keys are sorted, so with timing disabled two identical seeded runs
+    export byte-identical documents.
+    """
+    lines = [json.dumps(root.to_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for root in roots]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+_NUMERIC = (int, float)
+
+#: Identity-like fields whose numeric values are labels, not quantities —
+#: summing them across spans would be meaningless in the flame view.
+_IDENTITY_FIELDS = frozenset({"client", "seq", "shard", "worker", "version"})
+
+
+def _aggregate(roots: Sequence[Span]) -> "List[Tuple[Tuple[str, ...], _Agg]]":
+    rows: Dict[Tuple[str, ...], _Agg] = {}
+
+    def visit(span: Span, path: Tuple[str, ...]) -> None:
+        here = path + (span.name,)
+        row = rows.get(here)
+        if row is None:
+            row = rows[here] = _Agg()
+        row.count += 1
+        for key, value in span.fields.items():
+            if (key in _IDENTITY_FIELDS or isinstance(value, bool)
+                    or not isinstance(value, _NUMERIC)):
+                continue
+            row.sums[key] = row.sums.get(key, 0.0) + float(value)
+        if span.wall_elapsed_ms is not None:
+            row.wall_ms += span.wall_elapsed_ms
+        for child in span.children:
+            visit(child, here)
+
+    for root in roots:
+        visit(root, ())
+    return list(rows.items())
+
+
+@dataclass
+class _Agg:
+    count: int = 0
+    wall_ms: float = 0.0
+    sums: Dict[str, float] = field(default_factory=dict)
+
+
+def render_flame(roots: Sequence[Span], limit: int = 48,
+                 width: int = 24) -> str:
+    """Text flame view: one line per distinct span path, DFS order.
+
+    Bars are proportional to call counts relative to the busiest top-level
+    span; numeric fields are summed per path and printed (up to four,
+    alphabetically) after the bar.
+    """
+    rows = _aggregate(roots)
+    if not rows:
+        return "(no spans recorded)"
+    top = max(row.count for path, row in rows if len(path) == 1)
+    lines = [f"{'span':<40} {'count':>7}  profile"]
+    for path, row in rows[:limit]:
+        label = "  " * (len(path) - 1) + path[-1]
+        bar = "#" * max(1, round(width * row.count / top))
+        extras = " ".join(f"{key}={row.sums[key]:g}"
+                          for key in sorted(row.sums)[:4])
+        if row.wall_ms:
+            extras = (extras + " " if extras else "") + \
+                f"wall_ms={row.wall_ms:.1f}"
+        lines.append(f"{label:<40} {row.count:>7}  {bar} {extras}".rstrip())
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more span paths "
+                     f"(raise --limit)")
+    return "\n".join(lines)

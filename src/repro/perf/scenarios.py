@@ -74,6 +74,10 @@ SCALES["default"].update({"hotspot_queries": 300, "hotspot_objects": 4_000,
 SCALES["smoke"].update({"hotspot_queries": 80, "hotspot_objects": 1_000,
                         "hotspot_shards": 4, "hotspot_sites": 8,
                         "hotspot_grid": 48})
+SCALES["default"].update({"obs_clients": 12, "obs_queries": 20,
+                          "obs_objects": 2_000, "obs_pairs": 3})
+SCALES["smoke"].update({"obs_clients": 6, "obs_queries": 12,
+                        "obs_objects": 800, "obs_pairs": 3})
 
 _FINGERPRINT_METRICS = ("uplink_bytes", "downlink_bytes", "cache_hit_rate",
                         "byte_hit_rate", "false_miss_rate", "response_time")
@@ -404,9 +408,9 @@ def hotspot_cache(scale: Dict[str, int]) -> Fingerprint:
     in CI: only the deterministic counters are reproducible.
     """
     import random
-    import time
 
     from repro.geometry import Rect
+    from repro.obs.instrument import perf_clock
     from repro.sharding import PartitionResultCache, build_sharded_state
     from repro.workload.queries import RangeQuery
 
@@ -433,11 +437,11 @@ def hotspot_cache(scale: Dict[str, int]) -> Fingerprint:
                 state.router.attach_result_cache(
                     PartitionResultCache(grid=scale["hotspot_grid"]))
             results = []
-            start = time.perf_counter()  # repro: allow[DET02] wall-clock replay timing (ungated fingerprint entries)
+            start = perf_clock()
             for query in queries:
                 response = state.router.execute(query)
                 results.append(sorted(response.result_object_ids()))
-            elapsed = time.perf_counter() - start  # repro: allow[DET02] wall-clock replay timing (ungated fingerprint entries)
+            elapsed = perf_clock() - start
             return results, elapsed, state.shard_summary("grid")
         finally:
             state.close()
@@ -462,6 +466,64 @@ def hotspot_cache(scale: Dict[str, int]) -> Fingerprint:
     }
 
 
+def obs_overhead(scale: Dict[str, int]) -> Fingerprint:
+    """Cost of the observability layer on the fleet replay hot path.
+
+    Replays the same seeded fleet three ways: guard down (the shipped
+    default), guard up with the null :class:`~repro.obs.instrument.
+    Instrument` (every hook a no-op), and guard up with a recording
+    :class:`~repro.obs.trace.Recorder`.  Disabled/null pairs are
+    interleaved and each side keeps its best-of-``obs_pairs`` time so
+    host noise hits both equally; ``overhead_frac`` is the null-vs-off
+    slowdown, clamped at zero, and CI gates it at <= 0.02.  The
+    ``digest_match`` bit pins the determinism contract: the recorded
+    run's per-group summary must equal the disabled run's exactly.  The
+    ``*_ms`` entries are wall-clock and stay out of the perf gate.
+    """
+    from repro.obs.instrument import Instrument, activated, perf_clock
+    from repro.obs.trace import Recorder
+
+    base = SimulationConfig.scaled(query_count=scale["obs_queries"],
+                                   object_count=scale["obs_objects"])
+
+    def replay(instrument):
+        fleet = default_fleet(scale["obs_clients"], base=base)
+        start = perf_clock()
+        if instrument is None:
+            result = run_fleet(fleet)
+        else:
+            with activated(instrument):
+                result = run_fleet(fleet)
+        return result, perf_clock() - start
+
+    off_times: List[float] = []
+    null_times: List[float] = []
+    off_result = None
+    for _ in range(max(1, scale["obs_pairs"])):
+        off_result, off_elapsed = replay(None)
+        _, null_elapsed = replay(Instrument())
+        off_times.append(off_elapsed)
+        null_times.append(null_elapsed)
+    off_seconds, null_seconds = min(off_times), min(null_times)
+
+    recorder = Recorder()
+    recorded_result, recorded_seconds = replay(recorder)
+    assert off_result is not None
+    digest_match = (recorded_result.deterministic_group_summary()
+                    == off_result.deterministic_group_summary())
+
+    return {
+        "digest_match": 1.0 if digest_match else 0.0,
+        "queries": float(scale["obs_clients"] * scale["obs_queries"]),
+        "traced_queries": float(len(recorder.roots)),
+        "overhead_frac": round(max(0.0, null_seconds / off_seconds - 1.0), 4)
+        if off_seconds > 0 else 0.0,
+        "off_ms": round(off_seconds * 1000.0, 3),
+        "null_ms": round(null_seconds * 1000.0, 3),
+        "recorded_ms": round(recorded_seconds * 1000.0, 3),
+    }
+
+
 SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "fig6_models": fig6_models,
     "fleet_rush_hour": fleet_rush_hour,
@@ -473,6 +535,7 @@ SCENARIOS: Dict[str, Callable[[Dict[str, int]], Fingerprint]] = {
     "durable_updates": durable_updates,
     "net_fleet": net_fleet,
     "hotspot_cache": hotspot_cache,
+    "obs_overhead": obs_overhead,
 }
 
 

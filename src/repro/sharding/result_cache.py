@@ -72,6 +72,7 @@ from repro._compat import DATACLASS_SLOTS
 from repro.core.cache import CacheItemState
 from repro.core.replacement.grd import GRD3Policy
 from repro.geometry import Point, Rect
+from repro.obs import instrument as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sharding.router import ShardRouter
@@ -391,6 +392,9 @@ class PartitionResultCache:
             self.hits += 1
         else:
             self.misses += 1
+        if obs.ENABLED:
+            obs.active().count("repro_router_cache_consults_total", 1.0,
+                               outcome="hit" if clean else "miss")
 
     # ------------------------------------------------------------------ #
     # the router-facing planning surface

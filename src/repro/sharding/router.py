@@ -41,7 +41,6 @@ split), so ``QueryCost.server_page_reads`` stays meaningful unchanged.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping
 from typing import Dict, List, Optional, Tuple
 
@@ -54,6 +53,8 @@ from repro.core.server import (
 )
 from repro.core.supporting_index import SupportingIndexPolicy
 from repro.geometry import Rect
+from repro.obs import instrument as obs
+from repro.obs.instrument import perf_clock
 from repro.rtree.node import Node
 from repro.rtree.partition_tree import PartitionTree, SuperEntry
 from repro.rtree.entry import Entry
@@ -78,6 +79,10 @@ class ShardStats:
         """One query reached ``shard_index`` and read ``pages`` pages there."""
         self.queries_routed[shard_index] += 1
         self.pages_read[shard_index] += pages
+        if obs.ENABLED:
+            obs.active().event("shard.visit", shard=shard_index, pages=pages)
+            obs.active().count("repro_router_shards_visited_total", 1.0,
+                               shard=shard_index)
 
     def record_prune(self, shard_index: int) -> None:
         """One *router-level* prune of ``shard_index``.
@@ -89,6 +94,9 @@ class ShardStats:
         shows a low ``queries_routed``, not a high ``shards_pruned``.
         """
         self.shards_pruned[shard_index] += 1
+        if obs.ENABLED:
+            obs.active().count("repro_router_shards_pruned_total", 1.0,
+                               shard=shard_index)
 
     def record_skip(self, shard_index: int) -> None:
         """One *result-cache* skip of ``shard_index``.
@@ -99,6 +107,9 @@ class ShardStats:
         pruning alone would have.  Always 0 without ``--router-cache``.
         """
         self.shards_skipped[shard_index] += 1
+        if obs.ENABLED:
+            obs.active().count("repro_router_shards_skipped_total", 1.0,
+                               shard=shard_index)
 
     def summary(self) -> Dict:
         """Roll-up for fleet reports and perf fingerprints."""
@@ -375,7 +386,7 @@ class ShardRouter:
             return response
         if self.result_cache is not None:
             self.result_cache.begin_query()
-        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+        start = perf_clock()
         frontier = (remainder.frontier if remainder is not None
                     else self._default_frontier(query))
         if isinstance(query, RangeQuery):
@@ -395,7 +406,11 @@ class ShardRouter:
             raise TypeError(f"unsupported query type {type(query)!r}")
         response.index_snapshots.sort(key=lambda snapshot: -snapshot.level)
         response.deliveries.sort(key=lambda delivery: delivery.record.object_id)
-        response.cpu_seconds = time.perf_counter() - start  # repro: allow[DET02] CPU-cost accounting
+        response.cpu_seconds = perf_clock() - start
+        if obs.ENABLED:
+            obs.active().event("router.execute",
+                               pages=response.accessed_node_count,
+                               deliveries=len(response.deliveries))
         return response
 
     # ------------------------------------------------------------------ #

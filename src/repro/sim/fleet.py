@@ -26,6 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cost_model import QueryCost
+from repro.obs import instrument as obs
+from repro.obs.status import publish
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import ClientResult, FleetResult
 from repro.sim.runner import (
@@ -397,8 +400,28 @@ def replay_fleet_events(sessions: Dict[int, ClientSession],
                         events: Sequence[Tuple[float, int, TraceRecord]]) -> None:
     """Process ``events`` in order, recording each cost on its client."""
     for arrival_time, client_id, record in events:
-        cost = sessions[client_id].process(record)
+        if obs.ENABLED:
+            cost = _process_traced(sessions[client_id], client_id, record)
+        else:
+            cost = sessions[client_id].process(record)
         results[client_id].record(cost, arrival_time)
+
+
+def _process_traced(session: ClientSession, client_id: int,
+                    record: TraceRecord) -> "QueryCost":
+    """Run one query under an open ``query`` span, annotated with its cost."""
+    instrument = obs.active()
+    with instrument.span("query", client=client_id, seq=record.index,
+                         kind=record.query.query_type.value):
+        cost = session.process(record)
+        instrument.annotate(
+            pages=cost.server_page_reads,
+            uplink_bytes=cost.uplink_bytes,
+            downlink_bytes=cost.downlink_bytes,
+            contacted_server=cost.contacted_server)
+    instrument.count("repro_queries_total", 1.0, kind=cost.query_type)
+    instrument.count("repro_query_pages_total", float(cost.server_page_reads))
+    return cost
 
 
 def replay_dynamic_events(updater, sessions: Dict[int, ClientSession],
@@ -414,9 +437,20 @@ def replay_dynamic_events(updater, sessions: Dict[int, ClientSession],
     """
     for kind, arrival_time, client_id, payload in events:
         if kind == "update":
-            updater.apply(payload)
+            if obs.ENABLED:
+                with obs.active().span("update",
+                                       kind=getattr(payload, "kind", "?"),
+                                       seq=getattr(payload, "index", -1)):
+                    updater.apply(payload)
+                obs.active().count("repro_updates_total", 1.0)
+            else:
+                updater.apply(payload)
         else:
-            cost = sessions[client_id].process(payload)
+            if obs.ENABLED:
+                cost = _process_traced(sessions[client_id], client_id,
+                                       payload)
+            else:
+                cost = sessions[client_id].process(payload)
             results[client_id].record(cost, arrival_time)
 
 
@@ -431,6 +465,31 @@ def finalize_fleet_results(sessions: Dict[int, ClientSession],
             results[client_id].final_cache_digest = cache.content_digest()
 
 
+def cache_churn(sessions: Dict[int, ClientSession]) -> Dict[str, int]:
+    """Replacement-policy churn totals over every session's live cache.
+
+    Read by the status board mid-run; models without a proactive cache
+    (PAG, SEM) simply contribute zeros.
+    """
+    totals = {"evictions": 0, "rejected_inserts": 0,
+              "invalidations": 0, "refreshes": 0}
+    for client_id in sorted(sessions):
+        cache = getattr(sessions[client_id], "cache", None)
+        for key in totals:
+            totals[key] += int(getattr(cache, key, 0) or 0)
+    return totals
+
+
+def _wal_facts(store: object) -> Dict[str, object]:
+    """Live write-ahead-log facts of a (possibly non-durable) store."""
+    wal = getattr(store, "wal", None)
+    if wal is None:
+        return {"durable": False}
+    return {"durable": True,
+            "records_written": int(getattr(wal, "records_written", 0)),
+            "bytes_written": int(getattr(wal, "bytes_written", 0))}
+
+
 def _run_clients(shared: SharedServerState,
                  specs: Sequence[FleetClientSpec]) -> List[ClientResult]:
     """Replay every client's trace, interleaved by arrival timestamp."""
@@ -438,7 +497,10 @@ def _run_clients(shared: SharedServerState,
     results = {spec.client_id: ClientResult(client_id=spec.client_id,
                                             group=spec.group, model=spec.model)
                for spec in specs}
-    replay_fleet_events(sessions, results, build_fleet_events(specs))
+    events = build_fleet_events(specs)
+    publish("fleet", lambda: {"clients": len(specs), "events": len(events)})
+    publish("cache", lambda: cache_churn(sessions))
+    replay_fleet_events(sessions, results, events)
     finalize_fleet_results(sessions, results)
     return [results[spec.client_id] for spec in specs]
 
@@ -551,8 +613,14 @@ def run_dynamic_fleet(fleet: FleetConfig,
                                                 group=spec.group,
                                                 model=spec.model)
                    for spec in specs}
-        replay_dynamic_events(updater, sessions, results,
-                              build_dynamic_events(fleet, specs))
+        events = build_dynamic_events(fleet, specs)
+        publish("fleet", lambda: {"clients": len(specs),
+                                  "events": len(events),
+                                  "consistency": fleet.consistency})
+        publish("cache", lambda: cache_churn(sessions))
+        publish("updates", lambda: dict(updater.summary()))
+        publish("wal", lambda: _wal_facts(shared.tree.store))
+        replay_dynamic_events(updater, sessions, results, events)
         finalize_fleet_results(sessions, results)
     finally:
         shared.tree.store.close()
@@ -624,7 +692,13 @@ def run_sharded_fleet(fleet: FleetConfig,
                                                 group=spec.group,
                                                 model=spec.model)
                    for spec in specs}
+        publish("fleet", lambda: {"clients": len(specs),
+                                  "shards": shard_count,
+                                  "partitioner": fleet.partitioner})
+        publish("cache", lambda: cache_churn(sessions))
+        publish("shards", lambda: state.shard_summary(fleet.partitioner))
         if fleet.is_dynamic:
+            publish("updates", lambda: dict(updater.summary()))
             replay_dynamic_events(updater, sessions, results,
                                   build_dynamic_events(fleet, specs))
         else:

@@ -9,7 +9,6 @@ set ``R`` so that hit rates and response times are directly comparable.
 from __future__ import annotations
 
 import abc
-import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -26,6 +25,7 @@ from repro.core.replacement import make_policy
 from repro.core.server import ServerQueryProcessor
 from repro.core.supporting_index import IndexForm, SupportingIndexPolicy
 from repro.geometry import Point, Rect
+from repro.obs.instrument import perf_clock
 from repro.rtree.entry import ObjectRecord
 from repro.rtree.knn import knn_search
 from repro.rtree.range_search import range_search
@@ -101,9 +101,9 @@ class GroundTruthCache:
         """``(result_ids, charged_cpu_seconds)`` for ``query``."""
         entry = self._store.get(query)
         if entry is None:
-            start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+            start = perf_clock()
             ids = true_results(self.tree, query)
-            entry = (ids, time.perf_counter() - start)  # repro: allow[DET02] CPU-cost accounting
+            entry = (ids, perf_clock() - start)
             self._store[query] = entry
         return entry
 
@@ -243,7 +243,7 @@ class ProactiveSession(ClientSession):
             cost.server_cpu_seconds = response.cpu_seconds
             cost.server_page_reads = response.accessed_node_count
 
-            insert_start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+            insert_start = perf_clock()
             context = {"client_position": record.position}
             for snapshot in response.index_snapshots:
                 from repro.core.items import CachedIndexNode
@@ -264,7 +264,7 @@ class ProactiveSession(ClientSession):
                                              mbr=delivery.record.mbr,
                                              size_bytes=delivery.record.size_bytes)
                 self.cache.insert_object(cached_object, delivery.parent_node_id, context)
-            cost.client_cpu_seconds += time.perf_counter() - insert_start  # repro: allow[DET02] CPU-cost accounting
+            cost.client_cpu_seconds += perf_clock() - insert_start
             if self.consistency is not None:
                 self.consistency.note_response(self.cache, response,
                                                now=record.arrival_time)
@@ -370,7 +370,7 @@ class PageCachingSession(ClientSession):
 
     def process(self, record: TraceRecord) -> QueryCost:
         query = record.query
-        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+        start = perf_clock()
         cached_before = self.cache.object_ids()
 
         true_ids, server_cpu = self.ground_truth.results_for(query)
@@ -404,7 +404,7 @@ class PageCachingSession(ClientSession):
             confirmed_cached_bytes=confirmed_bytes, total_result_bytes=result_bytes)
         # ``server_cpu`` is the charged (possibly memoised) cost, which can
         # exceed the wall time actually elapsed on a ground-truth cache hit.
-        cost.client_cpu_seconds = max(0.0, time.perf_counter() - start - server_cpu)  # repro: allow[DET02] CPU-cost accounting
+        cost.client_cpu_seconds = max(0.0, perf_clock() - start - server_cpu)
         return cost
 
     def cache_snapshot(self, query_index: int) -> CacheSnapshot:
@@ -429,7 +429,7 @@ class SemanticCachingSession(ClientSession):
     def process(self, record: TraceRecord) -> QueryCost:
         query = record.query
         self.cache.tick()
-        start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+        start = perf_clock()
         cached_before = self.cache.cached_object_ids()
 
         if isinstance(query, RangeQuery):
@@ -447,7 +447,7 @@ class SemanticCachingSession(ClientSession):
             downloaded_result_bytes=cost.downloaded_result_bytes,
             confirmed_cached_bytes=cost.confirmed_cached_bytes,
             total_result_bytes=cost.result_bytes)
-        cost.client_cpu_seconds = max(0.0, time.perf_counter() - start - server_cpu)  # repro: allow[DET02] CPU-cost accounting
+        cost.client_cpu_seconds = max(0.0, perf_clock() - start - server_cpu)
         cost.server_cpu_seconds = server_cpu
         return cost
 
@@ -462,11 +462,11 @@ class SemanticCachingSession(ClientSession):
             cost.contacted_server = True
             cost.uplink_bytes = (query.descriptor_bytes(self.size_model)
                                  + len(remainders) * self.size_model.rect_bytes())
-            server_start = time.perf_counter()  # repro: allow[DET02] CPU-cost accounting
+            server_start = perf_clock()
             fetched_ids: Set[int] = set()
             for remainder in remainders:
                 fetched_ids.update(range_search(self.tree, remainder))
-            server_cpu = time.perf_counter() - server_start  # repro: allow[DET02] CPU-cost accounting
+            server_cpu = perf_clock() - server_start
             fetched_records = [self.tree.objects[object_id] for object_id in sorted(fetched_ids)]
             downloaded = sum(r.size_bytes for r in fetched_records)
             cost.downloaded_result_bytes = downloaded

@@ -52,6 +52,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, IO, List, Optional, Tuple
 
+from repro.obs import instrument as obs
 from repro.storage.atomic import atomic_write_bytes
 from repro.storage.backend import StorageError
 
@@ -368,6 +369,9 @@ class WalWriter:
         frame = _RECORD_HEADER.size + len(payload) + len(COMMIT_MARKER)
         self.records_written += 1
         self.bytes_written += frame
+        if obs.ENABLED:
+            obs.active().event("wal.append", record_bytes=frame,
+                               version=record.version)
         return handle.tell()
 
     def close(self) -> None:

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.sessions import GroundTruthCache
 
 from repro.core.server import ServerQueryProcessor
+from repro.obs import instrument as obs
 from repro.rtree.entry import ObjectRecord
 from repro.rtree.node import Node
 from repro.rtree.serialize import encode_node, encode_object
@@ -193,6 +194,8 @@ class DatasetUpdater:
                 for object_id, obj in deltas))
         store.commit_record(record)
         self.wal_commits += 1
+        if obs.ENABLED:
+            obs.active().count("repro_wal_commits_total", 1.0)
 
     @contextmanager
     def _watch_store(self, touched: set, freed: set) -> Iterator[None]:

@@ -38,6 +38,7 @@ from typing import Dict, Optional
 from repro.core.cache import CacheItemState, ProactiveCache
 from repro.core.items import CachedIndexNode, CachedObject, CacheEntry
 from repro.core.server import ServerQueryProcessor, ServerResponse
+from repro.obs import instrument as obs
 from repro.rtree.sizes import SizeModel
 from repro.updates.applier import DatasetUpdater
 from repro.updates.stream import CONSISTENCY_MODES
@@ -152,6 +153,9 @@ class TTLProtocol(ConsistencyProtocol):
         for key in expired:
             if key in cache.items:
                 report.dropped_items += len(cache.invalidate_subtree(key))
+        if obs.ENABLED:
+            obs.active().event("consistency.sync", protocol=self.name,
+                               dropped=report.dropped_items)
         return report
 
     def note_response(self, cache: ProactiveCache, response: ServerResponse,
@@ -285,6 +289,13 @@ class VersionedProtocol(ConsistencyProtocol):
                 self._apply_object_verdict(cache, key, stamp, verdict,
                                            report, context)
         self.service.finish_sync(report.uplink_bytes, report.downlink_bytes)
+        if obs.ENABLED:
+            obs.active().event("consistency.sync", protocol=self.name,
+                               validated=len(keys),
+                               refreshed=report.refreshed_items,
+                               dropped=report.dropped_items,
+                               uplink_bytes=report.uplink_bytes,
+                               downlink_bytes=report.downlink_bytes)
         return report
 
     def _apply_node_verdict(self, cache: ProactiveCache, key: str,

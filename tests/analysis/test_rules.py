@@ -438,11 +438,46 @@ def test_dur01_waivable_with_allow_comment():
 
 
 # --------------------------------------------------------------------------- #
+# OBS01 — wall-clock reads bypassing the obs funnel
+# --------------------------------------------------------------------------- #
+def test_obs01_fires_on_direct_perf_counter():
+    source = "import time\nv = time.perf_counter()\n"
+    assert rules_at("src/repro/sim/x.py", source, ["OBS01"]) == ["OBS01"]
+
+
+def test_obs01_fires_in_perf_unlike_det02():
+    # perf/ is DET02-exempt but NOT OBS01-exempt: the harness must use
+    # the audited funnel too (or carry a site-level waiver).
+    source = "import time\nv = time.perf_counter()\n"
+    assert rules_at("src/repro/perf/x.py", source) == ["OBS01"]
+
+
+def test_obs01_silent_on_the_funnel_itself():
+    source = ("from repro.obs.instrument import perf_clock\n"
+              "v = perf_clock()\n")
+    assert rules_at("src/repro/sim/x.py", source, ["OBS01"]) == []
+
+
+def test_obs01_silent_outside_instrumented_packages():
+    source = "import time\nv = time.perf_counter()\n"
+    assert rules_at("src/repro/experiments/x.py", source, ["OBS01"]) == []
+    assert rules_at("src/repro/obs/x.py", source, ["OBS01"]) == []
+
+
+def test_obs01_waivable_with_allow_comment():
+    source = ("import time\n"
+              "v = time.perf_counter()  "
+              "# repro: allow[DET02, OBS01] timing the funnel itself\n")
+    assert rules_at("src/repro/sim/x.py", source) == []
+
+
+# --------------------------------------------------------------------------- #
 # cross-rule isolation: each violating fixture trips exactly its own rule
 # --------------------------------------------------------------------------- #
 @pytest.mark.parametrize("path,source,rule", [
     ("src/repro/sim/a.py", "import random\nv = random.random()\n", "DET01"),
-    ("src/repro/sim/b.py", "import time\nv = time.time()\n", "DET02"),
+    # experiments/ is outside OBS01's scope, so the clock trips DET02 alone.
+    ("src/repro/experiments/b.py", "import time\nv = time.time()\n", "DET02"),
     ("src/repro/core/c.py", "for x in {1, 2}:\n    print(x)\n", "DET03"),
     ("src/repro/sim/d.py", "v = sorted(items, key=id)\n", "DET04"),
     ("src/repro/sim/e.py", "v = x == 0.5\n", "FLT01"),
@@ -451,6 +486,8 @@ def test_dur01_waivable_with_allow_comment():
     ("src/repro/sim/h.py", _PRT01_VIOLATION, "PRT01"),
     ("src/repro/rtree/i.py", "def f(x):\n    return x\n", "TYP01"),
     ("src/repro/storage/j.py", 'h = open("f.bin", "wb")\n', "DUR01"),
+    # perf/ is DET02-excluded, so the raw clock trips OBS01 alone.
+    ("src/repro/perf/k.py", "import time\nv = time.perf_counter()\n", "OBS01"),
 ])
 def test_violating_fixture_trips_exactly_one_rule(path, source, rule):
     assert rules_at(path, source) == [rule]

@@ -68,14 +68,14 @@ def test_lint_paths_walks_directories_deterministically(tmp_path):
     (package / "skip.txt").write_text("not python\n")
     findings, checked = lint_paths([str(tmp_path)])
     assert checked == 2
-    assert [finding.rule for finding in findings] == ["DET02"]
+    assert [finding.rule for finding in findings] == ["DET02", "OBS01"]
     assert findings[0].path.endswith("b.py")
 
 
 def test_rule_catalogue_lists_every_project_rule():
     rules = {rule for rule, _ in rule_catalogue()}
     assert rules == {"DET01", "DET02", "DET03", "DET04", "DUR01",
-                     "FLT01", "STM01", "SLT01", "PRT01", "TYP01"}
+                     "FLT01", "OBS01", "STM01", "SLT01", "PRT01", "TYP01"}
     assert rules == set(DEFAULT_CONFIG.rules())
 
 

@@ -1,0 +1,81 @@
+"""CLI surface of the observability layer: ``repro trace``, ``--status-port``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_trace_prints_flame_view(capsys):
+    assert main(["trace", "--clients", "3", "--queries", "6",
+                 "--objects", "400"]) == 0
+    output = capsys.readouterr().out
+    assert "span" in output and "count" in output
+    assert "query" in output
+    assert "server.execute" in output
+
+
+def test_trace_exports_jsonl(tmp_path, capsys):
+    target = tmp_path / "trace.jsonl"
+    assert main(["trace", "--clients", "3", "--queries", "6",
+                 "--objects", "400", "--shards", "2",
+                 "--jsonl", str(target)]) == 0
+    output = capsys.readouterr().out
+    assert f"written to {target}" in output
+    lines = target.read_text().splitlines()
+    assert lines  # one line per traced query
+    first = json.loads(lines[0])
+    assert first["name"] == "query"
+    assert "shard.visit" in {child["name"]
+                             for child in first.get("children", [])}
+
+
+def test_trace_with_updates_records_update_spans(tmp_path):
+    target = tmp_path / "trace.jsonl"
+    assert main(["trace", "--clients", "3", "--queries", "6",
+                 "--objects", "400", "--update-rate", "0.05",
+                 "--jsonl", str(target)]) == 0
+    names = {json.loads(line)["name"]
+             for line in target.read_text().splitlines()}
+    assert names == {"query", "update"}
+
+
+def test_trace_limit_truncates_flame(capsys):
+    assert main(["trace", "--clients", "3", "--queries", "6",
+                 "--objects", "400", "--shards", "2", "--limit", "1"]) == 0
+    assert "more span paths" in capsys.readouterr().out
+
+
+def test_fleet_status_port_rejects_parallel_workers():
+    with pytest.raises(SystemExit, match="serial run"):
+        main(["fleet", "--clients", "4", "--queries", "4",
+              "--objects", "300", "--workers", "2", "--status-port", "0"])
+
+
+def test_fleet_status_port_rejects_resume_and_halt(tmp_path):
+    with pytest.raises(SystemExit, match="status-port"):
+        main(["fleet", "--resume", str(tmp_path), "--status-port", "0"])
+    with pytest.raises(SystemExit, match="status-port"):
+        main(["fleet", "--clients", "4", "--halt-after", "5",
+              "--session-dir", str(tmp_path), "--status-port", "0"])
+
+
+def test_fleet_status_port_serves_during_run(capsys):
+    assert main(["fleet", "--clients", "4", "--queries", "5",
+                 "--objects", "300", "--shards", "2",
+                 "--status-port", "0"]) == 0
+    output = capsys.readouterr().out
+    assert "live ops: http://127.0.0.1:" in output
+    assert "Fleet simulation" in output
+
+
+def test_networked_fleet_report_includes_latency_line(capsys):
+    assert main(["fleet", "--clients", "4", "--queries", "5",
+                 "--objects", "300", "--transport", "uds"]) == 0
+    output = capsys.readouterr().out
+    assert "Wire latency" in output
+    assert "p99" in output
+    assert "non-deterministic" in output

@@ -1,0 +1,157 @@
+"""The metrics registry: families, labels, snapshots, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter, DEFAULT_BUCKETS, Gauge, Histogram, MetricsRegistry,
+)
+
+
+# --------------------------------------------------------------------------- #
+# families and labels
+# --------------------------------------------------------------------------- #
+def test_counter_accumulates_per_label_set():
+    counter = Counter("repro_queries_total")
+    counter.inc(1.0, kind="range")
+    counter.inc(2.0, kind="range")
+    counter.inc(5.0, kind="knn")
+    assert counter.value(kind="range") == 3.0
+    assert counter.value(kind="knn") == 5.0
+    assert counter.value(kind="join") == 0.0
+
+
+def test_counter_rejects_negative_increments():
+    counter = Counter("c_total")
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_label_order_does_not_split_series():
+    counter = Counter("c_total")
+    counter.inc(1.0, a="x", b="y")
+    counter.inc(1.0, b="y", a="x")
+    assert counter.value(a="x", b="y") == 2.0
+    assert len(counter.series_items()) == 1
+
+
+def test_gauge_sets_and_shifts():
+    gauge = Gauge("queue_depth")
+    gauge.set(7.0)
+    gauge.inc(-2.0)
+    assert gauge.value() == 5.0
+
+
+def test_metric_and_label_names_are_validated():
+    with pytest.raises(ValueError):
+        Counter("bad name")
+    counter = Counter("ok_total")
+    with pytest.raises(ValueError):
+        counter.inc(1.0, **{"bad-label": "x"})
+
+
+def test_histogram_buckets_count_and_sum():
+    histogram = Histogram("pages", buckets=(1.0, 10.0))
+    for sample in (0.5, 3.0, 4.0, 1000.0):
+        histogram.observe(sample)
+    series = histogram.snapshot_series()[""]
+    assert series["count"] == 4
+    assert series["sum"] == pytest.approx(1007.5)
+    assert series["buckets"] == {"1": 1, "10": 2, "+Inf": 1}
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(5.0, 1.0))
+
+
+def test_default_buckets_end_in_infinity():
+    assert DEFAULT_BUCKETS[-1] == float("inf")
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+def test_registry_get_or_create_returns_same_family():
+    registry = MetricsRegistry()
+    first = registry.counter("repro_queries_total", "Queries.")
+    second = registry.counter("repro_queries_total")
+    assert first is second
+
+
+def test_registry_rejects_kind_and_determinism_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x_total")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")
+    with pytest.raises(ValueError):
+        registry.counter("x_total", deterministic=False)
+
+
+def test_snapshot_splits_deterministic_from_wall_clock():
+    registry = MetricsRegistry()
+    registry.counter("det_total").inc(3.0)
+    registry.gauge("latency_ms", deterministic=False).set(12.5)
+    snapshot = registry.snapshot()
+    assert "det_total" in snapshot["deterministic"]
+    assert "latency_ms" in snapshot["wall_clock"]
+    assert "latency_ms" not in snapshot["deterministic"]
+
+
+def test_deterministic_blob_ignores_wall_clock_series():
+    def build(latency):
+        registry = MetricsRegistry()
+        registry.counter("det_total").inc(3.0, kind="range")
+        registry.gauge("latency_ms", deterministic=False).set(latency)
+        return registry
+
+    assert build(1.0).deterministic_blob() == build(999.0).deterministic_blob()
+
+
+def test_deterministic_blob_is_canonical_json():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc(1.0)
+    registry.counter("a_total").inc(2.0)
+    blob = registry.deterministic_blob()
+    document = json.loads(blob)
+    assert list(document) == sorted(document)
+    assert blob == registry.deterministic_blob()
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus exposition
+# --------------------------------------------------------------------------- #
+def test_counter_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", "Queries.").inc(3.0, kind="range")
+    text = registry.render_prometheus()
+    assert "# HELP repro_queries_total Queries." in text
+    assert "# TYPE repro_queries_total counter" in text
+    assert 'repro_queries_total{kind="range"} 3' in text
+    assert text.endswith("\n")
+
+
+def test_histogram_exposition_is_cumulative_with_inf_bucket():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("pages", buckets=(1.0, 10.0))
+    for sample in (0.5, 3.0, 1000.0):
+        histogram.observe(sample)
+    lines = registry.render_prometheus().splitlines()
+    assert 'pages_bucket{le="1"} 1' in lines
+    assert 'pages_bucket{le="10"} 2' in lines
+    assert 'pages_bucket{le="+Inf"} 3' in lines
+    assert "pages_sum 1003.5" in lines
+    assert "pages_count 3" in lines
+
+
+def test_exposition_orders_families_and_series():
+    registry = MetricsRegistry()
+    registry.counter("z_total").inc(1.0, shard="1")
+    registry.counter("z_total").inc(1.0, shard="0")
+    registry.counter("a_total").inc(1.0)
+    text = registry.render_prometheus()
+    assert text.index("a_total") < text.index("z_total")
+    assert text.index('shard="0"') < text.index('shard="1"')

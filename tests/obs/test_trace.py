@@ -1,0 +1,167 @@
+"""The recording instrument: span trees, JSONL export, flame view, guard."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import instrument as obs
+from repro.obs.instrument import Instrument, activated
+from repro.obs.trace import (
+    MetricsRecorder, Recorder, Span, render_flame, spans_to_jsonl,
+)
+
+
+def _record_sample(recorder):
+    with recorder.span("query", client=0, seq=0, kind="range"):
+        recorder.event("shard.visit", shard=1, pages=5)
+        recorder.event("shard.visit", shard=2, pages=3)
+        recorder.annotate(pages=8, uplink_bytes=120)
+    with recorder.span("query", client=1, seq=0, kind="knn"):
+        recorder.event("server.execute", pages=4)
+
+
+# --------------------------------------------------------------------------- #
+# guard and activation
+# --------------------------------------------------------------------------- #
+def test_disabled_by_default_with_null_instrument():
+    assert obs.ENABLED is False
+    assert type(obs.active()) is Instrument
+    # Every hook on the null instrument is a no-op.
+    obs.active().event("x", pages=1)
+    obs.active().count("c_total")
+    with obs.active().span("x"):
+        obs.active().annotate(a=1)
+
+
+def test_activated_restores_prior_state():
+    recorder = Recorder()
+    with activated(recorder):
+        assert obs.ENABLED is True
+        assert obs.active() is recorder
+        inner = Recorder()
+        with activated(inner):
+            assert obs.active() is inner
+        assert obs.active() is recorder
+    assert obs.ENABLED is False
+    assert type(obs.active()) is Instrument
+
+
+# --------------------------------------------------------------------------- #
+# the recorder
+# --------------------------------------------------------------------------- #
+def test_recorder_builds_span_trees():
+    recorder = Recorder()
+    _record_sample(recorder)
+    assert [root.name for root in recorder.roots] == ["query", "query"]
+    first = recorder.roots[0]
+    assert first.fields["pages"] == 8  # annotate merged into the open span
+    assert [child.name for child in first.children] \
+        == ["shard.visit", "shard.visit"]
+    assert first.children[0].kind == "event"
+
+
+def test_recorder_tallies_events_and_counts_in_registry():
+    recorder = Recorder()
+    _record_sample(recorder)
+    recorder.count("repro_queries_total", 1.0, kind="range")
+    events = recorder.registry.counter("repro_trace_events_total")
+    assert events.value(event="shard.visit") == 2.0
+    assert recorder.registry.counter("repro_queries_total") \
+        .value(kind="range") == 1.0
+
+
+def test_recorder_without_timing_leaves_wall_fields_unset():
+    recorder = Recorder()
+    _record_sample(recorder)
+    assert all(root.wall_elapsed_ms is None for root in recorder.roots)
+    assert "wall_elapsed_ms" not in recorder.roots[0].to_dict()
+
+
+def test_recorder_with_timing_stamps_spans_only():
+    recorder = Recorder(timing=True)
+    _record_sample(recorder)
+    root = recorder.roots[0]
+    assert root.wall_elapsed_ms is not None and root.wall_elapsed_ms >= 0.0
+    assert root.children[0].wall_elapsed_ms is None  # events are instants
+
+
+def test_metrics_recorder_retains_no_spans():
+    recorder = MetricsRecorder()
+    with recorder.span("query"):
+        recorder.event("server.execute", pages=4)
+    recorder.count("repro_queries_total")
+    assert not hasattr(recorder, "roots")
+    events = recorder.registry.counter("repro_trace_events_total")
+    assert events.value(event="server.execute") == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# JSONL export
+# --------------------------------------------------------------------------- #
+def test_jsonl_is_one_sorted_line_per_root():
+    recorder = Recorder()
+    _record_sample(recorder)
+    text = spans_to_jsonl(recorder.roots)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    document = json.loads(lines[0])
+    assert document["name"] == "query"
+    assert [child["name"] for child in document["children"]] \
+        == ["shard.visit", "shard.visit"]
+    # Byte stability: sorted keys, canonical separators.
+    assert lines[0] == json.dumps(document, sort_keys=True,
+                                  separators=(",", ":"))
+
+
+def test_jsonl_writes_through_a_stream():
+    import io
+    recorder = Recorder()
+    _record_sample(recorder)
+    stream = io.StringIO()
+    text = spans_to_jsonl(recorder.roots, stream)
+    assert stream.getvalue() == text
+
+
+def test_jsonl_of_identical_recordings_is_byte_identical():
+    first, second = Recorder(), Recorder()
+    _record_sample(first)
+    _record_sample(second)
+    assert spans_to_jsonl(first.roots) == spans_to_jsonl(second.roots)
+
+
+def test_empty_recording_exports_empty_document():
+    assert spans_to_jsonl([]) == ""
+
+
+# --------------------------------------------------------------------------- #
+# flame view
+# --------------------------------------------------------------------------- #
+def test_flame_view_aggregates_paths_and_sums_quantities():
+    recorder = Recorder()
+    _record_sample(recorder)
+    flame = render_flame(recorder.roots)
+    lines = flame.splitlines()
+    query_line = next(line for line in lines if line.startswith("query"))
+    assert "2" in query_line.split()  # both roots aggregated on one path
+    assert "pages=8" in query_line
+    visit_line = next(line for line in lines if "shard.visit" in line)
+    assert "pages=8" in visit_line  # 5 + 3 summed along the path
+
+
+def test_flame_view_skips_identity_fields():
+    recorder = Recorder()
+    _record_sample(recorder)
+    flame = render_flame(recorder.roots)
+    assert "client=" not in flame  # ids are labels, not quantities
+    assert "seq=" not in flame
+    assert "shard=" not in flame
+
+
+def test_flame_view_truncates_at_limit():
+    roots = [Span(name=f"s{index}") for index in range(6)]
+    flame = render_flame(roots, limit=3)
+    assert "3 more span paths" in flame
+
+
+def test_flame_view_handles_empty_recording():
+    assert render_flame([]) == "(no spans recorded)"

@@ -19,7 +19,7 @@ DOCS_DIR = REPO_ROOT / "docs"
 
 REQUIRED_GUIDES = ("architecture.md", "replacement-policies.md", "cli.md",
                    "persistence.md", "updates.md", "sharding.md",
-                   "networking.md")
+                   "networking.md", "observability.md")
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
